@@ -1,0 +1,132 @@
+package rtoss
+
+import (
+	"testing"
+)
+
+// One benchmark per table and figure of the paper's evaluation (§V),
+// plus the DESIGN.md ablations: `go test -bench=. -benchmem` runs the
+// full reproduction harness and reports the cost of regenerating each
+// artefact. Each iteration rebuilds its models and re-runs the complete
+// pipeline (prune → estimate → assess → render).
+
+func BenchmarkTable1DetectorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ModelSizeVsTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Sparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5MAP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Qualitative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig8(70); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDFSGrouping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationDFS("YOLOv5s"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationConnectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationConnectivity("YOLOv5s"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation1x1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Ablation1x1("YOLOv5s"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// End-to-end pruning benchmarks: the cost of the R-TOSS pipeline itself
+// (what the paper's Algorithm 1 optimisation is about).
+
+func BenchmarkRTOSS3EPYOLOv5s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := NewYOLOv5s()
+		b.StartTimer()
+		if _, err := NewRTOSS(3).Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTOSS2EPRetinaNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := NewRetinaNet()
+		b.StartTimer()
+		if _, err := NewRTOSS(2).Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSceneMAPEvaluation(b *testing.B) {
+	scenes := KITTIScenes(1, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SceneMAP(scenes, 1.0, uint64(i))
+	}
+}

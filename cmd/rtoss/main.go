@@ -1,0 +1,222 @@
+// Command rtoss is the CLI front end of the pruning framework:
+//
+//	rtoss census              kernel-size census of the zoo models
+//	rtoss prune [flags]       prune a model and report the accounting
+//	rtoss platforms           show the analytic platform models
+//	rtoss compare [flags]     full framework comparison on one model
+//	rtoss tradeoff [flags]    sparsity/accuracy/latency sweeps
+//
+// Run any subcommand with -h for its flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rtoss"
+	"rtoss/internal/models"
+	"rtoss/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "census":
+		err = census()
+	case "prune":
+		err = pruneCmd(os.Args[2:])
+	case "platforms":
+		err = platforms()
+	case "compare":
+		err = compare(os.Args[2:])
+	case "tradeoff":
+		err = tradeoff(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "rtoss: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rtoss:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff> [flags]")
+}
+
+func buildModel(name string) (*rtoss.Model, error) {
+	switch name {
+	case "yolov5s":
+		return rtoss.NewYOLOv5s(), nil
+	case "retinanet":
+		return rtoss.NewRetinaNet(), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (yolov5s|retinanet)", name)
+	}
+}
+
+func census() error {
+	t := &report.Table{
+		Title:   "Model zoo census",
+		Headers: []string{"Model", "Params (M)", "MACs (G)", "Conv layers", "1x1 share", "Modules"},
+	}
+	for _, m := range models.Table2Models() {
+		macs, err := m.MACs()
+		if err != nil {
+			return err
+		}
+		t.AddRow(m.Name,
+			fmt.Sprintf("%.2f", float64(m.Params())/1e6),
+			fmt.Sprintf("%.2f", float64(macs)/1e9),
+			len(m.ConvLayers()),
+			fmt.Sprintf("%.2f%%", 100*models.Frac1x1Layers(m)),
+			models.ModuleCount(m))
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func pruneCmd(args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to prune (yolov5s|retinanet)")
+	entries := fs.Int("entries", 3, "entry pattern count (2|3|4|5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := buildModel(*modelName)
+	if err != nil {
+		return err
+	}
+	orig := m.Clone()
+	fw, err := rtoss.NewRTOSSWithConfig(rtoss.RTOSSConfig{
+		Entries: *entries, UseDFSGrouping: true, Transform1x1: true,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := fw.Prune(m)
+	if err != nil {
+		return err
+	}
+	q := rtoss.Assess(orig, m, res)
+	enc := rtoss.Encode(m, res.Structure)
+	fmt.Printf("%s on %s\n", fw.Name(), m.Name)
+	fmt.Printf("  groups:            %d\n", res.Groups)
+	fmt.Printf("  best-fit searches: %d (inherited %d kernels via DFS grouping)\n",
+		res.BestFitSearches, res.InheritedKernels)
+	fmt.Printf("  distinct patterns: %d\n", res.DistinctPatterns())
+	fmt.Printf("  sparsity:          %.2f%%\n", 100*res.Sparsity())
+	fmt.Printf("  compression:       %.2fx (params), %.2fx (encoded bytes)\n",
+		res.CompressionRatio(), enc.CompressionRatio())
+	fmt.Printf("  surrogate mAP:     %.2f (baseline %.2f)\n", q.MAP, rtoss.Assess(orig, orig, nil).MAP)
+	for _, p := range []rtoss.Platform{rtoss.RTX2080Ti(), rtoss.JetsonTX2()} {
+		base, err := rtoss.Estimate(orig, p, rtoss.Dense)
+		if err != nil {
+			return err
+		}
+		c, err := rtoss.Estimate(m, p, res.Structure)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-11s %.2f ms (%.2fx speedup), %.3f J (%.1f%% energy saved)\n",
+			p.Name+":", c.Time*1e3, c.Speedup(base), c.Energy, 100*c.EnergyReduction(base))
+	}
+	return nil
+}
+
+func platforms() error {
+	t := &report.Table{
+		Title:   "Analytic platform models",
+		Headers: []string{"Platform", "Dense GMAC/s", "Pattern gain", "Layer overhead", "Static W", "pJ/MAC"},
+	}
+	for _, p := range []rtoss.Platform{rtoss.RTX2080Ti(), rtoss.JetsonTX2()} {
+		t.AddRow(p.Name,
+			fmt.Sprintf("%.1f", p.DenseThroughput/1e9),
+			fmt.Sprintf("%.2f", p.PatternGain),
+			fmt.Sprintf("%.0f us", p.LayerOverhead*1e6),
+			fmt.Sprintf("%.1f", p.StaticPower),
+			fmt.Sprintf("%.1f", p.EnergyPerMAC*1e12))
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model (yolov5s|retinanet)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var zooName string
+	switch *modelName {
+	case "yolov5s":
+		zooName = "YOLOv5s"
+	case "retinanet":
+		zooName = "RetinaNet"
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	rs, err := rtoss.RunFrameworks(zooName)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title: "Framework comparison on " + zooName,
+		Headers: []string{"Framework", "Compression", "mAP", "GPU ms", "GPU speedup",
+			"TX2 ms", "TX2 speedup", "TX2 energy J"},
+	}
+	for _, r := range rs {
+		t.AddRow(r.Framework,
+			fmt.Sprintf("%.2fx", r.Compression),
+			fmt.Sprintf("%.2f", r.MAP),
+			fmt.Sprintf("%.2f", r.TimeGPU*1e3),
+			fmt.Sprintf("%.2fx", r.SpeedupGPU),
+			fmt.Sprintf("%.0f", r.TimeTX2*1e3),
+			fmt.Sprintf("%.2fx", r.SpeedupTX2),
+			fmt.Sprintf("%.2f", r.EnergyTX2))
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func tradeoff(args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model (yolov5s|retinanet)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var zooName string
+	switch *modelName {
+	case "yolov5s":
+		zooName = "YOLOv5s"
+	case "retinanet":
+		zooName = "RetinaNet"
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	rt, err := rtoss.RTOSSTradeoff(zooName)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rt.Render())
+	nms, err := rtoss.NMSTradeoff(zooName, []float64{0.5, 0.6, 0.7, 0.8, 0.9})
+	if err != nil {
+		return err
+	}
+	fmt.Print(nms.Render())
+	pd, err := rtoss.PDTradeoff(zooName, []float64{0, 0.15, 0.3, 0.45, 0.6})
+	if err != nil {
+		return err
+	}
+	fmt.Print(pd.Render())
+	return nil
+}

@@ -1,0 +1,42 @@
+// Comparison: regenerate Figs 4-7 — R-TOSS vs the five prior pruning
+// frameworks on both detectors and both platforms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtoss"
+)
+
+func main() {
+	for _, fig := range []func() (string, error){
+		rtoss.Fig4, rtoss.Fig5, rtoss.Fig6, rtoss.Fig7,
+	} {
+		s, err := fig()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+	}
+
+	// Headline claims, verified from the raw results.
+	for _, model := range []string{"YOLOv5s", "RetinaNet"} {
+		rs, err := rtoss.RunFrameworks(model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rtoss2EP, bestPrior rtoss.FrameworkResult
+		for _, r := range rs {
+			switch r.Framework {
+			case "R-TOSS (2EP)":
+				rtoss2EP = r
+			case "PatDNN (PD)":
+				bestPrior = r
+			}
+		}
+		fmt.Printf("%s: R-TOSS-2EP compresses %.2fx (PD %.2fx) and is %.1f%% faster than PD on the TX2\n",
+			model, rtoss2EP.Compression, bestPrior.Compression,
+			100*(1-rtoss2EP.TimeTX2/bestPrior.TimeTX2))
+	}
+}

@@ -1,0 +1,40 @@
+// Sensitivity: regenerate the paper's Table 3 — how the entry-pattern
+// size (2EP/3EP/4EP/5EP) trades compression, accuracy, latency and
+// energy on YOLOv5s and RetinaNet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rtoss"
+)
+
+func main() {
+	t, err := rtoss.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(t.Render())
+
+	rows, err := rtoss.Sensitivity()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The paper's conclusions from this study, checked live:
+	// 2EP compresses hardest; 3EP/2EP beat 4EP/5EP on latency.
+	byVariant := map[string]map[string]rtoss.SensitivityRow{}
+	for _, r := range rows {
+		if byVariant[r.Model] == nil {
+			byVariant[r.Model] = map[string]rtoss.SensitivityRow{}
+		}
+		byVariant[r.Model][r.Variant] = r
+	}
+	for _, model := range []string{"YOLOv5s", "RetinaNet"} {
+		v := byVariant[model]
+		fmt.Printf("\n%s: 2EP compresses %.2fx vs 5EP %.2fx; 2EP runs %.1f%% faster than 5EP\n",
+			model,
+			v["R-TOSS (2EP)"].Reduction, v["R-TOSS (5EP)"].Reduction,
+			100*(1-v["R-TOSS (2EP)"].TimeMS/v["R-TOSS (5EP)"].TimeMS))
+	}
+}

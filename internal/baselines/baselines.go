@@ -1,0 +1,382 @@
+// Package baselines implements the five state-of-the-art pruning
+// frameworks the paper compares R-TOSS against (§V.C):
+//
+//   - PatDNN (PD): 4-entry kernel-pattern pruning on 3×3 kernels plus
+//     connectivity pruning that removes whole kernels [30];
+//   - Neural Magic SparseML (NMS): global unstructured magnitude
+//     pruning [14];
+//   - Network Slimming (NS): channel pruning driven by batch-norm
+//     scaling factors [23];
+//   - Pruning Filters (PF): filter-granularity pruning by L1 norm [20];
+//   - Neural Pruning (NP): filter pruning via L2 regularisation
+//     combined with L1 unstructured weight pruning [21].
+//
+// Every framework implements prune.Pruner and mutates models in place,
+// so the experiment harness treats them interchangeably with R-TOSS.
+package baselines
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+	"rtoss/internal/prune"
+)
+
+// kernelL2 returns the L2 norm of a spatial kernel slice.
+func kernelL2(k []float32) float64 {
+	s := 0.0
+	for _, v := range k {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ---------------------------------------------------------------------
+// PatDNN
+
+// PatDNN is the PD baseline: 4EP pattern pruning restricted to 3×3
+// kernels, plus connectivity pruning that removes the
+// ConnectivityFrac lowest-norm kernels of every 3×3 layer entirely.
+// 1×1 kernels are untouched (the limitation §III motivates R-TOSS by).
+type PatDNN struct {
+	// ConnectivityFrac is the fraction of whole kernels removed per
+	// layer by connectivity pruning (PatDNN reports 30-50%; default 0.3).
+	ConnectivityFrac float64
+	dict             pattern.Dictionary
+}
+
+// NewPatDNN returns PD with the published defaults.
+func NewPatDNN() *PatDNN {
+	return &PatDNN{ConnectivityFrac: 0.3, dict: pattern.NewDictionary(4)}
+}
+
+// Name implements prune.Pruner.
+func (p *PatDNN) Name() string { return "PatDNN (PD)" }
+
+// Prune implements prune.Pruner.
+func (p *PatDNN) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{
+		Framework:   p.Name(),
+		Model:       m.Name,
+		Structure:   prune.Pattern,
+		PatternHist: map[uint16]int64{},
+	}
+	for _, l := range nn.PrunableConvs(m) {
+		if !l.Is3x3() {
+			continue
+		}
+		stat := prune.StatFor(l)
+		inPerGroup := l.InC / l.Group
+		type kref struct {
+			oc, ic int
+			norm   float64
+		}
+		kernels := make([]kref, 0, l.OutC*inPerGroup)
+		// Pattern pass (4EP best fit), collecting post-pattern norms.
+		for oc := 0; oc < l.OutC; oc++ {
+			for ic := 0; ic < inPerGroup; ic++ {
+				k := l.Kernel(oc, ic)
+				mask, norm := pattern.BestFit(k, p.dict.Masks)
+				mask.Apply(k)
+				res.PatternHist[uint16(mask)]++
+				res.BestFitSearches++
+				kernels = append(kernels, kref{oc, ic, norm})
+			}
+		}
+		// Connectivity pass: zero the lowest-norm kernels entirely.
+		sort.Slice(kernels, func(i, j int) bool { return kernels[i].norm < kernels[j].norm })
+		remove := int(p.ConnectivityFrac * float64(len(kernels)))
+		for i := 0; i < remove; i++ {
+			k := l.Kernel(kernels[i].oc, kernels[i].ic)
+			for j := range k {
+				k[j] = 0
+			}
+			stat.RemovedKernels++
+		}
+		stat.Finish(l)
+		res.Layers = append(res.Layers, stat)
+	}
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// SparseML (NMS)
+
+// SparseML is the NMS baseline: global unstructured magnitude pruning.
+// All prunable weights across the model are ranked by |w| and the
+// smallest are zeroed until TargetSparsity is reached, mirroring
+// SparseML's magnitude pruning with a global threshold.
+type SparseML struct {
+	// TargetSparsity is the global fraction of prunable weights to
+	// remove (default 0.70, a typical SparseML operating point that
+	// roughly matches the paper's relative sparsity bars).
+	TargetSparsity float64
+}
+
+// NewSparseML returns NMS with the default operating point.
+func NewSparseML() *SparseML { return &SparseML{TargetSparsity: 0.70} }
+
+// Name implements prune.Pruner.
+func (s *SparseML) Name() string { return "SparseML (NMS)" }
+
+// Prune implements prune.Pruner.
+func (s *SparseML) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{Framework: s.Name(), Model: m.Name, Structure: prune.Unstructured}
+	layers := nn.PrunableConvs(m)
+	var all []float32
+	for _, l := range layers {
+		for _, v := range l.Weight.Data {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			all = append(all, a)
+		}
+	}
+	if len(all) == 0 {
+		res.Duration = time.Since(start)
+		res.FillParams(m)
+		return res, nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cut := int(s.TargetSparsity * float64(len(all)))
+	if cut >= len(all) {
+		cut = len(all) - 1
+	}
+	threshold := all[cut]
+	for _, l := range layers {
+		stat := prune.StatFor(l)
+		for i, v := range l.Weight.Data {
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a < threshold {
+				l.Weight.Data[i] = 0
+			}
+		}
+		stat.Finish(l)
+		res.Layers = append(res.Layers, stat)
+	}
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Network Slimming (NS)
+
+// NetworkSlimming is the NS baseline: channel pruning by batch-norm
+// scaling factor. For every prunable conv followed by a BN layer, the
+// output channels with the smallest |gamma| are removed — the conv
+// filters producing them are zeroed along with the BN affine pair.
+type NetworkSlimming struct {
+	// ChannelFrac is the fraction of channels removed per layer
+	// (default 0.4, the mid-range of the NS paper's 40-70% sweeps).
+	ChannelFrac float64
+}
+
+// NewNetworkSlimming returns NS with defaults.
+func NewNetworkSlimming() *NetworkSlimming { return &NetworkSlimming{ChannelFrac: 0.4} }
+
+// Name implements prune.Pruner.
+func (n *NetworkSlimming) Name() string { return "Network Slimming (NS)" }
+
+// Prune implements prune.Pruner.
+func (n *NetworkSlimming) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{Framework: n.Name(), Model: m.Name, Structure: prune.Channel}
+	// Map conv -> following BN, if any.
+	bnAfter := map[int]*nn.Layer{}
+	for _, l := range m.Layers {
+		if l.Kind == nn.BatchNorm && len(l.Inputs) == 1 {
+			bnAfter[l.Inputs[0]] = l
+		}
+	}
+	for _, l := range nn.PrunableConvs(m) {
+		bn := bnAfter[l.ID]
+		if bn == nil || len(bn.Gamma) != l.OutC {
+			continue
+		}
+		stat := prune.StatFor(l)
+		type ch struct {
+			idx int
+			g   float64
+		}
+		chans := make([]ch, l.OutC)
+		for i := 0; i < l.OutC; i++ {
+			chans[i] = ch{i, math.Abs(float64(bn.Gamma[i]))}
+		}
+		sort.Slice(chans, func(i, j int) bool { return chans[i].g < chans[j].g })
+		remove := int(n.ChannelFrac * float64(l.OutC))
+		inPerGroup := l.InC / l.Group
+		ks := l.KH * l.KW
+		for i := 0; i < remove; i++ {
+			oc := chans[i].idx
+			base := oc * inPerGroup * ks
+			for j := 0; j < inPerGroup*ks; j++ {
+				l.Weight.Data[base+j] = 0
+			}
+			bn.Gamma[oc] = 0
+			bn.Beta[oc] = 0
+			stat.RemovedChannels++
+			stat.RemovedFilters++
+		}
+		stat.Finish(l)
+		res.Layers = append(res.Layers, stat)
+	}
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+// Pruning Filters (PF)
+
+// PruningFilters is the PF baseline: filters (output channels) with the
+// smallest L1 weight sums are zeroed per layer.
+type PruningFilters struct {
+	// FilterFrac is the fraction of filters removed per layer
+	// (default 0.4).
+	FilterFrac float64
+}
+
+// NewPruningFilters returns PF with defaults.
+func NewPruningFilters() *PruningFilters { return &PruningFilters{FilterFrac: 0.4} }
+
+// Name implements prune.Pruner.
+func (p *PruningFilters) Name() string { return "Pruning Filters (PF)" }
+
+// Prune implements prune.Pruner.
+func (p *PruningFilters) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{Framework: p.Name(), Model: m.Name, Structure: prune.Filter}
+	for _, l := range nn.PrunableConvs(m) {
+		stat := prune.StatFor(l)
+		pruneFilters(l, p.FilterFrac, &stat)
+		stat.Finish(l)
+		res.Layers = append(res.Layers, stat)
+	}
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// pruneFilters zeroes the frac lowest-L1 filters of a conv layer.
+func pruneFilters(l *nn.Layer, frac float64, stat *prune.LayerStat) {
+	inPerGroup := l.InC / l.Group
+	ks := l.KH * l.KW
+	per := inPerGroup * ks
+	type flt struct {
+		idx int
+		l1  float64
+	}
+	filters := make([]flt, l.OutC)
+	for oc := 0; oc < l.OutC; oc++ {
+		s := 0.0
+		for j := 0; j < per; j++ {
+			v := float64(l.Weight.Data[oc*per+j])
+			if v < 0 {
+				v = -v
+			}
+			s += v
+		}
+		filters[oc] = flt{oc, s}
+	}
+	sort.Slice(filters, func(i, j int) bool { return filters[i].l1 < filters[j].l1 })
+	remove := int(frac * float64(l.OutC))
+	for i := 0; i < remove; i++ {
+		base := filters[i].idx * per
+		for j := 0; j < per; j++ {
+			l.Weight.Data[base+j] = 0
+		}
+		stat.RemovedFilters++
+	}
+}
+
+// ---------------------------------------------------------------------
+// Neural Pruning (NP)
+
+// NeuralPruning is the NP baseline (growing regularisation): moderate
+// L2-driven filter pruning combined with L1 unstructured pruning of the
+// surviving weights.
+type NeuralPruning struct {
+	// FilterFrac is the fraction of filters removed per layer
+	// (default 0.25).
+	FilterFrac float64
+	// WeightSparsity is the unstructured sparsity applied to surviving
+	// weights per layer (default 0.35).
+	WeightSparsity float64
+}
+
+// NewNeuralPruning returns NP with defaults.
+func NewNeuralPruning() *NeuralPruning {
+	return &NeuralPruning{FilterFrac: 0.25, WeightSparsity: 0.35}
+}
+
+// Name implements prune.Pruner.
+func (n *NeuralPruning) Name() string { return "Neural Pruning (NP)" }
+
+// Prune implements prune.Pruner.
+func (n *NeuralPruning) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{Framework: n.Name(), Model: m.Name, Structure: prune.Mixed}
+	for _, l := range nn.PrunableConvs(m) {
+		stat := prune.StatFor(l)
+		pruneFilters(l, n.FilterFrac, &stat)
+		// Unstructured pass over survivors (per-layer threshold).
+		var alive []float32
+		for _, v := range l.Weight.Data {
+			if v != 0 {
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				alive = append(alive, a)
+			}
+		}
+		if len(alive) > 0 {
+			sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+			cut := int(n.WeightSparsity * float64(len(alive)))
+			if cut >= len(alive) {
+				cut = len(alive) - 1
+			}
+			threshold := alive[cut]
+			for i, v := range l.Weight.Data {
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				if a != 0 && a < threshold {
+					l.Weight.Data[i] = 0
+				}
+			}
+		}
+		stat.Finish(l)
+		res.Layers = append(res.Layers, stat)
+	}
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------
+
+// All returns the five baselines with published defaults, in the
+// paper's figure order (PD, NMS, NS, PF, NP).
+func All() []prune.Pruner {
+	return []prune.Pruner{
+		NewPatDNN(),
+		NewSparseML(),
+		NewNetworkSlimming(),
+		NewPruningFilters(),
+		NewNeuralPruning(),
+	}
+}

@@ -1,0 +1,326 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"rtoss/internal/models"
+	"rtoss/internal/nn"
+	"rtoss/internal/prune"
+)
+
+func tiny(t testing.TB) *nn.Model {
+	t.Helper()
+	b := nn.NewBuilder("tiny", 3, 16, 16, 2)
+	x := b.Input()
+	x = b.ConvBNAct("c1", x, 3, 16, 3, 1, 1, nn.SiLU)
+	x = b.ConvBNAct("c2", x, 16, 16, 3, 1, 1, nn.SiLU)
+	x = b.ConvBNAct("p1", x, 16, 32, 1, 1, 0, nn.SiLU)
+	b.Detect("out", x)
+	m := b.MustBuild()
+	m.InitWeights(7)
+	return m
+}
+
+func TestAllHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate name %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("want 5 baselines, got %d", len(seen))
+	}
+}
+
+func TestPatDNNLeavesOneByOneDense(t *testing.T) {
+	m := tiny(t)
+	res, err := NewPatDNN().Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.ConvLayers() {
+		if l.Is1x1() && l.Weight.Sparsity() > 0 {
+			t.Fatalf("PatDNN pruned 1x1 layer %s — it must not", l.Name)
+		}
+	}
+	if res.Structure != prune.Pattern {
+		t.Fatal("PatDNN should report pattern structure")
+	}
+}
+
+func TestPatDNNConnectivityRemovesKernels(t *testing.T) {
+	m := tiny(t)
+	res, err := NewPatDNN().Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var removed int64
+	for _, st := range res.Layers {
+		removed += st.RemovedKernels
+	}
+	if removed == 0 {
+		t.Fatal("connectivity pruning removed no kernels")
+	}
+	// 30% of kernels per 3x3 layer.
+	l := m.ConvLayers()[0] // c1: 16*3 = 48 kernels
+	wantRemoved := 14      // floor(0.3 * 48)
+	zeroKernels := 0
+	for oc := 0; oc < l.OutC; oc++ {
+		for ic := 0; ic < l.InC; ic++ {
+			allZero := true
+			for _, v := range l.Kernel(oc, ic) {
+				if v != 0 {
+					allZero = false
+				}
+			}
+			if allZero {
+				zeroKernels++
+			}
+		}
+	}
+	if zeroKernels < wantRemoved {
+		t.Fatalf("zero kernels %d < expected %d", zeroKernels, wantRemoved)
+	}
+}
+
+func TestPatDNN4EPKernels(t *testing.T) {
+	m := tiny(t)
+	if _, err := NewPatDNN().Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	l := m.ConvLayers()[0]
+	for oc := 0; oc < l.OutC; oc++ {
+		for ic := 0; ic < l.InC; ic++ {
+			nnz := 0
+			for _, v := range l.Kernel(oc, ic) {
+				if v != 0 {
+					nnz++
+				}
+			}
+			if nnz != 0 && nnz > 4 {
+				t.Fatalf("4EP kernel has %d non-zeros", nnz)
+			}
+		}
+	}
+}
+
+func TestSparseMLHitsTargetSparsity(t *testing.T) {
+	m := tiny(t)
+	s := NewSparseML()
+	res, err := s.Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Sparsity()-s.TargetSparsity) > 0.02 {
+		t.Fatalf("sparsity %.3f want ~%.2f", res.Sparsity(), s.TargetSparsity)
+	}
+	if res.Structure != prune.Unstructured {
+		t.Fatal("NMS should report unstructured")
+	}
+}
+
+func TestSparseMLKeepsLargestWeights(t *testing.T) {
+	m := tiny(t)
+	orig := m.Clone()
+	if _, err := NewSparseML().Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving weight must be >= every pruned weight (global
+	// threshold property).
+	var maxPruned, minKept float64 = 0, math.Inf(1)
+	for li, l := range m.ConvLayers() {
+		if l.NoPrune {
+			continue
+		}
+		ol := orig.ConvLayers()[li]
+		for i, v := range l.Weight.Data {
+			a := math.Abs(float64(ol.Weight.Data[i]))
+			if v == 0 && ol.Weight.Data[i] != 0 {
+				if a > maxPruned {
+					maxPruned = a
+				}
+			} else if v != 0 {
+				if a < minKept {
+					minKept = a
+				}
+			}
+		}
+	}
+	if maxPruned > minKept {
+		t.Fatalf("pruned |w|=%v exceeds kept |w|=%v", maxPruned, minKept)
+	}
+}
+
+func TestNetworkSlimmingZeroesBNAndFilters(t *testing.T) {
+	m := tiny(t)
+	res, err := NewNetworkSlimming().Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := 0
+	for _, st := range res.Layers {
+		removed += st.RemovedChannels
+	}
+	if removed == 0 {
+		t.Fatal("NS removed no channels")
+	}
+	// BN gammas of removed channels must be zero, and the producing
+	// filter rows must be zero.
+	for _, l := range m.Layers {
+		if l.Kind != nn.BatchNorm {
+			continue
+		}
+		conv := m.Layers[l.Inputs[0]]
+		if conv.Kind != nn.Conv {
+			continue
+		}
+		for c := range l.Gamma {
+			if l.Gamma[c] == 0 {
+				per := (conv.InC / conv.Group) * conv.KH * conv.KW
+				for j := 0; j < per; j++ {
+					if conv.Weight.Data[c*per+j] != 0 {
+						t.Fatalf("channel %d zero gamma but filter alive", c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPruningFiltersRemovesLowestL1(t *testing.T) {
+	m := tiny(t)
+	orig := m.Clone()
+	p := NewPruningFilters()
+	res, err := p.Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Structure != prune.Filter {
+		t.Fatal("PF should report filter structure")
+	}
+	// For the first layer, verify the removed filters are exactly the
+	// lowest-L1 ones.
+	l, ol := m.ConvLayers()[0], orig.ConvLayers()[0]
+	per := l.InC * l.KH * l.KW
+	type f struct {
+		idx  int
+		l1   float64
+		dead bool
+	}
+	fs := make([]f, l.OutC)
+	for oc := 0; oc < l.OutC; oc++ {
+		s := 0.0
+		dead := true
+		for j := 0; j < per; j++ {
+			s += math.Abs(float64(ol.Weight.Data[oc*per+j]))
+			if l.Weight.Data[oc*per+j] != 0 {
+				dead = false
+			}
+		}
+		fs[oc] = f{oc, s, dead}
+	}
+	deadCount := 0
+	var maxDeadL1, minAliveL1 float64 = 0, math.Inf(1)
+	for _, x := range fs {
+		if x.dead {
+			deadCount++
+			if x.l1 > maxDeadL1 {
+				maxDeadL1 = x.l1
+			}
+		} else if x.l1 < minAliveL1 {
+			minAliveL1 = x.l1
+		}
+	}
+	if deadCount != int(p.FilterFrac*float64(l.OutC)) {
+		t.Fatalf("dead filters %d want %d", deadCount, int(p.FilterFrac*float64(l.OutC)))
+	}
+	if maxDeadL1 > minAliveL1 {
+		t.Fatalf("removed filter with L1 %v while keeping %v", maxDeadL1, minAliveL1)
+	}
+}
+
+func TestNeuralPruningCombinesBoth(t *testing.T) {
+	m := tiny(t)
+	n := NewNeuralPruning()
+	res, err := n.Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Structure != prune.Mixed {
+		t.Fatal("NP should report mixed structure")
+	}
+	var filters int
+	for _, st := range res.Layers {
+		filters += st.RemovedFilters
+	}
+	if filters == 0 {
+		t.Fatal("NP removed no filters")
+	}
+	// Sparsity beyond filter fraction alone proves the unstructured pass ran.
+	if res.Sparsity() <= n.FilterFrac+0.01 {
+		t.Fatalf("NP sparsity %.3f should exceed filter fraction %.2f", res.Sparsity(), n.FilterFrac)
+	}
+}
+
+func TestBaselinesRespectNoPrune(t *testing.T) {
+	m := models.RetinaNet(models.KITTIClasses)
+	for _, p := range All() {
+		mm := m.Clone()
+		if _, err := p.Prune(mm); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		for _, l := range mm.Layers {
+			if l.Kind == nn.Conv && l.NoPrune && l.Weight.Sparsity() > 0 {
+				t.Fatalf("%s pruned NoPrune layer %s", p.Name(), l.Name)
+			}
+		}
+	}
+}
+
+func TestBaselineSparsityOrderOnYOLOv5s(t *testing.T) {
+	// NMS (global 70% unstructured) must induce more sparsity than the
+	// structured baselines at their defaults; all must be below
+	// R-TOSS-2EP's 7/9 on prunable weights (Fig 4's shape).
+	sparsities := map[string]float64{}
+	for _, p := range All() {
+		m := models.YOLOv5s(models.KITTIClasses)
+		res, err := p.Prune(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparsities[p.Name()] = res.Sparsity()
+	}
+	if sparsities["SparseML (NMS)"] <= sparsities["Network Slimming (NS)"] {
+		t.Errorf("NMS should be sparser than NS: %v", sparsities)
+	}
+	for name, s := range sparsities {
+		if s <= 0 || s >= 7.0/9.0+0.01 {
+			t.Errorf("%s sparsity %.3f out of expected band", name, s)
+		}
+	}
+}
+
+func BenchmarkPatDNNYOLOv5s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := models.YOLOv5s(models.KITTIClasses)
+		b.StartTimer()
+		if _, err := NewPatDNN().Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseMLYOLOv5s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := models.YOLOv5s(models.KITTIClasses)
+		b.StartTimer()
+		if _, err := NewSparseML().Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package core implements the R-TOSS pruning framework — the paper's
+// primary contribution. It composes the three algorithms of §IV:
+//
+//   - Algorithm 1: DFS layer grouping over the computational graph
+//     (delegated to internal/graph.BuildGroups), so that pattern masks
+//     chosen for a group's parent layer are shared by its coupled
+//     children instead of re-searched;
+//   - Algorithm 2: 3×3 kernel pattern pruning — per-kernel best-fit
+//     mask selection by masked L2 norm from the canonical 2EP/3EP
+//     dictionaries (internal/pattern);
+//   - Algorithm 3: 1×1 kernel transformation — flatten a layer's 1×1
+//     kernels, regroup every 9 weights into temporary 3×3 matrices,
+//     pattern-prune those with Algorithm 2, and scatter the survivors
+//     back (leftover weights shorter than one matrix are pruned).
+//
+// Unlike PatDNN-style frameworks, no connectivity pruning is performed:
+// every kernel keeps its pattern-selected weights.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rtoss/internal/graph"
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+	"rtoss/internal/prune"
+)
+
+// Config selects an R-TOSS variant and its ablation switches.
+type Config struct {
+	// Entries is the kept-weights-per-kernel count: 2 (R-TOSS-2EP) and
+	// 3 (R-TOSS-3EP) are the paper's proposed variants; 4 and 5 exist
+	// for the Table 3 sensitivity study.
+	Entries int
+	// UseDFSGrouping enables Algorithm 1 mask sharing (default true;
+	// false re-runs best-fit search on every layer — ablation A1).
+	UseDFSGrouping bool
+	// Transform1x1 enables Algorithm 3 on 1×1 layers (default true;
+	// false leaves 1×1 kernels dense — ablation A3).
+	Transform1x1 bool
+}
+
+// DefaultConfig returns the paper's configuration for a variant.
+func DefaultConfig(entries int) Config {
+	return Config{Entries: entries, UseDFSGrouping: true, Transform1x1: true}
+}
+
+// Framework is the R-TOSS pruner. It implements prune.Pruner.
+type Framework struct {
+	cfg  Config
+	dict pattern.Dictionary
+}
+
+// New constructs a framework from a config. The entry count must have a
+// canonical dictionary (2, 3, 4 or 5).
+func New(cfg Config) (*Framework, error) {
+	switch cfg.Entries {
+	case 2, 3, 4, 5:
+	default:
+		return nil, fmt.Errorf("core: no %d-entry pattern variant", cfg.Entries)
+	}
+	return &Framework{cfg: cfg, dict: pattern.NewDictionary(cfg.Entries)}, nil
+}
+
+// NewVariant returns the default-configured R-TOSS variant for the
+// given entry count, panicking on invalid counts (static call sites).
+func NewVariant(entries int) *Framework {
+	f, err := New(DefaultConfig(entries))
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name implements prune.Pruner.
+func (f *Framework) Name() string {
+	return fmt.Sprintf("R-TOSS (%dEP)", f.cfg.Entries)
+}
+
+// Config returns the framework's configuration.
+func (f *Framework) Config() Config { return f.cfg }
+
+// Dictionary returns the pattern dictionary in use.
+func (f *Framework) Dictionary() pattern.Dictionary { return f.dict }
+
+// GroupSpec returns the Algorithm 1 grouping specification for a model:
+// kernel nodes are the prunable 3×3 and 1×1 convs, transparent nodes
+// are the shape/channel-preserving ops the DFS may walk through, and
+// coupling requires matching kernel geometry so parent masks transfer
+// kernel-for-kernel.
+func GroupSpec(m *nn.Model) graph.GroupSpec {
+	prunable := make(map[int]*nn.Layer)
+	for _, l := range nn.PrunableConvs(m) {
+		if l.Is3x3() || l.Is1x1() {
+			prunable[l.ID] = l
+		}
+	}
+	return graph.GroupSpec{
+		IsKernel: func(id int) bool {
+			_, ok := prunable[id]
+			return ok
+		},
+		IsTransparent: func(id int) bool {
+			switch m.Layers[id].Kind {
+			case nn.BatchNorm, nn.Act, nn.MaxPool, nn.Upsample, nn.Concat, nn.Add:
+				return true
+			default:
+				return false
+			}
+		},
+		Coupled: func(p, c int) bool {
+			lp, lc := prunable[p], prunable[c]
+			return lp != nil && lc != nil && lp.KH == lc.KH && lp.KW == lc.KW
+		},
+	}
+}
+
+// Groups runs Algorithm 1 on the model and returns the layer groups.
+func Groups(m *nn.Model) []graph.Group {
+	return graph.BuildGroups(m.Graph(), GroupSpec(m))
+}
+
+// maskPlan is the pattern assignment computed for a group's parent
+// layer: one mask per kernel (3×3 layers) or per temporary 3×3 matrix
+// (1×1 layers). Children reuse it cyclically by index.
+type maskPlan []pattern.Mask
+
+// Prune implements prune.Pruner: it runs the full R-TOSS pipeline on
+// the model in place.
+func (f *Framework) Prune(m *nn.Model) (*prune.Result, error) {
+	start := time.Now()
+	res := &prune.Result{
+		Framework:   f.Name(),
+		Model:       m.Name,
+		Structure:   prune.Pattern,
+		PatternHist: map[uint16]int64{},
+	}
+
+	var groups []graph.Group
+	if f.cfg.UseDFSGrouping {
+		groups = Groups(m)
+	} else {
+		// Ablation: every prunable layer is its own group.
+		for _, l := range nn.PrunableConvs(m) {
+			if l.Is3x3() || l.Is1x1() {
+				groups = append(groups, graph.Group{Parent: l.ID, Members: []int{l.ID}})
+			}
+		}
+	}
+	res.Groups = len(groups)
+
+	for _, g := range groups {
+		var plan maskPlan
+		for _, id := range g.Members {
+			l := m.Layers[id]
+			if !f.cfg.Transform1x1 && l.Is1x1() {
+				continue
+			}
+			stat := prune.StatFor(l)
+			stat.GroupRoot = g.Parent
+			inherit := id != g.Parent && plan != nil
+			var used maskPlan
+			if l.Is3x3() {
+				used = f.prune3x3(l, plan, inherit, res)
+			} else {
+				used = f.prune1x1(l, plan, inherit, res)
+			}
+			if id == g.Parent {
+				plan = used
+			}
+			stat.Inherited = inherit
+			stat.Finish(l)
+			res.Layers = append(res.Layers, stat)
+		}
+	}
+
+	res.Duration = time.Since(start)
+	res.FillParams(m)
+	return res, nil
+}
+
+// prune3x3 implements Algorithm 2 on one layer. If inherit is true the
+// parent plan is applied cyclically; otherwise each kernel gets a
+// best-fit search and the layer's own plan is returned.
+func (f *Framework) prune3x3(l *nn.Layer, parent maskPlan, inherit bool, res *prune.Result) maskPlan {
+	inPerGroup := l.InC / l.Group
+	plan := make(maskPlan, 0, l.OutC*inPerGroup)
+	idx := 0
+	for oc := 0; oc < l.OutC; oc++ {
+		for ic := 0; ic < inPerGroup; ic++ {
+			kernel := l.Kernel(oc, ic)
+			var mask pattern.Mask
+			if inherit {
+				mask = parent[idx%len(parent)]
+				res.InheritedKernels++
+			} else {
+				mask, _ = pattern.BestFit(kernel, f.dict.Masks)
+				res.BestFitSearches++
+			}
+			mask.Apply(kernel)
+			res.PatternHist[uint16(mask)]++
+			plan = append(plan, mask)
+			idx++
+		}
+	}
+	return plan
+}
+
+// prune1x1 implements Algorithm 3 on one layer: the layer's 1×1 kernels
+// are flattened (each holds exactly one weight), grouped 9 at a time
+// into temporary 3×3 matrices, pattern-pruned via the Algorithm 2
+// machinery, and written back. Leftover weights that do not fill a
+// matrix are pruned to zero, per the paper.
+func (f *Framework) prune1x1(l *nn.Layer, parent maskPlan, inherit bool, res *prune.Result) maskPlan {
+	flat := l.Weight.Data // [OutC, InC, 1, 1] is already the flattened view
+	n := len(flat)
+	full := n / pattern.KernelArea
+	plan := make(maskPlan, 0, full)
+	for chunk := 0; chunk < full; chunk++ {
+		temp := flat[chunk*pattern.KernelArea : (chunk+1)*pattern.KernelArea]
+		var mask pattern.Mask
+		if inherit {
+			mask = parent[chunk%len(parent)]
+			res.InheritedKernels++
+		} else {
+			mask, _ = pattern.BestFit(temp, f.dict.Masks)
+			res.BestFitSearches++
+		}
+		mask.Apply(temp)
+		res.PatternHist[uint16(mask)]++
+		plan = append(plan, mask)
+	}
+	// Algorithm 3 line 13: the tail shorter than one 3×3 matrix is
+	// treated as zero weights and pruned.
+	for i := full * pattern.KernelArea; i < n; i++ {
+		flat[i] = 0
+	}
+	return plan
+}

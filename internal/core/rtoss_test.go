@@ -1,0 +1,423 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtoss/internal/models"
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+)
+
+func tinyModel(t testing.TB) *nn.Model {
+	t.Helper()
+	b := nn.NewBuilder("tiny", 3, 32, 32, 2)
+	x := b.Input()
+	x = b.ConvBNAct("c1", x, 3, 8, 3, 1, 1, nn.SiLU)
+	x = b.ConvBNAct("c2", x, 8, 8, 3, 1, 1, nn.SiLU)
+	x = b.ConvBNAct("p1", x, 8, 16, 1, 1, 0, nn.SiLU)
+	x = b.ConvBNAct("p2", x, 16, 16, 1, 1, 0, nn.SiLU)
+	b.Detect("out", x)
+	m := b.MustBuild()
+	m.InitWeights(99)
+	return m
+}
+
+func TestNewRejectsBadEntries(t *testing.T) {
+	if _, err := New(Config{Entries: 7}); err == nil {
+		t.Fatal("expected error for 7-entry variant")
+	}
+	if _, err := New(DefaultConfig(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := NewVariant(3).Name(); got != "R-TOSS (3EP)" {
+		t.Fatalf("Name=%q", got)
+	}
+}
+
+func TestPrune3x3KeepsExactlyEntriesPerKernel(t *testing.T) {
+	m := tinyModel(t)
+	f := NewVariant(3)
+	if _, err := f.Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.ConvLayers() {
+		if !l.Is3x3() {
+			continue
+		}
+		for oc := 0; oc < l.OutC; oc++ {
+			for ic := 0; ic < l.InC; ic++ {
+				k := l.Kernel(oc, ic)
+				nnz := 0
+				for _, v := range k {
+					if v != 0 {
+						nnz++
+					}
+				}
+				if nnz > 3 {
+					t.Fatalf("3EP kernel (%s %d,%d) has %d non-zeros", l.Name, oc, ic, nnz)
+				}
+			}
+		}
+	}
+}
+
+func TestPrune1x1ChunksOfNine(t *testing.T) {
+	m := tinyModel(t)
+	f := NewVariant(2)
+	if _, err := f.Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.ConvLayers() {
+		if !l.Is1x1() {
+			continue
+		}
+		flat := l.Weight.Data
+		full := len(flat) / 9
+		for c := 0; c < full; c++ {
+			nnz := 0
+			for _, v := range flat[c*9 : (c+1)*9] {
+				if v != 0 {
+					nnz++
+				}
+			}
+			if nnz > 2 {
+				t.Fatalf("2EP temp matrix %d of %s has %d non-zeros", c, l.Name, nnz)
+			}
+		}
+		// Leftover tail must be fully pruned.
+		for i := full * 9; i < len(flat); i++ {
+			if flat[i] != 0 {
+				t.Fatalf("leftover weight %d of %s not pruned", i, l.Name)
+			}
+		}
+	}
+}
+
+func TestKeptWeightsAreOriginal(t *testing.T) {
+	m := tinyModel(t)
+	orig := m.Clone()
+	f := NewVariant(3)
+	if _, err := f.Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	// Pattern pruning must preserve surviving weights exactly (it is a
+	// mask, not a re-quantisation).
+	for li, l := range m.ConvLayers() {
+		ol := orig.ConvLayers()[li]
+		for i, v := range l.Weight.Data {
+			if v != 0 && v != ol.Weight.Data[i] {
+				t.Fatalf("kept weight changed: %v -> %v", ol.Weight.Data[i], v)
+			}
+		}
+	}
+}
+
+func TestBestFitKeepsMaxMass(t *testing.T) {
+	// The selected pattern must retain at least as much L2 mass as any
+	// other dictionary mask would (Algorithm 2's selection criterion).
+	m := tinyModel(t)
+	orig := m.Clone()
+	f := NewVariant(2)
+	if _, err := f.Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	l, ol := m.ConvLayers()[0], orig.ConvLayers()[0]
+	for oc := 0; oc < l.OutC; oc++ {
+		for ic := 0; ic < l.InC; ic++ {
+			pruned := l.Kernel(oc, ic)
+			kept := 0.0
+			for _, v := range pruned {
+				kept += float64(v) * float64(v)
+			}
+			_, best := pattern.BestFit(ol.Kernel(oc, ic), f.Dictionary().Masks)
+			if math.Abs(kept-best*best) > 1e-6*(1+best*best) {
+				t.Fatalf("kernel (%d,%d): kept mass %v, best possible %v", oc, ic, kept, best*best)
+			}
+		}
+	}
+}
+
+func TestSparsityMatchesEntryCount(t *testing.T) {
+	// Whole-model prunable sparsity should approach 1 - k/9.
+	for _, entries := range []int{2, 3, 4, 5} {
+		m := tinyModel(t)
+		f := NewVariant(entries)
+		res, err := f.Prune(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - float64(entries)/9
+		if math.Abs(res.Sparsity()-want) > 0.02 {
+			t.Errorf("%dEP sparsity %.4f want ~%.4f", entries, res.Sparsity(), want)
+		}
+	}
+}
+
+func TestGroupingSharesMasks(t *testing.T) {
+	m := tinyModel(t)
+	res, err := NewVariant(3).Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1->c2 are coupled 3×3, p1->p2 coupled 1×1: two groups, with the
+	// children inheriting.
+	if res.Groups != 2 {
+		t.Fatalf("groups=%d want 2", res.Groups)
+	}
+	if res.InheritedKernels == 0 {
+		t.Fatal("no kernels inherited masks")
+	}
+	inherited := 0
+	for _, st := range res.Layers {
+		if st.Inherited {
+			inherited++
+		}
+	}
+	if inherited != 2 {
+		t.Fatalf("inherited layers=%d want 2", inherited)
+	}
+}
+
+func TestGroupingAblationIncreasesSearches(t *testing.T) {
+	m1, m2 := tinyModel(t), tinyModel(t)
+	with, _ := NewVariant(3).Prune(m1)
+	without := mustNew(t, Config{Entries: 3, UseDFSGrouping: false, Transform1x1: true})
+	res, err := without.Prune(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InheritedKernels != 0 {
+		t.Fatal("ablated run inherited masks")
+	}
+	if res.BestFitSearches <= with.BestFitSearches {
+		t.Fatalf("ablation should search more: %d vs %d", res.BestFitSearches, with.BestFitSearches)
+	}
+	// Same final sparsity either way — grouping saves time, not sparsity.
+	if math.Abs(res.Sparsity()-with.Sparsity()) > 0.02 {
+		t.Fatalf("sparsity diverged: %v vs %v", res.Sparsity(), with.Sparsity())
+	}
+}
+
+func Test1x1AblationLeaves1x1Dense(t *testing.T) {
+	m := tinyModel(t)
+	f := mustNew(t, Config{Entries: 2, UseDFSGrouping: true, Transform1x1: false})
+	res, err := f.Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.ConvLayers() {
+		if l.Is1x1() && l.Weight.Sparsity() != 0 {
+			t.Fatalf("1x1 layer %s pruned despite ablation", l.Name)
+		}
+	}
+	// Overall sparsity must drop versus the full framework.
+	m2 := tinyModel(t)
+	full, _ := NewVariant(2).Prune(m2)
+	if res.Sparsity() >= full.Sparsity() {
+		t.Fatalf("1x1 ablation should reduce sparsity: %v vs %v", res.Sparsity(), full.Sparsity())
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Framework {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestYOLOv5sCompressionMatchesTable3(t *testing.T) {
+	// Paper Table 3, YOLOv5s reduction ratios: 2EP 4.4×, 3EP 2.9×,
+	// 4EP 2.24×, 5EP 1.79×.
+	want := map[int]float64{2: 4.4, 3: 2.9, 4: 2.24, 5: 1.79}
+	for entries, ratio := range want {
+		m := models.YOLOv5s(models.KITTIClasses)
+		res, err := NewVariant(entries).Prune(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.CompressionRatio()
+		if math.Abs(got-ratio) > 0.08*ratio {
+			t.Errorf("YOLOv5s %dEP compression %.2fx, paper %.2fx", entries, got, ratio)
+		}
+	}
+}
+
+func TestRetinaNetCompressionMatchesTable3(t *testing.T) {
+	// Paper Table 3, RetinaNet: 2EP 2.89×, 3EP 2.4× (4EP/5EP deviate
+	// more; the shape — monotone decrease with entries — must hold).
+	m2 := models.RetinaNet(models.KITTIClasses)
+	r2, err := NewVariant(2).Prune(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.CompressionRatio()-2.89) > 0.12*2.89 {
+		t.Errorf("RetinaNet 2EP compression %.2fx, paper 2.89x", r2.CompressionRatio())
+	}
+	m3 := models.RetinaNet(models.KITTIClasses)
+	r3, _ := NewVariant(3).Prune(m3)
+	if math.Abs(r3.CompressionRatio()-2.4) > 0.08*2.4 {
+		t.Errorf("RetinaNet 3EP compression %.2fx, paper 2.4x", r3.CompressionRatio())
+	}
+	m4 := models.RetinaNet(models.KITTIClasses)
+	r4, _ := NewVariant(4).Prune(m4)
+	m5 := models.RetinaNet(models.KITTIClasses)
+	r5, _ := NewVariant(5).Prune(m5)
+	if !(r2.CompressionRatio() > r3.CompressionRatio() &&
+		r3.CompressionRatio() > r4.CompressionRatio() &&
+		r4.CompressionRatio() > r5.CompressionRatio()) {
+		t.Error("compression should decrease monotonically with entry count")
+	}
+}
+
+func TestPatternCountAtMost21(t *testing.T) {
+	// Paper: "we have only 21 pre-defined kernel patterns at inference".
+	m := models.YOLOv5s(models.KITTIClasses)
+	r2, err := NewVariant(2).Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := models.YOLOv5s(models.KITTIClasses)
+	r3, _ := NewVariant(3).Prune(m3)
+	total := r2.DistinctPatterns() + r3.DistinctPatterns()
+	if total > 21 {
+		t.Errorf("2EP+3EP use %d patterns, paper caps at 21", total)
+	}
+	if r2.DistinctPatterns() == 0 || r3.DistinctPatterns() == 0 {
+		t.Error("no patterns recorded")
+	}
+}
+
+func TestDetectPredictorsUntouched(t *testing.T) {
+	m := models.YOLOv5s(models.KITTIClasses)
+	orig := m.Clone()
+	if _, err := NewVariant(2).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range m.Layers {
+		if l.Kind != nn.Conv {
+			continue
+		}
+		isPred := false
+		for _, d := range m.Layers {
+			if d.Kind == nn.Detect {
+				for _, in := range d.Inputs {
+					if in == i {
+						isPred = true
+					}
+				}
+			}
+		}
+		if isPred {
+			for j, v := range l.Weight.Data {
+				if v != orig.Layers[i].Weight.Data[j] {
+					t.Fatalf("detect predictor %s modified", l.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestNoPruneLayersUntouched(t *testing.T) {
+	m := models.RetinaNet(models.KITTIClasses)
+	if _, err := NewVariant(2).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Layers {
+		if l.Kind == nn.Conv && l.NoPrune {
+			if l.Weight.Sparsity() > 0 {
+				t.Fatalf("NoPrune layer %s was pruned", l.Name)
+			}
+		}
+	}
+}
+
+func TestGroupsCoverOnlySameKernelSize(t *testing.T) {
+	m := models.YOLOv5s(models.KITTIClasses)
+	for _, g := range Groups(m) {
+		k := m.Layers[g.Parent].KH
+		for _, id := range g.Members {
+			if m.Layers[id].KH != k {
+				t.Fatalf("group %d mixes kernel sizes", g.Parent)
+			}
+		}
+	}
+}
+
+func TestPruneDeterministic(t *testing.T) {
+	a := models.YOLOv5s(models.KITTIClasses)
+	b := models.YOLOv5s(models.KITTIClasses)
+	if _, err := NewVariant(3).Prune(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVariant(3).Prune(b); err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.ConvLayers()[5], b.ConvLayers()[5]
+	for i := range la.Weight.Data {
+		if la.Weight.Data[i] != lb.Weight.Data[i] {
+			t.Fatal("pruning is not deterministic")
+		}
+	}
+}
+
+func TestQuickPruneIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		b := nn.NewBuilder("q", 3, 8, 8, 1)
+		x := b.Input()
+		x = b.ConvBNAct("c", x, 3, 4, 3, 1, 1, nn.ReLU)
+		b.Detect("d", x)
+		m := b.MustBuild()
+		m.InitWeights(seed)
+		fw := NewVariant(3)
+		if _, err := fw.Prune(m); err != nil {
+			return false
+		}
+		snap := m.Clone()
+		if _, err := fw.Prune(m); err != nil {
+			return false
+		}
+		// Re-pruning a pruned model must not change anything: the
+		// best-fit pattern of a masked kernel is the mask itself.
+		for li, l := range m.ConvLayers() {
+			for i, v := range l.Weight.Data {
+				if v != snap.ConvLayers()[li].Weight.Data[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPruneYOLOv5s3EP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := models.YOLOv5s(models.KITTIClasses)
+		b.StartTimer()
+		if _, err := NewVariant(3).Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPruneYOLOv5sNoGrouping(b *testing.B) {
+	f, _ := New(Config{Entries: 3, UseDFSGrouping: false, Transform1x1: true})
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := models.YOLOv5s(models.KITTIClasses)
+		b.StartTimer()
+		if _, err := f.Prune(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

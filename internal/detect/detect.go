@@ -1,0 +1,147 @@
+// Package detect provides the detection-pipeline primitives shared by
+// the evaluation stack: boxes, IoU, confidence filtering, and
+// class-aware non-maximum suppression.
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Box is an axis-aligned box in pixel coordinates (x1,y1 top-left,
+// x2,y2 bottom-right, exclusive).
+type Box struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// NewBox returns a normalised box (coordinates swapped if reversed).
+func NewBox(x1, y1, x2, y2 float64) Box {
+	if x2 < x1 {
+		x1, x2 = x2, x1
+	}
+	if y2 < y1 {
+		y1, y2 = y2, y1
+	}
+	return Box{x1, y1, x2, y2}
+}
+
+// Width returns the box width (>= 0).
+func (b Box) Width() float64 { return b.X2 - b.X1 }
+
+// Height returns the box height (>= 0).
+func (b Box) Height() float64 { return b.Y2 - b.Y1 }
+
+// Area returns the box area.
+func (b Box) Area() float64 { return b.Width() * b.Height() }
+
+// Center returns the box centre point.
+func (b Box) Center() (float64, float64) {
+	return (b.X1 + b.X2) / 2, (b.Y1 + b.Y2) / 2
+}
+
+// Translate returns the box shifted by (dx, dy).
+func (b Box) Translate(dx, dy float64) Box {
+	return Box{b.X1 + dx, b.Y1 + dy, b.X2 + dx, b.Y2 + dy}
+}
+
+// Scale returns the box scaled about its centre by factor s.
+func (b Box) Scale(s float64) Box {
+	cx, cy := b.Center()
+	hw, hh := b.Width()*s/2, b.Height()*s/2
+	return Box{cx - hw, cy - hh, cx + hw, cy + hh}
+}
+
+// Clip returns the box clipped to [0,w]×[0,h].
+func (b Box) Clip(w, h float64) Box {
+	c := b
+	if c.X1 < 0 {
+		c.X1 = 0
+	}
+	if c.Y1 < 0 {
+		c.Y1 = 0
+	}
+	if c.X2 > w {
+		c.X2 = w
+	}
+	if c.Y2 > h {
+		c.Y2 = h
+	}
+	if c.X2 < c.X1 {
+		c.X2 = c.X1
+	}
+	if c.Y2 < c.Y1 {
+		c.Y2 = c.Y1
+	}
+	return c
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	return fmt.Sprintf("[%.1f,%.1f,%.1f,%.1f]", b.X1, b.Y1, b.X2, b.Y2)
+}
+
+// IoU returns the intersection-over-union of two boxes in [0, 1].
+func IoU(a, b Box) float64 {
+	ix1, iy1 := max(a.X1, b.X1), max(a.Y1, b.Y1)
+	ix2, iy2 := min(a.X2, b.X2), min(a.Y2, b.Y2)
+	iw, ih := ix2-ix1, iy2-iy1
+	if iw <= 0 || ih <= 0 {
+		return 0
+	}
+	inter := iw * ih
+	union := a.Area() + b.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Detection is one detector output.
+type Detection struct {
+	Box   Box
+	Class int
+	Score float64
+}
+
+// FilterByScore returns detections with Score >= threshold, preserving
+// order.
+func FilterByScore(dets []Detection, threshold float64) []Detection {
+	var out []Detection
+	for _, d := range dets {
+		if d.Score >= threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// NMS performs class-aware non-maximum suppression: detections are
+// processed in descending score order and any detection overlapping an
+// already-kept same-class detection with IoU > iouThreshold is dropped.
+func NMS(dets []Detection, iouThreshold float64) []Detection {
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	var kept []Detection
+	for _, d := range sorted {
+		suppress := false
+		for _, k := range kept {
+			if k.Class == d.Class && IoU(k.Box, d.Box) > iouThreshold {
+				suppress = true
+				break
+			}
+		}
+		if !suppress {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// GroundTruth is one annotated object.
+type GroundTruth struct {
+	Box   Box
+	Class int
+	// Difficult marks truncated/occluded objects excluded from
+	// evaluation penalties when missed (KITTI convention).
+	Difficult bool
+}

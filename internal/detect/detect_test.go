@@ -1,0 +1,180 @@
+package detect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBoxNormalises(t *testing.T) {
+	b := NewBox(10, 20, 5, 2)
+	if b.X1 != 5 || b.Y1 != 2 || b.X2 != 10 || b.Y2 != 20 {
+		t.Fatalf("box %v", b)
+	}
+}
+
+func TestAreaAndCenter(t *testing.T) {
+	b := NewBox(0, 0, 4, 6)
+	if b.Area() != 24 {
+		t.Fatalf("area %v", b.Area())
+	}
+	cx, cy := b.Center()
+	if cx != 2 || cy != 3 {
+		t.Fatalf("center %v %v", cx, cy)
+	}
+}
+
+func TestIoUIdentical(t *testing.T) {
+	b := NewBox(0, 0, 10, 10)
+	if got := IoU(b, b); got != 1 {
+		t.Fatalf("IoU self = %v", got)
+	}
+}
+
+func TestIoUDisjoint(t *testing.T) {
+	a := NewBox(0, 0, 10, 10)
+	b := NewBox(20, 20, 30, 30)
+	if got := IoU(a, b); got != 0 {
+		t.Fatalf("disjoint IoU = %v", got)
+	}
+}
+
+func TestIoUHalfOverlap(t *testing.T) {
+	a := NewBox(0, 0, 10, 10)
+	b := NewBox(5, 0, 15, 10)
+	// inter = 50, union = 150.
+	if got := IoU(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("IoU = %v want 1/3", got)
+	}
+}
+
+func TestIoUContainment(t *testing.T) {
+	a := NewBox(0, 0, 10, 10)
+	b := NewBox(2, 2, 7, 7)
+	want := 25.0 / 100.0
+	if got := IoU(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("IoU = %v want %v", got, want)
+	}
+}
+
+func TestQuickIoUSymmetricBounded(t *testing.T) {
+	f := func(ax1, ay1, ax2, ay2, bx1, by1, bx2, by2 float32) bool {
+		a := NewBox(float64(ax1), float64(ay1), float64(ax2), float64(ay2))
+		b := NewBox(float64(bx1), float64(by1), float64(bx2), float64(by2))
+		u, v := IoU(a, b), IoU(b, a)
+		return u == v && u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleKeepsCenter(t *testing.T) {
+	b := NewBox(0, 0, 10, 20)
+	s := b.Scale(0.5)
+	cx1, cy1 := b.Center()
+	cx2, cy2 := s.Center()
+	if cx1 != cx2 || cy1 != cy2 {
+		t.Fatal("scale moved the centre")
+	}
+	if math.Abs(s.Area()-b.Area()/4) > 1e-9 {
+		t.Fatalf("area %v want %v", s.Area(), b.Area()/4)
+	}
+}
+
+func TestClip(t *testing.T) {
+	b := NewBox(-5, -5, 15, 15).Clip(10, 10)
+	if b.X1 != 0 || b.Y1 != 0 || b.X2 != 10 || b.Y2 != 10 {
+		t.Fatalf("clip %v", b)
+	}
+	empty := NewBox(20, 20, 30, 30).Clip(10, 10)
+	if empty.Area() != 0 {
+		t.Fatalf("out-of-frame clip should be empty, got %v", empty)
+	}
+}
+
+func TestFilterByScore(t *testing.T) {
+	dets := []Detection{{Score: 0.9}, {Score: 0.2}, {Score: 0.5}}
+	out := FilterByScore(dets, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("filtered %d", len(out))
+	}
+}
+
+func TestNMSSuppressesSameClassOverlap(t *testing.T) {
+	dets := []Detection{
+		{Box: NewBox(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: NewBox(1, 1, 11, 11), Class: 0, Score: 0.8}, // overlaps first
+		{Box: NewBox(50, 50, 60, 60), Class: 0, Score: 0.7},
+	}
+	out := NMS(dets, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("NMS kept %d, want 2", len(out))
+	}
+	if out[0].Score != 0.9 {
+		t.Fatal("NMS should keep highest score first")
+	}
+}
+
+func TestNMSKeepsDifferentClasses(t *testing.T) {
+	dets := []Detection{
+		{Box: NewBox(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: NewBox(0, 0, 10, 10), Class: 1, Score: 0.8},
+	}
+	if out := NMS(dets, 0.5); len(out) != 2 {
+		t.Fatalf("class-aware NMS kept %d, want 2", len(out))
+	}
+}
+
+func TestNMSThresholdBoundary(t *testing.T) {
+	// IoU exactly at threshold is NOT suppressed (strict >).
+	dets := []Detection{
+		{Box: NewBox(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: NewBox(5, 0, 15, 10), Class: 0, Score: 0.8}, // IoU = 1/3
+	}
+	if out := NMS(dets, 1.0/3); len(out) != 2 {
+		t.Fatal("IoU == threshold must not suppress")
+	}
+}
+
+func TestQuickNMSOutputDisjointPerClass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var dets []Detection
+		for i := 0; i+4 < len(raw); i += 5 {
+			x := float64(raw[i] % 100)
+			y := float64(raw[i+1] % 100)
+			w := float64(raw[i+2]%30) + 1
+			h := float64(raw[i+3]%30) + 1
+			dets = append(dets, Detection{
+				Box:   NewBox(x, y, x+w, y+h),
+				Class: int(raw[i+4] % 3),
+				Score: float64(raw[i+4]%100) / 100,
+			})
+		}
+		out := NMS(dets, 0.45)
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if out[i].Class == out[j].Class && IoU(out[i].Box, out[j].Box) > 0.45 {
+					return false
+				}
+			}
+		}
+		return len(out) <= len(dets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNMS100(b *testing.B) {
+	var dets []Detection
+	for i := 0; i < 100; i++ {
+		x := float64(i % 20 * 30)
+		y := float64(i / 20 * 30)
+		dets = append(dets, Detection{Box: NewBox(x, y, x+40, y+40), Class: i % 8, Score: float64(i) / 100})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NMS(dets, 0.45)
+	}
+}

@@ -1,0 +1,208 @@
+// Package engine executes model descriptors for real: a reference
+// forward pass over the tensor kernels in internal/tensor. It exists to
+// (a) prove the descriptors are runnable networks, not just parameter
+// inventories, and (b) let tests measure how pruning perturbs actual
+// activations (pattern pruning must preserve outputs far better than
+// filter pruning at equal sparsity).
+//
+// The analytic latency/energy estimation lives in internal/hw; this
+// package is the numeric twin.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/tensor"
+)
+
+// Forward runs the model on input (shape [N, InputC, H, W]) and returns
+// every layer's output tensor, indexed by layer ID. H/W may differ from
+// the model's nominal resolution as long as every conv output stays
+// non-empty.
+func Forward(m *nn.Model, input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if input.Rank() != 4 {
+		return nil, fmt.Errorf("engine: input must be 4-D, got %v", input.Shape())
+	}
+	if input.Dim(1) != m.InputC {
+		return nil, fmt.Errorf("engine: input has %d channels, model wants %d", input.Dim(1), m.InputC)
+	}
+	order, err := m.Graph().TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(m.Layers))
+	for _, id := range order {
+		l := m.Layers[id]
+		in := func(i int) *tensor.Tensor { return outs[l.Inputs[i]] }
+		switch l.Kind {
+		case nn.Input:
+			outs[id] = input
+		case nn.Conv:
+			outs[id] = tensor.Conv2D(in(0), l.Weight, l.Bias, l.Stride, l.Pad, l.Group)
+		case nn.BatchNorm:
+			outs[id] = batchNorm(in(0), l.Gamma, l.Beta)
+		case nn.Act:
+			outs[id] = activate(in(0), l.Act)
+		case nn.MaxPool:
+			outs[id] = tensor.MaxPool2D(in(0), l.PoolK, l.PoolStride, l.PoolPad)
+		case nn.Upsample:
+			t := in(0)
+			scale := l.Scale
+			if scale == 0 {
+				scale = 2
+			}
+			for s := 1; s < scale; s *= 2 {
+				t = tensor.UpsampleNearest2x(t)
+			}
+			outs[id] = t
+		case nn.Concat:
+			ts := make([]*tensor.Tensor, len(l.Inputs))
+			for i := range l.Inputs {
+				ts[i] = in(i)
+			}
+			outs[id] = tensor.ConcatChannels(ts...)
+		case nn.Add:
+			sum := in(0).Clone()
+			for i := 1; i < len(l.Inputs); i++ {
+				sum.Add(in(i))
+			}
+			outs[id] = sum
+		case nn.GlobalPool:
+			outs[id] = globalAvgPool(in(0))
+		case nn.Linear:
+			outs[id] = linear(in(0), l)
+		case nn.Detect:
+			// Sink node: expose the first head's output.
+			outs[id] = in(0)
+		default:
+			return nil, fmt.Errorf("engine: unsupported layer kind %v", l.Kind)
+		}
+	}
+	return outs, nil
+}
+
+// Output runs Forward and returns the final layer's tensor.
+func Output(m *nn.Model, input *tensor.Tensor) (*tensor.Tensor, error) {
+	outs, err := Forward(m, input)
+	if err != nil {
+		return nil, err
+	}
+	return outs[len(outs)-1], nil
+}
+
+func batchNorm(t *tensor.Tensor, gamma, beta []float32) *tensor.Tensor {
+	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := tensor.New(n, c, h, w)
+	for b := 0; b < n; b++ {
+		for ic := 0; ic < c; ic++ {
+			g, be := gamma[ic], beta[ic]
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					out.Set(g*t.At(b, ic, y, x)+be, b, ic, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func activate(t *tensor.Tensor, act nn.Activation) *tensor.Tensor {
+	out := t.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = applyAct(v, act)
+	}
+	return out
+}
+
+func applyAct(v float32, act nn.Activation) float32 {
+	switch act {
+	case nn.ReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case nn.SiLU:
+		return v * sigmoid(v)
+	case nn.LeakyReLU:
+		if v < 0 {
+			return 0.1 * v
+		}
+		return v
+	case nn.Sigmoid:
+		return sigmoid(v)
+	default:
+		return v
+	}
+}
+
+func sigmoid(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+func globalAvgPool(t *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := tensor.New(n, c, 1, 1)
+	for b := 0; b < n; b++ {
+		for ic := 0; ic < c; ic++ {
+			sum := 0.0
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					sum += float64(t.At(b, ic, y, x))
+				}
+			}
+			out.Set(float32(sum/float64(h*w)), b, ic, 0, 0)
+		}
+	}
+	return out
+}
+
+func linear(t *tensor.Tensor, l *nn.Layer) *tensor.Tensor {
+	n := t.Dim(0)
+	flat := t.Dim(1) * t.Dim(2) * t.Dim(3)
+	if flat != l.InF {
+		panic(fmt.Sprintf("engine: linear %q expects %d features, got %d", l.Name, l.InF, flat))
+	}
+	out := tensor.New(n, l.OutF, 1, 1)
+	for b := 0; b < n; b++ {
+		for o := 0; o < l.OutF; o++ {
+			acc := float32(0)
+			if l.LinB != nil {
+				acc = l.LinB[o]
+			}
+			row := l.LinW.Data[o*l.InF : (o+1)*l.InF]
+			for i := 0; i < flat; i++ {
+				acc += row[i] * t.Data[b*flat+i]
+			}
+			out.Set(acc, b, o, 0, 0)
+		}
+	}
+	return out
+}
+
+// OutputDelta runs both models on the same input and returns the
+// relative L2 difference of their final outputs — the activation-space
+// damage a pruning method caused.
+func OutputDelta(a, b *nn.Model, input *tensor.Tensor) (float64, error) {
+	oa, err := Output(a, input)
+	if err != nil {
+		return 0, err
+	}
+	ob, err := Output(b, input)
+	if err != nil {
+		return 0, err
+	}
+	if !oa.SameShape(ob) {
+		return 0, fmt.Errorf("engine: output shapes differ: %v vs %v", oa.Shape(), ob.Shape())
+	}
+	diff := oa.Clone()
+	for i := range diff.Data {
+		diff.Data[i] -= ob.Data[i]
+	}
+	ref := oa.L2()
+	if ref == 0 {
+		return diff.L2(), nil
+	}
+	return diff.L2() / ref, nil
+}

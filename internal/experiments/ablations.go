@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"rtoss/internal/baselines"
+	"rtoss/internal/core"
+	"rtoss/internal/metrics"
+)
+
+// AblationDFS runs R-TOSS-3EP on the named model with and without
+// Algorithm 1's DFS grouping (ablation A1: the grouping is a pure
+// compute saving — same sparsity, fewer best-fit searches).
+func AblationDFS(modelName string) (*AblationDFSResult, error) {
+	withM := buildModel(modelName)
+	withRes, err := core.NewVariant(3).Prune(withM)
+	if err != nil {
+		return nil, err
+	}
+	noGroup, err := core.New(core.Config{Entries: 3, UseDFSGrouping: false, Transform1x1: true})
+	if err != nil {
+		return nil, err
+	}
+	withoutM := buildModel(modelName)
+	withoutRes, err := noGroup.Prune(withoutM)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationDFSResult{
+		WithSearches:      withRes.BestFitSearches,
+		WithoutSearches:   withoutRes.BestFitSearches,
+		WithInherited:     withRes.InheritedKernels,
+		WithDurationMS:    float64(withRes.Duration.Microseconds()) / 1e3,
+		WithoutDurationMS: float64(withoutRes.Duration.Microseconds()) / 1e3,
+		SparsityWith:      withRes.Sparsity(),
+		SparsityWithout:   withoutRes.Sparsity(),
+	}, nil
+}
+
+// AblationConnectivity contrasts PatDNN-style connectivity pruning with
+// R-TOSS's refusal to remove kernels (ablation A2): at comparable
+// overall sparsity, connectivity pruning costs accuracy.
+func AblationConnectivity(modelName string) (*AblationConnectivityResult, error) {
+	orig := buildModel(modelName)
+
+	// With connectivity: 4EP patterns + 30% kernel removal (PD).
+	withM := buildModel(modelName)
+	withRes, err := baselines.NewPatDNN().Prune(withM)
+	if err != nil {
+		return nil, err
+	}
+	withQ := metrics.AssessPruned(orig, withM, withRes)
+
+	// Without connectivity at higher per-kernel sparsity to match:
+	// R-TOSS-3EP reaches similar overall sparsity with no kernel loss.
+	withoutM := buildModel(modelName)
+	withoutRes, err := core.NewVariant(3).Prune(withoutM)
+	if err != nil {
+		return nil, err
+	}
+	withoutQ := metrics.AssessPruned(orig, withoutM, withoutRes)
+
+	// Compare whole-model sparsity: PD's per-layer accounting covers
+	// only the 3×3 layers it touches, understating how much of the
+	// model stays dense.
+	return &AblationConnectivityResult{
+		MAPWithConnectivity:    withQ.MAP,
+		MAPWithoutConnectivity: withoutQ.MAP,
+		SparsityWith:           withM.Sparsity(),
+		SparsityWithout:        withoutM.Sparsity(),
+	}, nil
+}
+
+// Ablation1x1 measures what Algorithm 3 buys (ablation A3): with the
+// 1×1 transform disabled, most of a modern detector's kernels stay
+// dense and the achievable compression collapses.
+func Ablation1x1(modelName string) (*Ablation1x1Result, error) {
+	withM := buildModel(modelName)
+	withRes, err := core.NewVariant(2).Prune(withM)
+	if err != nil {
+		return nil, err
+	}
+	no1x1, err := core.New(core.Config{Entries: 2, UseDFSGrouping: true, Transform1x1: false})
+	if err != nil {
+		return nil, err
+	}
+	withoutM := buildModel(modelName)
+	withoutRes, err := no1x1.Prune(withoutM)
+	if err != nil {
+		return nil, err
+	}
+	return &Ablation1x1Result{
+		SparsityWith:       withRes.Sparsity(),
+		SparsityWithout:    withoutRes.Sparsity(),
+		CompressionWith:    withRes.CompressionRatio(),
+		CompressionWithout: withoutRes.CompressionRatio(),
+	}, nil
+}

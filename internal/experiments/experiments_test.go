@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func results(t *testing.T, model string) map[string]FrameworkResult {
+	t.Helper()
+	rs, err := RunFrameworks(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]FrameworkResult{}
+	for _, r := range rs {
+		out[r.Framework] = r
+	}
+	return out
+}
+
+func TestRunFrameworksLineup(t *testing.T) {
+	rs, err := RunFrameworks("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 8 { // BM + 5 baselines + 2 R-TOSS variants
+		t.Fatalf("framework count %d, want 8", len(rs))
+	}
+	if rs[0].Framework != "Base Model (BM)" {
+		t.Fatalf("first result %q, want BM", rs[0].Framework)
+	}
+}
+
+func TestRunFrameworksCached(t *testing.T) {
+	a, err := RunFrameworks("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFrameworks("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("results should be cached")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	// Fig 4: R-TOSS-2EP achieves the highest compression on both models
+	// (the paper's headline 4.4x / 2.89x).
+	for _, model := range EvalModels {
+		rs := results(t, model)
+		best := rs["R-TOSS (2EP)"].Compression
+		for name, r := range rs {
+			if name == "R-TOSS (2EP)" {
+				continue
+			}
+			if r.Compression >= best {
+				t.Errorf("%s: %s compression %.2f >= R-TOSS-2EP %.2f", model, name, r.Compression, best)
+			}
+		}
+	}
+	y := results(t, "YOLOv5s")
+	if math.Abs(y["R-TOSS (2EP)"].Compression-4.4) > 0.25 {
+		t.Errorf("YOLOv5s 2EP compression %.2f, paper 4.4", y["R-TOSS (2EP)"].Compression)
+	}
+	r := results(t, "RetinaNet")
+	if math.Abs(r["R-TOSS (2EP)"].Compression-2.89) > 0.35 {
+		t.Errorf("RetinaNet 2EP compression %.2f, paper 2.89", r["R-TOSS (2EP)"].Compression)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	// Fig 5: R-TOSS beats every non-pattern framework on mAP, and beats
+	// the base model.
+	for _, model := range EvalModels {
+		rs := results(t, model)
+		for _, variant := range []string{"R-TOSS (3EP)", "R-TOSS (2EP)"} {
+			v := rs[variant]
+			if v.MAP <= rs["Base Model (BM)"].MAP {
+				t.Errorf("%s: %s mAP %.2f should exceed BM %.2f", model, variant, v.MAP, rs["Base Model (BM)"].MAP)
+			}
+			for _, prior := range []string{"SparseML (NMS)", "Network Slimming (NS)", "Pruning Filters (PF)", "Neural Pruning (NP)"} {
+				if v.MAP <= rs[prior].MAP {
+					t.Errorf("%s: %s mAP %.2f should exceed %s %.2f", model, variant, v.MAP, prior, rs[prior].MAP)
+				}
+			}
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	// Fig 6: R-TOSS variants are the fastest frameworks on both models
+	// and platforms; 2EP > 3EP; TX2 YOLOv5s speedups land near the
+	// paper's 2.12x/2.15x.
+	for _, model := range EvalModels {
+		rs := results(t, model)
+		for name, r := range rs {
+			if strings.HasPrefix(name, "R-TOSS") || name == "Base Model (BM)" {
+				continue
+			}
+			if r.SpeedupGPU >= rs["R-TOSS (3EP)"].SpeedupGPU {
+				t.Errorf("%s: %s GPU speedup %.2f >= R-TOSS-3EP %.2f", model, name, r.SpeedupGPU, rs["R-TOSS (3EP)"].SpeedupGPU)
+			}
+			if r.SpeedupTX2 >= rs["R-TOSS (3EP)"].SpeedupTX2 {
+				t.Errorf("%s: %s TX2 speedup %.2f >= R-TOSS-3EP %.2f", model, name, r.SpeedupTX2, rs["R-TOSS (3EP)"].SpeedupTX2)
+			}
+		}
+		if rs["R-TOSS (2EP)"].SpeedupTX2 <= rs["R-TOSS (3EP)"].SpeedupTX2 {
+			t.Errorf("%s: 2EP should out-speed 3EP on TX2", model)
+		}
+	}
+	y := results(t, "YOLOv5s")
+	if math.Abs(y["R-TOSS (2EP)"].SpeedupTX2-2.15) > 0.35 {
+		t.Errorf("YOLOv5s 2EP TX2 speedup %.2f, paper 2.15", y["R-TOSS (2EP)"].SpeedupTX2)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	// Fig 7: R-TOSS saves the most energy; reductions on YOLOv5s/TX2
+	// sit in the paper's ~55-60% band.
+	for _, model := range EvalModels {
+		rs := results(t, model)
+		for name, r := range rs {
+			if strings.HasPrefix(name, "R-TOSS") || name == "Base Model (BM)" {
+				continue
+			}
+			if r.EnergyRedTX2 >= rs["R-TOSS (3EP)"].EnergyRedTX2 {
+				t.Errorf("%s: %s TX2 energy reduction %.2f >= R-TOSS-3EP %.2f",
+					model, name, r.EnergyRedTX2, rs["R-TOSS (3EP)"].EnergyRedTX2)
+			}
+		}
+	}
+	y := results(t, "YOLOv5s")
+	if y["R-TOSS (3EP)"].EnergyRedTX2 < 0.45 || y["R-TOSS (3EP)"].EnergyRedTX2 > 0.65 {
+		t.Errorf("YOLOv5s 3EP TX2 energy reduction %.2f, paper 0.57", y["R-TOSS (3EP)"].EnergyRedTX2)
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 1 rows %d", len(tab.Rows))
+	}
+	s := tab.Render()
+	for _, name := range []string{"R-CNN", "Faster R-CNN", "YOLOv5"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestTable2MatchesPaperWithin(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 2 rows %d", len(tab.Rows))
+	}
+	// YOLOv5s row is the calibration anchor and must be within 5%.
+	if !strings.Contains(tab.Render(), "0.74") {
+		t.Error("Table 2 YOLOv5s time drifted from 0.74s")
+	}
+}
+
+func TestTable3RowsAndOrdering(t *testing.T) {
+	rows, err := Sensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("Table 3 rows %d, want 8", len(rows))
+	}
+	// Within each model: reduction grows and latency falls as the entry
+	// count drops from 5 to 2 (the paper's monotone columns).
+	for m := 0; m < 2; m++ {
+		base := m * 4
+		for i := 1; i < 4; i++ {
+			if rows[base+i].Reduction <= rows[base+i-1].Reduction {
+				t.Errorf("%s: reduction not increasing at row %d", rows[base].Model, i)
+			}
+			if rows[base+i].TimeMS >= rows[base+i-1].TimeMS {
+				t.Errorf("%s: latency not decreasing at row %d", rows[base].Model, i)
+			}
+			if rows[base+i].EnergyJ >= rows[base+i-1].EnergyJ {
+				t.Errorf("%s: energy not decreasing at row %d", rows[base].Model, i)
+			}
+		}
+	}
+}
+
+func TestFig8ShowsTinyCarBehaviour(t *testing.T) {
+	out, err := Fig8(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fw := range []string{"Base Model (BM)", "Neural Pruning (NP)", "PatDNN (PD)", "R-TOSS (2EP)"} {
+		if !strings.Contains(out, fw) {
+			t.Errorf("Fig 8 missing panel for %s", fw)
+		}
+	}
+	if !strings.Contains(out, "Car") {
+		t.Error("Fig 8 has no car detections at all")
+	}
+}
+
+func TestAblationDFSSavesSearches(t *testing.T) {
+	res, err := AblationDFS("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithSearches >= res.WithoutSearches {
+		t.Errorf("grouping should reduce searches: %d vs %d", res.WithSearches, res.WithoutSearches)
+	}
+	if math.Abs(res.SparsityWith-res.SparsityWithout) > 0.02 {
+		t.Errorf("grouping changed sparsity: %.4f vs %.4f", res.SparsityWith, res.SparsityWithout)
+	}
+	saved := 1 - float64(res.WithSearches)/float64(res.WithoutSearches)
+	if saved < 0.15 {
+		t.Errorf("grouping saved only %.1f%% of searches", 100*saved)
+	}
+}
+
+func TestAblationConnectivityCostsAccuracy(t *testing.T) {
+	res, err := AblationConnectivity("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R-TOSS reaches much higher sparsity without kernel removal while
+	// keeping mAP in the same range — connectivity pruning pays kernels
+	// for sparsity R-TOSS gets from patterns.
+	if res.SparsityWithout <= res.SparsityWith {
+		t.Errorf("R-TOSS sparsity %.3f should exceed PD %.3f", res.SparsityWithout, res.SparsityWith)
+	}
+	if res.MAPWithoutConnectivity < res.MAPWithConnectivity-2.5 {
+		t.Errorf("R-TOSS mAP %.2f collapsed vs PD %.2f", res.MAPWithoutConnectivity, res.MAPWithConnectivity)
+	}
+}
+
+func TestAblation1x1Doubles(t *testing.T) {
+	res, err := Ablation1x1("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Algorithm 3, 68% of YOLOv5s's conv layers stay dense and
+	// compression collapses (the paper's §III motivation).
+	if res.CompressionWith < 1.7*res.CompressionWithout {
+		t.Errorf("1x1 transform should matter: %.2fx with vs %.2fx without",
+			res.CompressionWith, res.CompressionWithout)
+	}
+}
+
+func TestSceneMAPOrderingMatchesSurrogate(t *testing.T) {
+	// The end-to-end scene evaluation must rank R-TOSS above the
+	// structured baselines, like the surrogate does.
+	maps, err := SceneMAP("RetinaNet", []string{"R-TOSS (2EP)", "Pruning Filters (PF)", "Base Model (BM)"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps["R-TOSS (2EP)"] <= maps["Pruning Filters (PF)"] {
+		t.Errorf("scene eval ranks PF (%.2f) above R-TOSS (%.2f)", maps["Pruning Filters (PF)"], maps["R-TOSS (2EP)"])
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRTOSSTradeoffMonotone(t *testing.T) {
+	c, err := RTOSSTradeoff("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 4 {
+		t.Fatalf("points %d", len(c.Points))
+	}
+	// 5EP → 2EP: sparsity, compression and speedup all increase.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].Sparsity <= c.Points[i-1].Sparsity {
+			t.Errorf("sparsity not increasing at %s", c.Points[i].Label)
+		}
+		if c.Points[i].Compression <= c.Points[i-1].Compression {
+			t.Errorf("compression not increasing at %s", c.Points[i].Label)
+		}
+		if c.Points[i].SpeedupTX2 <= c.Points[i-1].SpeedupTX2 {
+			t.Errorf("speedup not increasing at %s", c.Points[i].Label)
+		}
+	}
+}
+
+func TestNMSTradeoffAccuracyFalls(t *testing.T) {
+	c, err := NMSTradeoff("YOLOv5s", []float64{0.5, 0.7, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unstructured pruning: mAP must fall as target sparsity rises.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].MAP >= c.Points[i-1].MAP {
+			t.Errorf("NMS mAP not decreasing: %v", c.Points)
+		}
+	}
+}
+
+func TestPDTradeoffConnectivityHurtsAccuracy(t *testing.T) {
+	c, err := PDTradeoff("YOLOv5s", []float64{0.0, 0.3, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := c.Points[0], c.Points[len(c.Points)-1]
+	if last.MAP >= first.MAP {
+		t.Errorf("more connectivity pruning should cost accuracy: %.2f -> %.2f", first.MAP, last.MAP)
+	}
+	if last.Sparsity <= first.Sparsity {
+		t.Error("more connectivity pruning should raise sparsity")
+	}
+}
+
+func TestRTOSSDominatesNMSSomewhere(t *testing.T) {
+	// The paper's overall claim in trade-off terms: some R-TOSS point
+	// Pareto-dominates the NMS default operating point.
+	rt, err := RTOSSTradeoff("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms, err := NMSTradeoff("YOLOv5s", []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dominated := false
+	for _, p := range rt.Points {
+		if ParetoDominates(p, nms.Points[0]) {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Error("no R-TOSS point dominates the NMS operating point")
+	}
+}
+
+func TestTradeoffRender(t *testing.T) {
+	c, err := RTOSSTradeoff("YOLOv5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "2EP") || !strings.Contains(out, "R-TOSS trade-off") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+}
+
+func TestParetoDominates(t *testing.T) {
+	a := TradeoffPoint{MAP: 80, SpeedupTX2: 2, Compression: 4}
+	b := TradeoffPoint{MAP: 75, SpeedupTX2: 1.5, Compression: 3}
+	if !ParetoDominates(a, b) || ParetoDominates(b, a) {
+		t.Error("domination wrong for strictly better point")
+	}
+	c := TradeoffPoint{MAP: 85, SpeedupTX2: 1, Compression: 3}
+	if ParetoDominates(a, c) || ParetoDominates(c, a) {
+		t.Error("incomparable points should not dominate")
+	}
+	if ParetoDominates(a, a) {
+		t.Error("a point must not dominate itself")
+	}
+}
+
+func TestFigsRenderNonEmpty(t *testing.T) {
+	for name, fig := range map[string]func() (string, error){
+		"Fig4": Fig4, "Fig5": Fig5, "Fig6": Fig6, "Fig7": Fig7,
+	} {
+		s, err := fig()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(s, "R-TOSS (2EP)") || !strings.Contains(s, "#") {
+			t.Errorf("%s missing bars:\n%.200s", name, s)
+		}
+		if !strings.Contains(s, "YOLOv5s") || !strings.Contains(s, "RetinaNet") {
+			t.Errorf("%s missing model panels", name)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package graph implements the computational-graph substrate that
+// R-TOSS's Algorithm 1 operates on: a DAG of layer nodes, traversal
+// utilities, and the DFS-based parent-child layer grouping that lets a
+// pattern chosen for a parent layer be shared by its coupled children.
+//
+// In the paper the graph is recovered from autograd traces of a PyTorch
+// model; here producers/consumers are explicit edges supplied by the
+// model builders in internal/models, which preserves exactly the
+// information Algorithm 1 consumes (who feeds whom, and which layers
+// have coupled channels).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is a directed graph over nodes 0..n-1. Edges point from a
+// producer (parent) to a consumer (child).
+type Graph struct {
+	n    int
+	adj  [][]int // children
+	radj [][]int // parents
+}
+
+// New returns an empty graph with n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]int, n), radj: make([][]int, n)}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a producer→consumer edge. Duplicate edges are ignored.
+func (g *Graph) AddEdge(from, to int) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", from, to, g.n))
+	}
+	for _, c := range g.adj[from] {
+		if c == to {
+			return
+		}
+	}
+	g.adj[from] = append(g.adj[from], to)
+	g.radj[to] = append(g.radj[to], from)
+}
+
+// Children returns the consumers of node v (do not mutate).
+func (g *Graph) Children(v int) []int { return g.adj[v] }
+
+// Parents returns the producers feeding node v (do not mutate).
+func (g *Graph) Parents(v int) []int { return g.radj[v] }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, c := range g.adj {
+		n += len(c)
+	}
+	return n
+}
+
+// ErrCycle is returned by TopoSort when the graph is not a DAG.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// TopoSort returns a topological order (Kahn's algorithm) or ErrCycle.
+// Ties are broken toward lower node IDs for determinism.
+func (g *Graph) TopoSort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		for range g.radj[v] {
+			indeg[v]++
+		}
+	}
+	var ready []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			ready = append(ready, v)
+		}
+	}
+	order := make([]int, 0, g.n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, c := range g.adj[v] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// DFS performs a depth-first traversal over children starting at start,
+// invoking visit for each newly reached node (including start). If visit
+// returns false the traversal does not descend past that node.
+func (g *Graph) DFS(start int, visit func(int) bool) {
+	seen := make([]bool, g.n)
+	var rec func(int)
+	rec = func(v int) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		if !visit(v) {
+			return
+		}
+		for _, c := range g.adj[v] {
+			rec(c)
+		}
+	}
+	rec(start)
+}
+
+// HasPath reports whether node b is reachable from node a.
+func (g *Graph) HasPath(a, b int) bool {
+	found := false
+	g.DFS(a, func(v int) bool {
+		if v == b {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// GroupSpec configures Algorithm 1's layer grouping.
+type GroupSpec struct {
+	// IsKernel reports whether the node carries prunable convolution
+	// kernels (layers that participate in groups).
+	IsKernel func(id int) bool
+	// IsTransparent reports whether the DFS may traverse the node when
+	// searching for a kernel ancestor (batch norm, activations, pooling,
+	// upsampling, element-wise ops — anything that preserves the channel
+	// relationship between the convs it connects).
+	IsTransparent func(id int) bool
+	// Coupled reports whether a child kernel layer has coupled channels
+	// with the candidate parent kernel layer and may therefore share its
+	// kernel patterns (paper: "layers in each group have coupled
+	// channels ... hence they can share the same kernel patterns").
+	Coupled func(parent, child int) bool
+}
+
+// Group is one parent-child layer group produced by Algorithm 1.
+// Members is sorted ascending and always contains Parent.
+type Group struct {
+	Parent  int
+	Members []int
+}
+
+// NearestKernelAncestors returns the kernel nodes reachable from id by
+// walking producer edges through transparent nodes only, stopping at the
+// first kernel node along each path. Result is sorted ascending.
+func NearestKernelAncestors(g *Graph, id int, spec GroupSpec) []int {
+	seen := make(map[int]bool)
+	found := make(map[int]bool)
+	var rec func(int)
+	rec = func(v int) {
+		for _, p := range g.radj[v] {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if spec.IsKernel(p) {
+				found[p] = true
+				continue // stop at the first kernel on this path
+			}
+			if spec.IsTransparent(p) {
+				rec(p)
+			}
+		}
+	}
+	rec(id)
+	out := make([]int, 0, len(found))
+	for v := range found {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildGroups implements Algorithm 1 (layer grouping using DFS).
+//
+// Kernel layers are visited in topological order. For each layer the DFS
+// finds its nearest kernel ancestors through transparent nodes; the
+// first coupled ancestor (lowest ID, for determinism) becomes the
+// layer's parent, and the layer joins the group rooted at that parent's
+// own root — so chains of coupled layers collapse into one group, as in
+// the paper ("this layer now becomes the parent layer of the child layer
+// and added to that group"). A layer with no coupled kernel ancestor is
+// assigned as its own parent and roots a new group.
+func BuildGroups(g *Graph, spec GroupSpec) []Group {
+	order, err := g.TopoSort()
+	if err != nil {
+		panic("graph: BuildGroups requires a DAG: " + err.Error())
+	}
+	rootOf := make(map[int]int) // kernel node -> its group root
+	groups := make(map[int][]int)
+	for _, v := range order {
+		if !spec.IsKernel(v) {
+			continue
+		}
+		parent := -1
+		for _, anc := range NearestKernelAncestors(g, v, spec) {
+			if spec.Coupled == nil || spec.Coupled(anc, v) {
+				parent = anc
+				break
+			}
+		}
+		if parent < 0 {
+			rootOf[v] = v
+			groups[v] = append(groups[v], v)
+			continue
+		}
+		root, ok := rootOf[parent]
+		if !ok {
+			// The ancestor was never grouped (possible only if it is not
+			// a kernel node by spec at its visit time; defensive).
+			root = parent
+			rootOf[parent] = parent
+			groups[parent] = append(groups[parent], parent)
+		}
+		rootOf[v] = root
+		groups[root] = append(groups[root], v)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([]Group, 0, len(roots))
+	for _, r := range roots {
+		members := groups[r]
+		sort.Ints(members)
+		out = append(out, Group{Parent: r, Members: members})
+	}
+	return out
+}
+
+// GroupOf returns the group containing node id, or nil.
+func GroupOf(groups []Group, id int) *Group {
+	for i := range groups {
+		for _, m := range groups[i].Members {
+			if m == id {
+				return &groups[i]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtoss/internal/rng"
+)
+
+func chain(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges=%d", g.NumEdges())
+	}
+}
+
+func TestAddEdgeBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(0, 2)
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(5)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Fatalf("invalid topo order %v", order)
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, err := g.TopoSort(); err != ErrCycle {
+		t.Fatalf("err=%v want ErrCycle", err)
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	if !g.HasPath(0, 2) || g.HasPath(0, 4) || g.HasPath(2, 0) {
+		t.Fatal("HasPath wrong")
+	}
+	if !g.HasPath(3, 3) {
+		t.Fatal("node should reach itself")
+	}
+}
+
+func TestDFSVisitOrderAndPruning(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 3)
+	var visited []int
+	g.DFS(0, func(v int) bool {
+		visited = append(visited, v)
+		return v != 1 // do not descend past 1
+	})
+	for _, v := range visited {
+		if v == 2 {
+			t.Fatal("DFS descended past pruned node")
+		}
+	}
+	found3 := false
+	for _, v := range visited {
+		if v == 3 {
+			found3 = true
+		}
+	}
+	if !found3 {
+		t.Fatal("DFS missed sibling branch")
+	}
+}
+
+// allCoupled is the GroupSpec where every node is a kernel and any
+// parent couples with any child.
+func allCoupled() GroupSpec {
+	return GroupSpec{
+		IsKernel:      func(int) bool { return true },
+		IsTransparent: func(int) bool { return false },
+		Coupled:       func(p, c int) bool { return true },
+	}
+}
+
+func TestBuildGroupsChainCollapses(t *testing.T) {
+	// conv0 -> conv1 -> conv2: one group rooted at 0 (Algorithm 1:
+	// chains of coupled layers join the root's group).
+	g := chain(3)
+	groups := BuildGroups(g, allCoupled())
+	if len(groups) != 1 {
+		t.Fatalf("groups=%d want 1: %v", len(groups), groups)
+	}
+	if groups[0].Parent != 0 || len(groups[0].Members) != 3 {
+		t.Fatalf("group %v", groups[0])
+	}
+}
+
+func TestBuildGroupsDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	groups := BuildGroups(g, allCoupled())
+	if len(groups) != 2 {
+		t.Fatalf("groups=%v", groups)
+	}
+	if groups[0].Parent != 0 || groups[1].Parent != 2 {
+		t.Fatalf("roots %v", groups)
+	}
+}
+
+func TestBuildGroupsTransparentHop(t *testing.T) {
+	// conv0 -> bn1 -> conv2: DFS must see through the BN node.
+	g := chain(3)
+	spec := GroupSpec{
+		IsKernel:      func(v int) bool { return v != 1 },
+		IsTransparent: func(v int) bool { return v == 1 },
+		Coupled:       func(p, c int) bool { return true },
+	}
+	groups := BuildGroups(g, spec)
+	if len(groups) != 1 || groups[0].Parent != 0 {
+		t.Fatalf("groups=%v", groups)
+	}
+	members := groups[0].Members
+	if len(members) != 2 || members[0] != 0 || members[1] != 2 {
+		t.Fatalf("members=%v", members)
+	}
+}
+
+func TestBuildGroupsOpaqueBlocksSearch(t *testing.T) {
+	// conv0 -> opaque1 -> conv2: node 1 is neither kernel nor transparent,
+	// so conv2 has no visible ancestor and roots its own group.
+	g := chain(3)
+	spec := GroupSpec{
+		IsKernel:      func(v int) bool { return v != 1 },
+		IsTransparent: func(v int) bool { return false },
+		Coupled:       func(p, c int) bool { return true },
+	}
+	groups := BuildGroups(g, spec)
+	if len(groups) != 2 {
+		t.Fatalf("groups=%v", groups)
+	}
+}
+
+func TestBuildGroupsCouplingPredicate(t *testing.T) {
+	// Coupling refused: every layer is its own group.
+	g := chain(4)
+	spec := allCoupled()
+	spec.Coupled = func(p, c int) bool { return false }
+	groups := BuildGroups(g, spec)
+	if len(groups) != 4 {
+		t.Fatalf("groups=%v", groups)
+	}
+}
+
+func TestBuildGroupsEachChildOneParent(t *testing.T) {
+	// Diamond: node 3 has two kernel ancestors (1 and 2); it must be
+	// assigned to exactly one group (deterministically the lower ID).
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	groups := BuildGroups(g, allCoupled())
+	count := 0
+	for _, gr := range groups {
+		for _, m := range gr.Members {
+			if m == 3 {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("node 3 appears in %d groups", count)
+	}
+}
+
+func TestNearestKernelAncestorsStopsAtKernel(t *testing.T) {
+	// conv0 -> conv1 -> bn2 -> conv3: ancestors of 3 = {1} only
+	// (search stops at the first kernel per path).
+	g := chain(4)
+	spec := GroupSpec{
+		IsKernel:      func(v int) bool { return v != 2 },
+		IsTransparent: func(v int) bool { return v == 2 },
+	}
+	anc := NearestKernelAncestors(g, 3, spec)
+	if len(anc) != 1 || anc[0] != 1 {
+		t.Fatalf("ancestors=%v", anc)
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	g := chain(3)
+	groups := BuildGroups(g, allCoupled())
+	if gr := GroupOf(groups, 2); gr == nil || gr.Parent != 0 {
+		t.Fatalf("GroupOf=%v", gr)
+	}
+	if GroupOf(groups, 99) != nil {
+		t.Fatal("GroupOf out-of-range should be nil")
+	}
+}
+
+// TestQuickGroupsPartition checks the fundamental invariant of
+// Algorithm 1 output on random DAGs: groups partition the kernel nodes
+// (every kernel node in exactly one group) and each parent is a member
+// of its own group.
+func TestQuickGroupsPartition(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		r := rng.New(seed)
+		g := New(n)
+		// Random DAG: edges only forward to keep it acyclic.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.25 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		kernel := make([]bool, n)
+		for i := range kernel {
+			kernel[i] = r.Float64() < 0.7
+		}
+		spec := GroupSpec{
+			IsKernel:      func(v int) bool { return kernel[v] },
+			IsTransparent: func(v int) bool { return !kernel[v] },
+			Coupled:       func(p, c int) bool { return (p+c)%2 == 0 || r.Float64() < 2 }, // always true, keep deterministic shape
+		}
+		groups := BuildGroups(g, spec)
+		seen := make(map[int]int)
+		for _, gr := range groups {
+			inGroup := false
+			for _, m := range gr.Members {
+				seen[m]++
+				if m == gr.Parent {
+					inGroup = true
+				}
+				if !kernel[m] {
+					return false // non-kernel node grouped
+				}
+			}
+			if !inGroup {
+				return false // parent missing from its own group
+			}
+		}
+		for v := 0; v < n; v++ {
+			want := 0
+			if kernel[v] {
+				want = 1
+			}
+			if seen[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTopoSortIsValidOrder(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%25) + 1
+		r := rng.New(seed)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Float64() < 0.3 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		order, err := g.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for v := 0; v < n; v++ {
+			for _, c := range g.Children(v) {
+				if pos[v] >= pos[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildGroupsChain100(b *testing.B) {
+	g := chain(100)
+	spec := allCoupled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildGroups(g, spec)
+	}
+}
+
+func BenchmarkTopoSort1000(b *testing.B) {
+	g := chain(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.TopoSort()
+	}
+}

@@ -1,0 +1,188 @@
+package kitti
+
+import (
+	"strings"
+	"testing"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/rng"
+)
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := Dataset(42, 10, 640, 640)
+	b := Dataset(42, 10, 640, 640)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Truth) != len(b[i].Truth) {
+			t.Fatal("dataset not deterministic")
+		}
+		for j := range a[i].Truth {
+			if a[i].Truth[j] != b[i].Truth[j] {
+				t.Fatal("objects differ across builds")
+			}
+		}
+	}
+}
+
+func TestSceneObjectsInBounds(t *testing.T) {
+	for _, s := range Dataset(7, 50, 640, 640) {
+		if len(s.Truth) < 1 {
+			t.Fatal("scene with no objects")
+		}
+		for _, g := range s.Truth {
+			if g.Box.X1 < 0 || g.Box.Y1 < 0 || g.Box.X2 > 640 || g.Box.Y2 > 640 {
+				t.Fatalf("object out of frame: %v", g.Box)
+			}
+			if g.Class < 0 || g.Class >= NumClasses {
+				t.Fatalf("bad class %d", g.Class)
+			}
+		}
+	}
+}
+
+func TestSceneHasScaleDiversity(t *testing.T) {
+	// KITTI's defining property: object scale spans an order of
+	// magnitude (near trucks vs distant cars).
+	var minH, maxH float64 = 1e9, 0
+	for _, s := range Dataset(11, 100, 640, 640) {
+		for _, g := range s.Truth {
+			h := g.Box.Height()
+			if h < minH {
+				minH = h
+			}
+			if h > maxH {
+				maxH = h
+			}
+		}
+	}
+	if maxH/minH < 8 {
+		t.Errorf("scale span %.1fx, want >= 8x (tiny + large objects)", maxH/minH)
+	}
+}
+
+func TestClassMixDominatedByCars(t *testing.T) {
+	counts := make([]int, NumClasses)
+	total := 0
+	for _, s := range Dataset(3, 200, 640, 640) {
+		for _, g := range s.Truth {
+			counts[g.Class]++
+			total++
+		}
+	}
+	carFrac := float64(counts[Car]) / float64(total)
+	if carFrac < 0.40 || carFrac > 0.70 {
+		t.Errorf("car fraction %.2f, want ~0.55", carFrac)
+	}
+}
+
+func TestSimulatePerfectScoreFindsMostObjects(t *testing.T) {
+	scenes := Dataset(5, 30, 640, 640)
+	r := rng.New(1)
+	found, truth := 0, 0
+	for _, s := range scenes {
+		dets := SimulateDetections(s, 1.0, r.Split())
+		found += len(dets)
+		for _, g := range s.Truth {
+			if !g.Difficult {
+				truth++
+			}
+		}
+	}
+	if float64(found) < 0.7*float64(truth) {
+		t.Errorf("baseline detector found %d of %d objects", found, truth)
+	}
+}
+
+func TestEvaluateScoreMonotone(t *testing.T) {
+	// Higher quality scores must give higher mAP on the same scenes.
+	scenes := Dataset(21, 60, 640, 640)
+	prev := -1.0
+	for _, score := range []float64{0.70, 0.85, 1.00} {
+		m := EvaluateScore(scenes, score, 0.5, 99)
+		if m <= prev {
+			t.Errorf("mAP not monotone in quality: score %.2f gave %.3f after %.3f", score, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestEvaluateScoreBands(t *testing.T) {
+	scenes := Dataset(33, 80, 640, 640)
+	base := EvaluateScore(scenes, 1.0, 0.5, 5)
+	if base < 0.55 || base > 0.95 {
+		t.Errorf("baseline scene mAP %.3f outside sane band", base)
+	}
+	bad := EvaluateScore(scenes, 0.6, 0.5, 5)
+	if bad > base-0.1 {
+		t.Errorf("heavily damaged detector mAP %.3f too close to baseline %.3f", bad, base)
+	}
+}
+
+func TestSmallObjectsSufferFirst(t *testing.T) {
+	// At degraded quality, recall on difficult-sized (small) objects
+	// must fall faster than on large ones — the Fig 8 phenomenon.
+	scenes := Dataset(13, 100, 640, 640)
+	recall := func(score float64, small bool) float64 {
+		r := rng.New(77)
+		hit, tot := 0, 0
+		for _, s := range scenes {
+			dets := SimulateDetections(s, score, r.Split())
+			for _, g := range s.Truth {
+				isSmall := g.Box.Height() < 30
+				if isSmall != small || g.Difficult {
+					continue
+				}
+				tot++
+				for _, d := range dets {
+					if d.Class == g.Class && detect.IoU(d.Box, g.Box) >= 0.5 {
+						hit++
+						break
+					}
+				}
+			}
+		}
+		if tot == 0 {
+			return 1
+		}
+		return float64(hit) / float64(tot)
+	}
+	dropSmall := recall(1.0, true) - recall(0.8, true)
+	dropLarge := recall(1.0, false) - recall(0.8, false)
+	if dropSmall <= dropLarge {
+		t.Errorf("small-object recall drop (%.3f) should exceed large-object drop (%.3f)", dropSmall, dropLarge)
+	}
+}
+
+func TestRenderContainsBoxesAndLegend(t *testing.T) {
+	scenes := Dataset(1, 1, 640, 640)
+	r := rng.New(3)
+	dets := SimulateDetections(scenes[0], 1.0, r)
+	out := Render(scenes[0], dets, 80)
+	if !strings.Contains(out, "#") {
+		t.Error("render missing detection boxes")
+	}
+	if !strings.Contains(out, "ground truth") {
+		t.Error("render missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("render too small: %d lines", len(lines))
+	}
+}
+
+func BenchmarkGenerateScene(b *testing.B) {
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		_ = GenerateScene(r, 640, 640)
+	}
+}
+
+func BenchmarkEvaluateScore(b *testing.B) {
+	scenes := Dataset(1, 20, 640, 640)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EvaluateScore(scenes, 0.95, 0.5, uint64(i))
+	}
+}

@@ -1,0 +1,29 @@
+package models
+
+import (
+	"fmt"
+	"sync"
+
+	"rtoss/internal/nn"
+)
+
+// Building a zoo model is dominated by synthesizing tens of millions of
+// deterministic weights, so constructors memoise the first build per
+// (architecture, classes) and hand out deep clones: callers always own
+// their copy and may prune it freely.
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*nn.Model{}
+)
+
+func cached(name string, classes int, build func() *nn.Model) *nn.Model {
+	key := fmt.Sprintf("%s/%d", name, classes)
+	cacheMu.Lock()
+	m, ok := cache[key]
+	if !ok {
+		m = build()
+		cache[key] = m
+	}
+	cacheMu.Unlock()
+	return m.Clone()
+}

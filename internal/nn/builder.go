@@ -1,0 +1,203 @@
+package nn
+
+import "fmt"
+
+// Builder assembles a Model layer by layer. Methods return the new
+// layer's ID so model definitions read as a dataflow program:
+//
+//	b := nn.NewBuilder("net", 3, 640, 640, 8)
+//	x := b.Input()
+//	x = b.ConvBNAct("stem", x, 3, 32, 6, 2, 2, nn.SiLU)
+type Builder struct {
+	m      *Model
+	module string
+}
+
+// NewBuilder starts a model with the given input channels/size and
+// class count.
+func NewBuilder(name string, inC, inH, inW, classes int) *Builder {
+	return &Builder{m: &Model{
+		Name:       name,
+		NumClasses: classes,
+		InputC:     inC,
+		InputH:     inH,
+		InputW:     inW,
+	}}
+}
+
+// SetModule tags subsequently added layers with a module name (used for
+// module-level reporting, e.g. YOLOv5s's 25 modules).
+func (b *Builder) SetModule(name string) { b.module = name }
+
+func (b *Builder) add(l *Layer) int {
+	l.ID = len(b.m.Layers)
+	l.Module = b.module
+	b.m.Layers = append(b.m.Layers, l)
+	return l.ID
+}
+
+// Input adds the input node; call exactly once, first.
+func (b *Builder) Input() int {
+	if len(b.m.Layers) != 0 {
+		panic("nn: Input must be the first layer")
+	}
+	return b.add(&Layer{Name: "input", Kind: Input})
+}
+
+// Conv adds a bare convolution (no BN/activation). bias selects whether
+// the layer carries a bias vector.
+func (b *Builder) Conv(name string, from, inC, outC, k, stride, pad int, bias bool) int {
+	l := &Layer{
+		Name: name, Kind: Conv, Inputs: []int{from},
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, Group: 1,
+	}
+	if bias {
+		l.Bias = make([]float32, outC)
+	}
+	return b.add(l)
+}
+
+// BN adds a batch-norm layer over c channels.
+func (b *Builder) BN(name string, from, c int) int {
+	return b.add(&Layer{
+		Name: name, Kind: BatchNorm, Inputs: []int{from},
+		Gamma: make([]float32, c), Beta: make([]float32, c),
+	})
+}
+
+// Act adds an activation layer.
+func (b *Builder) Act(name string, from int, act Activation) int {
+	return b.add(&Layer{Name: name, Kind: Act, Inputs: []int{from}, Act: act})
+}
+
+// ConvBNAct adds the conv → batch-norm → activation triple that
+// dominates modern detectors. Returns the activation's ID.
+func (b *Builder) ConvBNAct(name string, from, inC, outC, k, stride, pad int, act Activation) int {
+	c := b.Conv(name+".conv", from, inC, outC, k, stride, pad, false)
+	n := b.BN(name+".bn", c, outC)
+	return b.Act(name+".act", n, act)
+}
+
+// MaxPool adds a max-pooling layer.
+func (b *Builder) MaxPool(name string, from, k, stride, pad int) int {
+	return b.add(&Layer{Name: name, Kind: MaxPool, Inputs: []int{from}, PoolK: k, PoolStride: stride, PoolPad: pad})
+}
+
+// Upsample adds a nearest-neighbour upsampling layer.
+func (b *Builder) Upsample(name string, from, scale int) int {
+	return b.add(&Layer{Name: name, Kind: Upsample, Inputs: []int{from}, Scale: scale})
+}
+
+// Concat adds a channel concatenation of the given producers.
+func (b *Builder) Concat(name string, from ...int) int {
+	return b.add(&Layer{Name: name, Kind: Concat, Inputs: append([]int(nil), from...)})
+}
+
+// Add adds an element-wise residual addition.
+func (b *Builder) Add(name string, from ...int) int {
+	return b.add(&Layer{Name: name, Kind: Add, Inputs: append([]int(nil), from...)})
+}
+
+// GlobalPool adds global average pooling.
+func (b *Builder) GlobalPool(name string, from int) int {
+	return b.add(&Layer{Name: name, Kind: GlobalPool, Inputs: []int{from}})
+}
+
+// Linear adds a fully connected layer.
+func (b *Builder) Linear(name string, from, inF, outF int, bias bool) int {
+	l := &Layer{Name: name, Kind: Linear, Inputs: []int{from}, InF: inF, OutF: outF}
+	if bias {
+		l.LinB = make([]float32, outF)
+	}
+	return b.add(l)
+}
+
+// NoPrune marks an already-added layer as excluded from pruning.
+func (b *Builder) NoPrune(id int) { b.m.Layers[id].NoPrune = true }
+
+// MACScale sets the cost-model MAC multiplier of an added layer.
+func (b *Builder) MACScale(id int, scale float64) { b.m.Layers[id].MACScale = scale }
+
+// Detect adds the detection sink collecting the multi-scale heads.
+func (b *Builder) Detect(name string, from ...int) int {
+	return b.add(&Layer{Name: name, Kind: Detect, Inputs: append([]int(nil), from...)})
+}
+
+// Bottleneck adds a YOLOv5 bottleneck: 1×1 to hidden = c2*expansion
+// channels, then 3×3 back to c2, with an optional residual shortcut.
+// YOLOv5 uses expansion 0.5 for standalone bottlenecks and 1.0 inside
+// C3 modules. Returns the output layer ID.
+func (b *Builder) Bottleneck(name string, from, c1, c2 int, expansion float64, shortcut bool, act Activation) int {
+	hidden := int(float64(c2) * expansion)
+	if hidden == 0 {
+		hidden = 1
+	}
+	cv1 := b.ConvBNAct(name+".cv1", from, c1, hidden, 1, 1, 0, act)
+	cv2 := b.ConvBNAct(name+".cv2", cv1, hidden, c2, 3, 1, 1, act)
+	if shortcut && c1 == c2 {
+		return b.Add(name+".add", from, cv2)
+	}
+	return cv2
+}
+
+// C3 adds a YOLOv5 C3 (CSP bottleneck with 3 convolutions) module: two
+// parallel 1×1 branches, n bottlenecks (expansion 1.0, per the YOLOv5
+// reference implementation) on one branch, concat, 1×1 fuse.
+func (b *Builder) C3(name string, from, c1, c2, n int, shortcut bool, act Activation) int {
+	hidden := c2 / 2
+	cv1 := b.ConvBNAct(name+".cv1", from, c1, hidden, 1, 1, 0, act)
+	cv2 := b.ConvBNAct(name+".cv2", from, c1, hidden, 1, 1, 0, act)
+	x := cv1
+	for i := 0; i < n; i++ {
+		x = b.Bottleneck(fmt.Sprintf("%s.m%d", name, i), x, hidden, hidden, 1.0, shortcut, act)
+	}
+	cat := b.Concat(name+".cat", x, cv2)
+	return b.ConvBNAct(name+".cv3", cat, 2*hidden, c2, 1, 1, 0, act)
+}
+
+// SPPF adds YOLOv5's spatial pyramid pooling (fast) module.
+func (b *Builder) SPPF(name string, from, c1, c2, k int, act Activation) int {
+	hidden := c1 / 2
+	cv1 := b.ConvBNAct(name+".cv1", from, c1, hidden, 1, 1, 0, act)
+	p1 := b.MaxPool(name+".m1", cv1, k, 1, k/2)
+	p2 := b.MaxPool(name+".m2", p1, k, 1, k/2)
+	p3 := b.MaxPool(name+".m3", p2, k, 1, k/2)
+	cat := b.Concat(name+".cat", cv1, p1, p2, p3)
+	return b.ConvBNAct(name+".cv2", cat, 4*hidden, c2, 1, 1, 0, act)
+}
+
+// ResNetBlock adds a ResNet bottleneck block (1×1 reduce, 3×3, 1×1
+// expand, residual). If downsample is true the 3×3 conv strides by 2 and
+// a 1×1 projection aligns the shortcut; a projection is also inserted
+// whenever the channel counts differ.
+func (b *Builder) ResNetBlock(name string, from, inC, midC, outC int, stride int) int {
+	cv1 := b.ConvBNAct(name+".cv1", from, inC, midC, 1, 1, 0, ReLU)
+	cv2 := b.ConvBNAct(name+".cv2", cv1, midC, midC, 3, stride, 1, ReLU)
+	cv3 := b.Conv(name+".cv3.conv", cv2, midC, outC, 1, 1, 0, false)
+	bn3 := b.BN(name+".cv3.bn", cv3, outC)
+	shortcut := from
+	if stride != 1 || inC != outC {
+		sc := b.Conv(name+".down.conv", from, inC, outC, 1, stride, 0, false)
+		shortcut = b.BN(name+".down.bn", sc, outC)
+	}
+	sum := b.Add(name+".add", shortcut, bn3)
+	return b.Act(name+".relu", sum, ReLU)
+}
+
+// Build validates and returns the model.
+func (b *Builder) Build() (*Model, error) {
+	if err := b.m.Validate(); err != nil {
+		return nil, err
+	}
+	return b.m, nil
+}
+
+// MustBuild is Build that panics on error; model definitions are static
+// so a failure is a programming bug.
+func (b *Builder) MustBuild() *Model {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

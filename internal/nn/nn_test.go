@@ -1,0 +1,293 @@
+package nn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tinyNet builds input → conv3x3(3→8) → BN → SiLU → conv1x1(8→4).
+func tinyNet(t *testing.T) *Model {
+	t.Helper()
+	b := NewBuilder("tiny", 3, 16, 16, 2)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 8, 3, 1, 1, SiLU)
+	b.Conv("head", x, 8, 4, 1, 1, 0, true)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuilderIDsSequential(t *testing.T) {
+	m := tinyNet(t)
+	for i, l := range m.Layers {
+		if l.ID != i {
+			t.Fatalf("layer %d has ID %d", i, l.ID)
+		}
+	}
+	if len(m.Layers) != 5 { // input, conv, bn, act, conv
+		t.Fatalf("layers=%d", len(m.Layers))
+	}
+}
+
+func TestParamsAccounting(t *testing.T) {
+	m := tinyNet(t)
+	// stem conv: 8*3*3*3 = 216 (no bias); BN: 2*8 = 16; head: 4*8*1*1 + 4 = 36.
+	if got := m.Params(); got != 216+16+36 {
+		t.Fatalf("params=%d want %d", got, 216+16+36)
+	}
+	if got := m.WeightCount(); got != 216+32 {
+		t.Fatalf("weights=%d want %d", got, 216+32)
+	}
+}
+
+func TestInferShapes(t *testing.T) {
+	m := tinyNet(t)
+	shapes, err := m.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv stride 1 pad 1 keeps 16x16; head 1x1 keeps 16x16 with 4 channels.
+	last := shapes[len(shapes)-1]
+	if last != (Shape{C: 4, H: 16, W: 16}) {
+		t.Fatalf("last shape %v", last)
+	}
+}
+
+func TestInferShapesChannelMismatch(t *testing.T) {
+	b := NewBuilder("bad", 3, 8, 8, 1)
+	x := b.Input()
+	b.Conv("c", x, 5, 4, 1, 1, 0, false) // expects 5 channels, input has 3
+	m := b.m                             // skip Validate; InferShapes must catch it
+	if _, err := m.InferShapes(); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestMACs(t *testing.T) {
+	m := tinyNet(t)
+	macs, err := m.MACs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// stem conv: 16*16*8*3*3*3 = 55296; BN: 16*16*8 = 2048; head: 16*16*4*8 = 8192.
+	want := int64(55296 + 2048 + 8192)
+	if macs != want {
+		t.Fatalf("MACs=%d want %d", macs, want)
+	}
+}
+
+func TestInitWeightsDeterministic(t *testing.T) {
+	a, b := tinyNet(t), tinyNet(t)
+	a.InitWeights(7)
+	b.InitWeights(7)
+	la, lb := a.ConvLayers()[0], b.ConvLayers()[0]
+	for i := range la.Weight.Data {
+		if la.Weight.Data[i] != lb.Weight.Data[i] {
+			t.Fatal("InitWeights not deterministic")
+		}
+	}
+	c := tinyNet(t)
+	c.InitWeights(8)
+	diff := false
+	for i := range la.Weight.Data {
+		if la.Weight.Data[i] != c.ConvLayers()[0].Weight.Data[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds gave identical weights")
+	}
+}
+
+func TestInitWeightsScale(t *testing.T) {
+	m := tinyNet(t)
+	m.InitWeights(3)
+	stem := m.ConvLayers()[0]
+	// He init: std = sqrt(2/27) ~= 0.272; with 216 samples the sample std
+	// should be within a loose band.
+	var sum, sumSq float64
+	for _, v := range stem.Weight.Data {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	n := float64(stem.Weight.Len())
+	std := sumSq/n - (sum/n)*(sum/n)
+	if std < 0.02 || std > 0.2 { // variance 2/27 = 0.074
+		t.Fatalf("weight variance %v outside sane He-init band", std)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := tinyNet(t)
+	m.InitWeights(1)
+	c := m.Clone()
+	c.ConvLayers()[0].Weight.Data[0] = 999
+	if m.ConvLayers()[0].Weight.Data[0] == 999 {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestKernelCensus(t *testing.T) {
+	m := tinyNet(t)
+	c := m.KernelCensus()
+	// stem: 8*3=24 3x3 kernels; head: 4*8=32 1x1 kernels.
+	if c.Conv3x3Kernels != 24 || c.Conv1x1Kernels != 32 {
+		t.Fatalf("census %+v", c)
+	}
+	if c.Conv1x1Layers != 1 || c.Conv3x3Layers != 1 {
+		t.Fatalf("census layers %+v", c)
+	}
+	want := 32.0 / 56.0
+	if f := c.Frac1x1(); f < want-1e-9 || f > want+1e-9 {
+		t.Fatalf("Frac1x1=%v want %v", f, want)
+	}
+}
+
+func TestKernelAccessor(t *testing.T) {
+	m := tinyNet(t)
+	m.InitWeights(5)
+	stem := m.ConvLayers()[0]
+	k := stem.Kernel(2, 1)
+	if len(k) != 9 {
+		t.Fatalf("kernel len %d", len(k))
+	}
+	// Mutating through the view must hit the tensor.
+	k[0] = 123
+	if stem.Weight.At(2, 1, 0, 0) != 123 {
+		t.Fatal("Kernel does not alias weight storage")
+	}
+}
+
+func TestBottleneckShortcutOnlyWhenChannelsMatch(t *testing.T) {
+	b := NewBuilder("bn", 3, 8, 8, 1)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 16, 3, 1, 1, SiLU)
+	out := b.Bottleneck("btl", x, 16, 16, 0.5, true, SiLU)
+	m := b.MustBuild()
+	if m.Layers[out].Kind != Add {
+		t.Fatal("expected residual Add when c1 == c2")
+	}
+	out2 := b.Bottleneck("btl2", out, 16, 32, 0.5, true, SiLU)
+	if b.m.Layers[out2].Kind == Add {
+		t.Fatal("no residual expected when c1 != c2")
+	}
+}
+
+func TestC3Structure(t *testing.T) {
+	b := NewBuilder("c3net", 3, 32, 32, 1)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 64, 3, 2, 1, SiLU)
+	x = b.C3("c3", x, 64, 64, 1, true, SiLU)
+	m := b.MustBuild()
+	shapes, err := m.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shapes[x] != (Shape{C: 64, H: 16, W: 16}) {
+		t.Fatalf("C3 out %v", shapes[x])
+	}
+}
+
+func TestSPPFShape(t *testing.T) {
+	b := NewBuilder("sppf", 3, 32, 32, 1)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 64, 3, 2, 1, SiLU)
+	x = b.SPPF("sppf", x, 64, 64, 5, SiLU)
+	m := b.MustBuild()
+	shapes, err := m.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shapes[x] != (Shape{C: 64, H: 16, W: 16}) {
+		t.Fatalf("SPPF out %v", shapes[x])
+	}
+}
+
+func TestResNetBlockShapes(t *testing.T) {
+	b := NewBuilder("res", 3, 32, 32, 1)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 64, 3, 1, 1, ReLU)
+	x = b.ResNetBlock("block", x, 64, 64, 256, 1)
+	m := b.MustBuild()
+	shapes, err := m.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shapes[x] != (Shape{C: 256, H: 32, W: 32}) {
+		t.Fatalf("resnet block out %v", shapes[x])
+	}
+	x2 := b.ResNetBlock("block2", x, 256, 128, 512, 2)
+	m2 := b.MustBuild()
+	shapes2, _ := m2.InferShapes()
+	if shapes2[x2] != (Shape{C: 512, H: 16, W: 16}) {
+		t.Fatalf("strided resnet block out %v", shapes2[x2])
+	}
+}
+
+func TestValidateCatchesBadInputRef(t *testing.T) {
+	m := &Model{Name: "bad", InputC: 3, InputH: 4, InputW: 4}
+	m.Layers = []*Layer{
+		{ID: 0, Kind: Input},
+		{ID: 1, Kind: Conv, Inputs: []int{1}, InC: 3, OutC: 4, KH: 1, KW: 1, Stride: 1, Group: 1},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected self-referencing input error")
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	m := tinyNet(t)
+	g := m.Graph()
+	if g.NumNodes() != len(m.Layers) {
+		t.Fatal("node count mismatch")
+	}
+	// Edges follow Inputs.
+	if len(g.Parents(1)) != 1 || g.Parents(1)[0] != 0 {
+		t.Fatalf("parents of conv: %v", g.Parents(1))
+	}
+}
+
+func TestQuickSparsityMatchesNNZ(t *testing.T) {
+	m := tinyNet(t)
+	m.InitWeights(11)
+	f := func(zeroEvery uint8) bool {
+		if zeroEvery == 0 {
+			zeroEvery = 1
+		}
+		c := m.Clone()
+		var zeroed int64
+		for _, l := range c.ConvLayers() {
+			for i := range l.Weight.Data {
+				if i%int(zeroEvery) == 0 {
+					if l.Weight.Data[i] != 0 {
+						zeroed++
+					}
+					l.Weight.Data[i] = 0
+				}
+			}
+		}
+		return c.NNZ() == m.NNZ()-zeroed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInferShapes(b *testing.B) {
+	bld := NewBuilder("bench", 3, 640, 640, 8)
+	x := bld.Input()
+	x = bld.ConvBNAct("stem", x, 3, 32, 6, 2, 2, SiLU)
+	for i := 0; i < 10; i++ {
+		x = bld.C3("c3", x, 32, 32, 2, true, SiLU)
+	}
+	m := bld.MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InferShapes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtoss/internal/rng"
+)
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{9, 0, 1}, {9, 1, 9}, {9, 2, 36}, {9, 3, 84}, {9, 4, 126},
+		{9, 5, 126}, {9, 8, 9}, {9, 9, 1}, {9, 10, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d)=%d want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	// Equation (1) of the paper: n(k) = C(9, k).
+	for k := 0; k <= 9; k++ {
+		if got := len(Enumerate(k)); got != Binomial(9, k) {
+			t.Errorf("Enumerate(%d) has %d masks, want C(9,%d)=%d", k, got, k, Binomial(9, k))
+		}
+	}
+}
+
+func TestFromPositionsAndHas(t *testing.T) {
+	m := FromPositions([2]int{0, 0}, [2]int{1, 1}, [2]int{2, 2})
+	if m.Count() != 3 {
+		t.Fatalf("Count=%d", m.Count())
+	}
+	if !m.Has(0, 0) || !m.Has(1, 1) || !m.Has(2, 2) || m.Has(0, 1) {
+		t.Fatal("Has mismatch")
+	}
+	pos := m.Positions()
+	if len(pos) != 3 || pos[0] != [2]int{0, 0} || pos[2] != [2]int{2, 2} {
+		t.Fatalf("Positions %v", pos)
+	}
+}
+
+func TestAdjacentPairCount2EP(t *testing.T) {
+	// The 3x3 grid graph has exactly 12 edges, so exactly 12 two-entry
+	// masks survive the adjacency filter.
+	if got := len(Candidates(2)); got != 12 {
+		t.Fatalf("2EP candidates=%d want 12", got)
+	}
+}
+
+func TestConnectedTriples(t *testing.T) {
+	// Connected 3-subsets of the 3x3 grid are paths centred at a vertex:
+	// sum over vertices of C(deg,2) = 4*1 + 4*3 + 6 = 22.
+	n := 0
+	for _, m := range Enumerate(3) {
+		if m.IsConnected() {
+			n++
+		}
+	}
+	if n != 22 {
+		t.Fatalf("connected 3EP masks=%d want 22", n)
+	}
+}
+
+func TestHasAdjacentPairExamples(t *testing.T) {
+	diag := FromPositions([2]int{0, 0}, [2]int{1, 1})
+	if diag.HasAdjacentPair() {
+		t.Fatal("diagonal pair is not 4-adjacent")
+	}
+	horiz := FromPositions([2]int{0, 0}, [2]int{0, 1})
+	if !horiz.HasAdjacentPair() {
+		t.Fatal("horizontal pair is 4-adjacent")
+	}
+	// One adjacent pair plus an isolated corner still passes the paper's
+	// (weak) criterion but is not fully connected.
+	mixed := FromPositions([2]int{0, 0}, [2]int{0, 1}, [2]int{2, 2})
+	if !mixed.HasAdjacentPair() {
+		t.Fatal("mixed mask has an adjacent pair")
+	}
+	if mixed.IsConnected() {
+		t.Fatal("mixed mask is not fully connected")
+	}
+}
+
+func TestIsConnectedSingle(t *testing.T) {
+	if !FromPositions([2]int{1, 1}).IsConnected() {
+		t.Fatal("single cell should count as connected")
+	}
+	if Mask(0).IsConnected() {
+		t.Fatal("empty mask is not connected")
+	}
+}
+
+func TestMaskedL2(t *testing.T) {
+	kernel := []float32{3, 0, 0, 4, 0, 0, 0, 0, 0}
+	m := FromPositions([2]int{0, 0}, [2]int{1, 0})
+	if got := m.MaskedL2(kernel); got != 5 {
+		t.Fatalf("MaskedL2=%v want 5", got)
+	}
+	empty := Mask(0)
+	if empty.MaskedL2(kernel) != 0 {
+		t.Fatal("empty mask should have zero norm")
+	}
+}
+
+func TestApplyKeepsMaskedZeroesRest(t *testing.T) {
+	kernel := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	m := FromPositions([2]int{0, 0}, [2]int{0, 1}, [2]int{1, 1})
+	m.Apply(kernel)
+	want := []float32{1, 2, 0, 0, 5, 0, 0, 0, 0}
+	for i := range want {
+		if kernel[i] != want[i] {
+			t.Fatalf("Apply got %v want %v", kernel, want)
+		}
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 50; trial++ {
+		kernel := make([]float32, 9)
+		for i := range kernel {
+			kernel[i] = float32(r.Range(-1, 1))
+		}
+		m := Mask(r.Intn(512))
+		m.Apply(kernel)
+		before := append([]float32(nil), kernel...)
+		m.Apply(kernel)
+		for i := range kernel {
+			if kernel[i] != before[i] {
+				t.Fatal("Apply is not idempotent")
+			}
+		}
+	}
+}
+
+func TestBestFitPicksLargestMagnitudes(t *testing.T) {
+	// With the two largest |w| adjacent, the 2EP best fit must keep them.
+	kernel := []float32{0.9, 0.8, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	best, norm := BestFit(kernel, Candidates(2))
+	want := FromPositions([2]int{0, 0}, [2]int{0, 1})
+	if best != want {
+		t.Fatalf("best fit\n%v\nwant\n%v", best, want)
+	}
+	if norm <= 0 {
+		t.Fatalf("norm %v", norm)
+	}
+}
+
+func TestBestFitDeterministicTieBreak(t *testing.T) {
+	kernel := make([]float32, 9) // all zeros: every mask ties at 0
+	a, _ := BestFit(kernel, Candidates(2))
+	b, _ := BestFit(kernel, Candidates(2))
+	if a != b {
+		t.Fatal("tie-break not deterministic")
+	}
+}
+
+func TestUsageExperimentSumsToOne(t *testing.T) {
+	usage := UsageExperiment(2, 5000, rng.New(42))
+	total := 0
+	for _, u := range usage {
+		total += u.Count
+	}
+	if total != 5000 {
+		t.Fatalf("usage counts sum to %d", total)
+	}
+	for i := 1; i < len(usage); i++ {
+		if usage[i].Count > usage[i-1].Count {
+			t.Fatal("usage not sorted descending")
+		}
+	}
+}
+
+func TestUsageExperimentDeterministic(t *testing.T) {
+	a := UsageExperiment(3, 2000, rng.New(7))
+	b := UsageExperiment(3, 2000, rng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("usage experiment not deterministic")
+		}
+	}
+}
+
+func TestCanonicalDictionarySizes(t *testing.T) {
+	if got := len(NewDictionary(2).Masks); got != 9 {
+		t.Fatalf("2EP dictionary size %d want 9", got)
+	}
+	if got := len(NewDictionary(3).Masks); got != 12 {
+		t.Fatalf("3EP dictionary size %d want 12", got)
+	}
+	// The paper's headline count: 21 pre-defined patterns at inference.
+	if got := CanonicalPatternCount(); got != 21 {
+		t.Fatalf("canonical pattern count %d want 21", got)
+	}
+}
+
+func TestCanonicalDictionaryEntryCounts(t *testing.T) {
+	for _, entries := range []int{2, 3, 4, 5} {
+		d := NewDictionary(entries)
+		if d.Entries != entries {
+			t.Fatalf("dictionary entries %d", d.Entries)
+		}
+		for _, m := range d.Masks {
+			if m.Count() != entries {
+				t.Fatalf("%d-entry dictionary contains mask with %d entries", entries, m.Count())
+			}
+			if !m.HasAdjacentPair() {
+				t.Fatalf("dictionary mask fails adjacency filter:\n%v", m)
+			}
+		}
+	}
+}
+
+func TestDictionarySparsity(t *testing.T) {
+	if s := NewDictionary(2).Sparsity(); s < 0.77 || s > 0.78 {
+		t.Fatalf("2EP sparsity %v want 7/9", s)
+	}
+	if s := NewDictionary(3).Sparsity(); s < 0.66 || s > 0.67 {
+		t.Fatalf("3EP sparsity %v want 6/9", s)
+	}
+}
+
+func TestDictionaryCached(t *testing.T) {
+	a := NewDictionary(2)
+	b := NewDictionary(2)
+	if &a.Masks[0] != &b.Masks[0] {
+		t.Fatal("dictionary should be cached")
+	}
+}
+
+func TestMaskString(t *testing.T) {
+	m := FromPositions([2]int{0, 0}, [2]int{0, 1})
+	want := "##.\n...\n..."
+	if m.String() != want {
+		t.Fatalf("String:\n%q\nwant\n%q", m.String(), want)
+	}
+}
+
+func TestQuickApplyReducesOrKeepsNorm(t *testing.T) {
+	f := func(raw [9]int8, maskBits uint16) bool {
+		kernel := make([]float32, 9)
+		for i, v := range raw {
+			kernel[i] = float32(v) / 128
+		}
+		m := Mask(maskBits & 0x1ff)
+		masked := m.MaskedL2(kernel)
+		full := Mask(0x1ff).MaskedL2(kernel)
+		return masked <= full+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBestFitIsArgmax(t *testing.T) {
+	cands := Candidates(3)
+	f := func(raw [9]int8) bool {
+		kernel := make([]float32, 9)
+		for i, v := range raw {
+			kernel[i] = float32(v) / 128
+		}
+		best, norm := BestFit(kernel, cands)
+		for _, m := range cands {
+			if m.MaskedL2(kernel) > norm+1e-9 {
+				return false
+			}
+		}
+		return best.Count() == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickApplyZeroesComplement(t *testing.T) {
+	f := func(raw [9]int8, maskBits uint16) bool {
+		kernel := make([]float32, 9)
+		for i, v := range raw {
+			kernel[i] = float32(v)/128 + 0.001 // keep away from exact zero
+		}
+		m := Mask(maskBits & 0x1ff)
+		m.Apply(kernel)
+		for i := range kernel {
+			kept := m&(1<<i) != 0
+			if kept && kernel[i] == 0 {
+				return false
+			}
+			if !kept && kernel[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBestFit3EP(b *testing.B) {
+	r := rng.New(3)
+	kernel := make([]float32, 9)
+	for i := range kernel {
+		kernel[i] = float32(r.Range(-1, 1))
+	}
+	d := NewDictionary(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = BestFit(kernel, d.Masks)
+	}
+}
+
+func BenchmarkUsageExperiment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = UsageExperiment(2, 1000, rng.New(uint64(i)))
+	}
+}

@@ -1,0 +1,190 @@
+// Package prune defines the contract shared by every pruning framework
+// in the repository — R-TOSS (internal/core) and the five baselines
+// (internal/baselines) — plus the result/accounting types the
+// experiment harness consumes.
+package prune
+
+import (
+	"fmt"
+	"time"
+
+	"rtoss/internal/nn"
+)
+
+// Structure classifies the sparsity structure a framework induces. The
+// hardware model maps structure to effective GPU utilisation (regular
+// sparsity is acceleratable; irregular sparsity mostly is not), and the
+// sparse package maps it to a storage format.
+type Structure int
+
+// Sparsity structures, ordered roughly by regularity.
+const (
+	// Dense: no pruning (the Base Model).
+	Dense Structure = iota
+	// Unstructured: element-wise sparsity (magnitude pruning).
+	Unstructured
+	// Pattern: semi-structured kernel patterns (R-TOSS, PatDNN).
+	Pattern
+	// Channel: whole input channels removed (Network Slimming).
+	Channel
+	// Filter: whole filters removed (Pruning Filters).
+	Filter
+	// Mixed: filter pruning combined with unstructured weight pruning
+	// (Neural Pruning).
+	Mixed
+)
+
+var structureNames = map[Structure]string{
+	Dense: "dense", Unstructured: "unstructured", Pattern: "pattern",
+	Channel: "channel", Filter: "filter", Mixed: "mixed",
+}
+
+func (s Structure) String() string {
+	if n, ok := structureNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Structure(%d)", int(s))
+}
+
+// Pruner is a pruning framework. Prune mutates the model's weight
+// tensors in place (callers pass a clone when the original matters) and
+// returns the accounting of what was removed.
+type Pruner interface {
+	// Name is the display name used in tables/figures (e.g. "R-TOSS (2EP)").
+	Name() string
+	// Prune sparsifies the model in place.
+	Prune(m *nn.Model) (*Result, error)
+}
+
+// LayerStat records per-layer pruning accounting.
+type LayerStat struct {
+	LayerID   int
+	Name      string
+	K         int // spatial kernel size (1 or 3 for pattern targets)
+	Weights   int64
+	NNZBefore int64
+	NNZAfter  int64
+	// RemovedKernels counts whole spatial kernels zeroed (connectivity
+	// pruning in PatDNN; kernel-granular removals elsewhere).
+	RemovedKernels int64
+	// RemovedFilters counts whole filters (output channels) zeroed.
+	RemovedFilters int
+	// RemovedChannels counts whole input channels zeroed.
+	RemovedChannels int
+	// GroupRoot is the Algorithm 1 group root this layer belongs to
+	// (-1 when grouping does not apply).
+	GroupRoot int
+	// Inherited marks layers whose masks were copied from their group
+	// parent instead of searched (the Algorithm 1 cost saving).
+	Inherited bool
+}
+
+// Result is a pruning run's full accounting.
+type Result struct {
+	Framework string
+	Model     string
+	Structure Structure
+	Layers    []LayerStat
+	// Groups is the number of Algorithm 1 groups (0 when not used).
+	Groups int
+	// BestFitSearches counts pattern best-fit searches actually run;
+	// InheritedKernels counts kernels that reused a parent's mask.
+	// Their ratio quantifies the DFS-grouping saving (ablation A1).
+	BestFitSearches  int64
+	InheritedKernels int64
+	Duration         time.Duration
+	// ParamsTotal / ParamsNNZ include non-prunable parameters (biases,
+	// batch-norm affine); their ratio is the model compression the
+	// paper reports (e.g. 4.4× for R-TOSS-2EP on YOLOv5s).
+	ParamsTotal int64
+	ParamsNNZ   int64
+	// PatternHist counts kernels per assigned pattern mask (key is the
+	// 9-bit mask value) for pattern-based frameworks; nil otherwise.
+	// Its key count verifies the paper's "21 pre-defined patterns at
+	// inference" claim.
+	PatternHist map[uint16]int64
+}
+
+// DistinctPatterns returns the number of distinct masks assigned.
+func (r *Result) DistinctPatterns() int { return len(r.PatternHist) }
+
+// TotalWeights returns prunable weights across recorded layers.
+func (r *Result) TotalWeights() int64 {
+	var n int64
+	for _, l := range r.Layers {
+		n += l.Weights
+	}
+	return n
+}
+
+// NNZAfter returns surviving non-zeros across recorded layers.
+func (r *Result) NNZAfter() int64 {
+	var n int64
+	for _, l := range r.Layers {
+		n += l.NNZAfter
+	}
+	return n
+}
+
+// Sparsity returns the induced sparsity over recorded layers in [0, 1].
+func (r *Result) Sparsity() float64 {
+	w := r.TotalWeights()
+	if w == 0 {
+		return 0
+	}
+	return 1 - float64(r.NNZAfter())/float64(w)
+}
+
+// CompressionRatio returns ParamsTotal / ParamsNNZ — the paper's
+// "reduction ratio" (Table 3) and "compression rate" (abstract).
+func (r *Result) CompressionRatio() float64 {
+	if r.ParamsNNZ == 0 {
+		return 1
+	}
+	return float64(r.ParamsTotal) / float64(r.ParamsNNZ)
+}
+
+// FillParams computes ParamsTotal/ParamsNNZ from the model after
+// pruning: all parameters count, zeros in prunable weight tensors drop
+// out of ParamsNNZ.
+func (r *Result) FillParams(m *nn.Model) {
+	r.ParamsTotal = m.Params()
+	var nnz int64
+	for _, l := range m.Layers {
+		switch l.Kind {
+		case nn.Conv:
+			nnz += int64(l.Weight.NNZ())
+			if l.Bias != nil {
+				nnz += int64(len(l.Bias))
+			}
+		case nn.BatchNorm:
+			nnz += int64(2 * len(l.Gamma))
+		case nn.Linear:
+			if l.LinW != nil {
+				nnz += int64(l.LinW.NNZ())
+			}
+			if l.LinB != nil {
+				nnz += int64(len(l.LinB))
+			}
+		}
+	}
+	r.ParamsNNZ = nnz
+}
+
+// StatFor initialises a LayerStat snapshot for a conv layer before
+// pruning it.
+func StatFor(l *nn.Layer) LayerStat {
+	return LayerStat{
+		LayerID:   l.ID,
+		Name:      l.Name,
+		K:         l.KH,
+		Weights:   l.WeightCount(),
+		NNZBefore: l.NNZ(),
+		GroupRoot: -1,
+	}
+}
+
+// Finish completes a LayerStat after pruning.
+func (s *LayerStat) Finish(l *nn.Layer) {
+	s.NNZAfter = l.NNZ()
+}

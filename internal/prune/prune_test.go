@@ -1,0 +1,154 @@
+package prune
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rtoss/internal/nn"
+)
+
+func tinyModel(t testing.TB) *nn.Model {
+	t.Helper()
+	b := nn.NewBuilder("tiny", 3, 8, 8, 2)
+	x := b.Input()
+	x = b.ConvBNAct("c1", x, 3, 4, 3, 1, 1, nn.ReLU)
+	b.Conv("c2", x, 4, 2, 1, 1, 0, true)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitWeights(3)
+	return m
+}
+
+func TestStructureStrings(t *testing.T) {
+	cases := map[Structure]string{
+		Dense: "dense", Unstructured: "unstructured", Pattern: "pattern",
+		Channel: "channel", Filter: "filter", Mixed: "mixed",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q want %q", s, s.String(), want)
+		}
+	}
+	if Structure(99).String() == "" {
+		t.Error("unknown structure should still stringify")
+	}
+}
+
+func TestStatForAndFinish(t *testing.T) {
+	m := tinyModel(t)
+	l := m.ConvLayers()[0]
+	st := StatFor(l)
+	if st.Weights != 4*3*3*3 {
+		t.Fatalf("weights %d", st.Weights)
+	}
+	if st.NNZBefore != st.Weights {
+		t.Fatalf("fresh layer should be dense: %d/%d", st.NNZBefore, st.Weights)
+	}
+	if st.GroupRoot != -1 {
+		t.Fatal("default group root should be -1")
+	}
+	l.Weight.Data[0] = 0
+	st.Finish(l)
+	if st.NNZAfter != st.Weights-1 {
+		t.Fatalf("NNZAfter %d", st.NNZAfter)
+	}
+}
+
+func TestResultSparsityAndCompression(t *testing.T) {
+	r := &Result{
+		Layers: []LayerStat{
+			{Weights: 100, NNZAfter: 25},
+			{Weights: 100, NNZAfter: 75},
+		},
+		ParamsTotal: 220,
+		ParamsNNZ:   110,
+	}
+	if r.TotalWeights() != 200 || r.NNZAfter() != 100 {
+		t.Fatalf("totals %d %d", r.TotalWeights(), r.NNZAfter())
+	}
+	if r.Sparsity() != 0.5 {
+		t.Fatalf("sparsity %v", r.Sparsity())
+	}
+	if r.CompressionRatio() != 2 {
+		t.Fatalf("compression %v", r.CompressionRatio())
+	}
+}
+
+func TestResultEdgeCases(t *testing.T) {
+	empty := &Result{}
+	if empty.Sparsity() != 0 {
+		t.Error("empty result sparsity should be 0")
+	}
+	if empty.CompressionRatio() != 1 {
+		t.Error("empty result compression should be 1")
+	}
+	if empty.DistinctPatterns() != 0 {
+		t.Error("empty result should report no patterns")
+	}
+}
+
+func TestFillParamsCountsEverything(t *testing.T) {
+	m := tinyModel(t)
+	r := &Result{}
+	r.FillParams(m)
+	// conv1 108 + bn 8 + conv2 8 weights + 2 bias = 126 params total.
+	if r.ParamsTotal != m.Params() {
+		t.Fatalf("ParamsTotal %d want %d", r.ParamsTotal, m.Params())
+	}
+	if r.ParamsNNZ != r.ParamsTotal {
+		t.Fatalf("dense model should have NNZ == total: %d vs %d", r.ParamsNNZ, r.ParamsTotal)
+	}
+	// Zero half of conv1: NNZ must drop by exactly that amount.
+	l := m.ConvLayers()[0]
+	zeroed := int64(0)
+	for i := 0; i < l.Weight.Len()/2; i++ {
+		if l.Weight.Data[i] != 0 {
+			zeroed++
+		}
+		l.Weight.Data[i] = 0
+	}
+	r2 := &Result{}
+	r2.FillParams(m)
+	if r2.ParamsNNZ != r.ParamsNNZ-zeroed {
+		t.Fatalf("NNZ accounting off: %d want %d", r2.ParamsNNZ, r.ParamsNNZ-zeroed)
+	}
+}
+
+func TestFillParamsCountsBNAndBias(t *testing.T) {
+	m := tinyModel(t)
+	// Even with all prunable weights zeroed, BN and bias params remain.
+	for _, l := range m.ConvLayers() {
+		l.Weight.Zero()
+	}
+	r := &Result{}
+	r.FillParams(m)
+	// BN gamma+beta (8) + conv2 bias (2) = 10 surviving params.
+	if r.ParamsNNZ != 10 {
+		t.Fatalf("surviving params %d want 10", r.ParamsNNZ)
+	}
+}
+
+func TestQuickSparsityInUnitRange(t *testing.T) {
+	f := func(weights []int64, nnzFracs []uint8) bool {
+		r := &Result{}
+		for i, w := range weights {
+			if w < 0 {
+				w = -w
+			}
+			w %= 10000
+			var nnz int64
+			if i < len(nnzFracs) && w > 0 {
+				nnz = w * int64(nnzFracs[i]%101) / 100
+			}
+			r.Layers = append(r.Layers, LayerStat{Weights: w, NNZAfter: nnz})
+		}
+		s := r.Sparsity()
+		return !math.IsNaN(s) && s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

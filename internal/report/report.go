@@ -1,0 +1,143 @@
+// Package report renders experiment results as aligned text tables,
+// ASCII bar charts, and paper-vs-measured comparison blocks — the
+// output layer of the table/figure regeneration harness.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned monospace text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// Series is one labelled sequence for a bar chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart renders grouped horizontal bars, one row per label, one bar
+// per series — the textual stand-in for the paper's figures.
+func BarChart(title string, labels []string, series []Series, unit string, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for li, label := range labels {
+		b.WriteString(label + "\n")
+		for _, s := range series {
+			if li >= len(s.Values) {
+				continue
+			}
+			v := s.Values[li]
+			bars := int(v / maxV * float64(width))
+			if bars < 1 && v > 0 {
+				bars = 1
+			}
+			fmt.Fprintf(&b, "  %-*s %s %.2f%s\n", nameW, s.Name, strings.Repeat("#", bars), v, unit)
+		}
+	}
+	return b.String()
+}
+
+// Compare is one paper-vs-measured record.
+type Compare struct {
+	Item     string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// RenderCompares renders a paper-vs-measured block.
+func RenderCompares(title string, cs []Compare) string {
+	t := &Table{Title: title, Headers: []string{"item", "paper", "measured", "note"}}
+	for _, c := range cs {
+		t.AddRow(c.Item, c.Paper, c.Measured, c.Note)
+	}
+	return t.Render()
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.AddRow("short", 1.5)
+	tab.AddRow("a-much-longer-name", "x")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// All table lines must have equal width (aligned columns).
+	width := len(lines[1])
+	for _, l := range lines[1:] {
+		if len(l) != width {
+			t.Fatalf("misaligned row %q (want width %d)", l, width)
+		}
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Error("float cell not formatted with 2 decimals")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x", 2)
+	csv := tab.CSV()
+	if csv != "a,b\nx,2\n" {
+		t.Fatalf("csv %q", csv)
+	}
+}
+
+func TestBarChartScalesToMax(t *testing.T) {
+	out := BarChart("chart", []string{"L1"}, []Series{
+		{Name: "big", Values: []float64{10}},
+		{Name: "small", Values: []float64{1}},
+	}, "x", 20)
+	lines := strings.Split(out, "\n")
+	var bigBars, smallBars int
+	for _, l := range lines {
+		if strings.Contains(l, "big") {
+			bigBars = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "small") {
+			smallBars = strings.Count(l, "#")
+		}
+	}
+	if bigBars != 20 {
+		t.Errorf("max value should fill the width: %d bars", bigBars)
+	}
+	if smallBars < 1 || smallBars >= bigBars {
+		t.Errorf("small value bars %d out of range", smallBars)
+	}
+}
+
+func TestBarChartNonZeroGetsAtLeastOneBar(t *testing.T) {
+	out := BarChart("c", []string{"L"}, []Series{
+		{Name: "tiny", Values: []float64{0.001}},
+		{Name: "huge", Values: []float64{100}},
+	}, "", 30)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "tiny") && !strings.Contains(l, "#") {
+			t.Error("non-zero value rendered with no bar")
+		}
+	}
+}
+
+func TestBarChartHandlesAllZero(t *testing.T) {
+	out := BarChart("z", []string{"L"}, []Series{{Name: "s", Values: []float64{0}}}, "", 10)
+	if !strings.Contains(out, "0.00") {
+		t.Error("zero chart should still render values")
+	}
+}
+
+func TestRenderCompares(t *testing.T) {
+	out := RenderCompares("cmp", []Compare{
+		{Item: "speedup", Paper: "2.15x", Measured: "2.17x", Note: "TX2"},
+	})
+	for _, want := range []string{"cmp", "speedup", "2.15x", "2.17x", "TX2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q", want)
+		}
+	}
+}
+
+func TestAddRowMixedTypes(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b", "c"}}
+	tab.AddRow(42, 3.14159, "str")
+	if tab.Rows[0][0] != "42" || tab.Rows[0][1] != "3.14" || tab.Rows[0][2] != "str" {
+		t.Fatalf("row %v", tab.Rows[0])
+	}
+}

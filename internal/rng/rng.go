@@ -1,0 +1,101 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the repository so that synthetic weights,
+// scenes, and workloads are reproducible across runs and platforms.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; "Fast splittable
+// pseudorandom number generators", OOPSLA 2014). It is not
+// cryptographically secure; it is chosen for speed, statistical quality
+// adequate for synthetic-data generation, and a trivially portable
+// implementation with no global state.
+package rng
+
+import "math"
+
+// RNG is a deterministic SplitMix64 generator. The zero value is a valid
+// generator seeded with 0; use New to seed explicitly.
+type RNG struct {
+	state uint64
+	// Box-Muller produces normals in pairs; the unused one is kept here.
+	spare    float64
+	hasSpare bool
+}
+
+// New returns a generator seeded with seed. Two generators constructed
+// with the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits -> [0,1) with full double precision.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform. The transform yields
+// standard normals in pairs; the second is cached for the next call.
+func (r *RNG) Norm(mean, std float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mean + std*r.spare
+	}
+	// Avoid log(0) by nudging u1 away from zero.
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	rad := math.Sqrt(-2 * math.Log(u1))
+	sin, cos := math.Sincos(2 * math.Pi * u2)
+	r.spare = rad * sin
+	r.hasSpare = true
+	return mean + std*rad*cos
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of the receiver's. It is used to give each layer / scene its own stream
+// so that adding layers does not perturb the weights of others.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}

@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rtoss/internal/core"
+	"rtoss/internal/models"
+	"rtoss/internal/pattern"
+	"rtoss/internal/prune"
+	"rtoss/internal/rng"
+)
+
+func TestCSRRoundTrip(t *testing.T) {
+	data := []float32{1, 0, 0, 2, 0, 3, 0, 0, 0, 0, 4, 0}
+	c := EncodeCSR(data, 3, 4)
+	got := c.Decode()
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("round trip failed at %d: %v", i, got)
+		}
+	}
+	if len(c.Values) != 4 {
+		t.Fatalf("values %d want 4", len(c.Values))
+	}
+}
+
+func TestCSRBytesShrinkWithSparsity(t *testing.T) {
+	dense := make([]float32, 1000)
+	for i := range dense {
+		dense[i] = 1
+	}
+	sparse := make([]float32, 1000)
+	for i := 0; i < 100; i++ {
+		sparse[i*10] = 1
+	}
+	cd := EncodeCSR(dense, 10, 100)
+	cs := EncodeCSR(sparse, 10, 100)
+	if cs.Bytes() >= cd.Bytes() {
+		t.Fatalf("sparse CSR %d >= dense CSR %d bytes", cs.Bytes(), cd.Bytes())
+	}
+}
+
+func TestBitmapRoundTrip(t *testing.T) {
+	data := []float32{1, 0, 2, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 4, 0, 5}
+	b := EncodeBitmap(data, 9)
+	got := b.Decode()
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("bitmap round trip failed at %d", i)
+		}
+	}
+	if len(b.Masks) != 2 {
+		t.Fatalf("masks %d", len(b.Masks))
+	}
+}
+
+func TestBitmapSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for oversize kernel")
+		}
+	}()
+	EncodeBitmap(make([]float32, 34), 17)
+}
+
+func TestPatternGroupedRoundTrip(t *testing.T) {
+	d2 := pattern.NewDictionary(2)
+	dict := make([]uint16, len(d2.Masks))
+	for i, m := range d2.Masks {
+		dict[i] = uint16(m)
+	}
+	// Build kernels that use dictionary masks.
+	var data []float32
+	for k := 0; k < 5; k++ {
+		kernel := make([]float32, 9)
+		mask := d2.Masks[k%len(d2.Masks)]
+		for i := 0; i < 9; i++ {
+			if mask&(1<<i) != 0 {
+				kernel[i] = float32(k + i + 1)
+			}
+		}
+		data = append(data, kernel...)
+	}
+	p, err := EncodePatternGrouped(data, 9, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Decode()
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("pattern-grouped round trip failed at %d", i)
+		}
+	}
+}
+
+func TestPatternGroupedRejectsUnknownMask(t *testing.T) {
+	dict := []uint16{0x003}
+	data := make([]float32, 9)
+	data[8] = 1 // mask 0x100 not in dictionary
+	if _, err := EncodePatternGrouped(data, 9, dict); err == nil {
+		t.Fatal("expected ErrNotPatterned")
+	}
+}
+
+func TestPatternGroupedSmallerThanBitmap(t *testing.T) {
+	// With 2 values per 9-weight kernel, pattern-grouped (1B index + 8B
+	// values) beats bitmap (2B mask + 8B values) per kernel.
+	d2 := pattern.NewDictionary(2)
+	dict := make([]uint16, len(d2.Masks))
+	for i, m := range d2.Masks {
+		dict[i] = uint16(m)
+	}
+	var data []float32
+	for k := 0; k < 100; k++ {
+		kernel := make([]float32, 9)
+		mask := d2.Masks[k%len(d2.Masks)]
+		for i := 0; i < 9; i++ {
+			if mask&(1<<i) != 0 {
+				kernel[i] = 1
+			}
+		}
+		data = append(data, kernel...)
+	}
+	pg, err := EncodePatternGrouped(data, 9, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := EncodeBitmap(data, 9)
+	if pg.Bytes() >= bm.Bytes() {
+		t.Fatalf("pattern-grouped %d >= bitmap %d", pg.Bytes(), bm.Bytes())
+	}
+}
+
+func TestForStructure(t *testing.T) {
+	if ForStructure(prune.Pattern) != FormatPatternGrouped {
+		t.Fatal("pattern structure should use pattern-grouped format")
+	}
+	if ForStructure(prune.Unstructured) != FormatCSR {
+		t.Fatal("unstructured should use CSR")
+	}
+	if ForStructure(prune.Dense) != FormatDense {
+		t.Fatal("dense stays dense")
+	}
+}
+
+func rtossDict() []uint16 {
+	var dict []uint16
+	for _, e := range []int{2, 3} {
+		for _, m := range pattern.NewDictionary(e).Masks {
+			dict = append(dict, uint16(m))
+		}
+	}
+	// Bitmap of fully dense kernels appears in never-pruned layers.
+	return dict
+}
+
+func TestEncodeModelRTOSSCompression(t *testing.T) {
+	// Encoding an R-TOSS-2EP pruned YOLOv5s must compress by roughly the
+	// paper's 4.4× (weight-storage view; metadata costs a little).
+	m := models.YOLOv5s(models.KITTIClasses)
+	res, err := core.NewVariant(2).Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeModel(m, res.Structure, rtossDict())
+	ratio := enc.CompressionRatio()
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Errorf("encoded compression %.2fx, want near the paper's 4.4x", ratio)
+	}
+	if enc.Bytes >= enc.DenseBytes {
+		t.Error("encoding failed to shrink the model")
+	}
+}
+
+func TestEncodeModelNeverGrows(t *testing.T) {
+	// Per-layer fallback guarantees Bytes <= DenseBytes even for the
+	// unpruned baseline.
+	m := models.YOLOv5s(models.KITTIClasses)
+	enc := EncodeModel(m, prune.Dense, nil)
+	if enc.Bytes > enc.DenseBytes {
+		t.Fatalf("dense model grew: %d > %d", enc.Bytes, enc.DenseBytes)
+	}
+	for _, le := range enc.Layers {
+		if le.Bytes > le.DenseBytes {
+			t.Fatalf("layer %s grew", le.Name)
+		}
+	}
+}
+
+func TestQuickCSRRoundTrip(t *testing.T) {
+	f := func(seed uint64, rowsRaw, colsRaw uint8) bool {
+		rows := int(rowsRaw%16) + 1
+		cols := int(colsRaw%16) + 1
+		r := rng.New(seed)
+		data := make([]float32, rows*cols)
+		for i := range data {
+			if r.Float64() < 0.3 {
+				data[i] = float32(r.Range(-1, 1))
+			}
+		}
+		c := EncodeCSR(data, rows, cols)
+		got := c.Decode()
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitmapRoundTrip(t *testing.T) {
+	f := func(seed uint64, kernelsRaw uint8) bool {
+		kernels := int(kernelsRaw%20) + 1
+		r := rng.New(seed)
+		data := make([]float32, kernels*9)
+		for i := range data {
+			if r.Float64() < 0.25 {
+				data[i] = float32(r.Range(-1, 1))
+			}
+		}
+		b := EncodeBitmap(data, 9)
+		got := b.Decode()
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeModelRTOSS(b *testing.B) {
+	m := models.YOLOv5s(models.KITTIClasses)
+	res, _ := core.NewVariant(2).Prune(m)
+	dict := rtossDict()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeModel(m, res.Structure, dict)
+	}
+}

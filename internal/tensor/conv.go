@@ -1,0 +1,254 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the output spatial size of a convolution along one
+// dimension: floor((in + 2*pad - kernel)/stride) + 1.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Conv2D computes a 2-D cross-correlation (the deep-learning "convolution")
+// of input [N, C, H, W] with weight [K, C/groups, R, S], optional bias [K],
+// stride and symmetric zero padding. It uses the direct algorithm; see
+// Conv2DIm2col for the GEMM-based path used to cross-check it.
+func Conv2D(input, weight *Tensor, bias []float32, stride, pad, groups int) *Tensor {
+	if input.Rank() != 4 || weight.Rank() != 4 {
+		panic("tensor: Conv2D requires 4-D input and weight")
+	}
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	k, cg, r, s := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	if groups < 1 {
+		panic("tensor: Conv2D groups must be >= 1")
+	}
+	if c%groups != 0 || k%groups != 0 {
+		panic(fmt.Sprintf("tensor: Conv2D channels %d / filters %d not divisible by groups %d", c, k, groups))
+	}
+	if cg != c/groups {
+		panic(fmt.Sprintf("tensor: Conv2D weight expects %d input channels per group, input has %d", cg, c/groups))
+	}
+	if bias != nil && len(bias) != k {
+		panic("tensor: Conv2D bias length must equal output channels")
+	}
+	oh := ConvOut(h, r, stride, pad)
+	ow := ConvOut(w, s, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Conv2D produces empty output for input %dx%d kernel %dx%d stride %d pad %d", h, w, r, s, stride, pad))
+	}
+	out := New(n, k, oh, ow)
+	kPerG := k / groups
+	cPerG := c / groups
+	for b := 0; b < n; b++ {
+		for ok := 0; ok < k; ok++ {
+			g := ok / kPerG
+			var bv float32
+			if bias != nil {
+				bv = bias[ok]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bv
+					for ic := 0; ic < cPerG; ic++ {
+						inC := g*cPerG + ic
+						for ky := 0; ky < r; ky++ {
+							iy := oy*stride - pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < s; kx++ {
+								ix := ox*stride - pad + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += input.At(b, inC, iy, ix) * weight.At(ok, ic, ky, kx)
+							}
+						}
+					}
+					out.Set(acc, b, ok, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Im2col unfolds input [N, C, H, W] into a matrix of shape
+// [C*R*S, N*OH*OW] so that convolution becomes a matrix multiply
+// weight[K, C*R*S] x cols. Only groups == 1 is supported here; grouped
+// convolutions use the direct path.
+func Im2col(input *Tensor, r, s, stride, pad int) *Tensor {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh := ConvOut(h, r, stride, pad)
+	ow := ConvOut(w, s, stride, pad)
+	rows := c * r * s
+	cols := n * oh * ow
+	out := New(rows, cols)
+	col := 0
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := 0
+				for ic := 0; ic < c; ic++ {
+					for ky := 0; ky < r; ky++ {
+						iy := oy*stride - pad + ky
+						for kx := 0; kx < s; kx++ {
+							ix := ox*stride - pad + kx
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								out.Data[row*cols+col] = input.At(b, ic, iy, ix)
+							}
+							row++
+						}
+					}
+				}
+				col++
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a [M, N] = a [M, K] x b [K, N] product.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, ka := a.Dim(0), a.Dim(1)
+	kb, n := b.Dim(0), b.Dim(1)
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", ka, kb))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*ka : (i+1)*ka]
+		orow := out.Data[i*n : (i+1)*n]
+		for k := 0; k < ka; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DIm2col computes the same result as Conv2D (groups == 1) via
+// im2col + GEMM. It exists primarily to cross-validate the direct path
+// and to model the GEMM-lowered execution used on GPUs.
+func Conv2DIm2col(input, weight *Tensor, bias []float32, stride, pad int) *Tensor {
+	n := input.Dim(0)
+	k, c, r, s := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	if input.Dim(1) != c {
+		panic("tensor: Conv2DIm2col channel mismatch")
+	}
+	oh := ConvOut(input.Dim(2), r, stride, pad)
+	ow := ConvOut(input.Dim(3), s, stride, pad)
+	cols := Im2col(input, r, s, stride, pad)
+	wm := weight.Reshape(k, c*r*s)
+	prod := MatMul(wm, cols) // [K, N*OH*OW]
+	out := New(n, k, oh, ow)
+	for ok := 0; ok < k; ok++ {
+		var bv float32
+		if bias != nil {
+			bv = bias[ok]
+		}
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					col := b*oh*ow + oy*ow + ox
+					out.Set(prod.At(ok, col)+bv, b, ok, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies max pooling with the given kernel, stride and padding.
+// Padded positions are treated as -inf (ignored).
+func MaxPool2D(input *Tensor, kernel, stride, pad int) *Tensor {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh := ConvOut(h, kernel, stride, pad)
+	ow := ConvOut(w, kernel, stride, pad)
+	out := New(n, c, oh, ow)
+	for b := 0; b < n; b++ {
+		for ic := 0; ic < c; ic++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					first := true
+					var m float32
+					for ky := 0; ky < kernel; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < kernel; kx++ {
+							ix := ox*stride - pad + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							v := input.At(b, ic, iy, ix)
+							if first || v > m {
+								m = v
+								first = false
+							}
+						}
+					}
+					out.Set(m, b, ic, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// UpsampleNearest2x doubles spatial dimensions by nearest-neighbour copy.
+func UpsampleNearest2x(input *Tensor) *Tensor {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	out := New(n, c, 2*h, 2*w)
+	for b := 0; b < n; b++ {
+		for ic := 0; ic < c; ic++ {
+			for y := 0; y < 2*h; y++ {
+				for x := 0; x < 2*w; x++ {
+					out.Set(input.At(b, ic, y/2, x/2), b, ic, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatChannels concatenates 4-D tensors along the channel dimension.
+// Batch and spatial dimensions must match.
+func ConcatChannels(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannels of nothing")
+	}
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	total := 0
+	for _, t := range ts {
+		if t.Dim(0) != n || t.Dim(2) != h || t.Dim(3) != w {
+			panic("tensor: ConcatChannels shape mismatch")
+		}
+		total += t.Dim(1)
+	}
+	out := New(n, total, h, w)
+	at := 0
+	for _, t := range ts {
+		c := t.Dim(1)
+		for b := 0; b < n; b++ {
+			for ic := 0; ic < c; ic++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						out.Set(t.At(b, ic, y, x), b, at+ic, y, x)
+					}
+				}
+			}
+		}
+		at += c
+	}
+	return out
+}

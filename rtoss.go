@@ -1,0 +1,217 @@
+// Package rtoss is the public API of the R-TOSS reproduction: a
+// semi-structured (pattern-based) pruning framework for real-time
+// object detectors, after Balasubramaniam, Sunny and Pasricha,
+// "R-TOSS: A Framework for Real-Time Object Detection using
+// Semi-Structured Pruning" (DAC 2023).
+//
+// The library bundles everything the paper's evaluation needs:
+//
+//   - a model zoo with layer-faithful YOLOv5s and RetinaNet descriptors
+//     (NewYOLOv5s, NewRetinaNet) and the Table 1/2 comparison models;
+//   - the R-TOSS pruner (NewRTOSS) implementing DFS layer grouping,
+//     3×3 kernel pattern pruning and the 1×1 kernel transformation,
+//     plus five baseline pruning frameworks (Baselines);
+//   - analytic RTX 2080Ti / Jetson TX2 platform models (Estimate) for
+//     latency and energy, compressed weight formats (Encode), an
+//     information-retention accuracy surrogate (Assess), and a
+//     synthetic-KITTI detection pipeline with a real mAP evaluator;
+//   - the experiment harness regenerating every table and figure of
+//     the paper (Table1..Table3, Fig4..Fig8).
+//
+// Quick start:
+//
+//	m := rtoss.NewYOLOv5s()
+//	res, _ := rtoss.NewRTOSS(3).Prune(m)
+//	fmt.Printf("compression %.2fx\n", res.CompressionRatio())
+package rtoss
+
+import (
+	"rtoss/internal/baselines"
+	"rtoss/internal/core"
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/experiments"
+	"rtoss/internal/hw"
+	"rtoss/internal/kitti"
+	"rtoss/internal/metrics"
+	"rtoss/internal/models"
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+	"rtoss/internal/prune"
+	"rtoss/internal/report"
+	"rtoss/internal/sparse"
+	"rtoss/internal/tensor"
+)
+
+// Core model/pruning types.
+type (
+	// Model is a network descriptor with real weight tensors.
+	Model = nn.Model
+	// Layer is one node of a model.
+	Layer = nn.Layer
+	// Pruner is a pruning framework (R-TOSS or a baseline).
+	Pruner = prune.Pruner
+	// Result is a pruning run's accounting.
+	Result = prune.Result
+	// Structure classifies induced sparsity.
+	Structure = prune.Structure
+	// Platform is an analytic execution target.
+	Platform = hw.Platform
+	// CostReport is an analytic latency/energy estimate.
+	CostReport = hw.CostReport
+	// Quality is the accuracy surrogate's assessment.
+	Quality = metrics.Quality
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Mask is a 3×3 kernel pattern mask.
+	Mask = pattern.Mask
+	// Dictionary is a pattern dictionary.
+	Dictionary = pattern.Dictionary
+	// Scene is a synthetic KITTI frame.
+	Scene = kitti.Scene
+	// Detection is one detector output box.
+	Detection = detect.Detection
+	// Box is an axis-aligned box.
+	Box = detect.Box
+	// FrameworkResult is a full framework measurement.
+	FrameworkResult = experiments.FrameworkResult
+	// SensitivityRow is one Table 3 row.
+	SensitivityRow = experiments.SensitivityRow
+	// Table is a renderable result grid.
+	Table = report.Table
+	// ModelEncoding is a compressed-weight encoding summary.
+	ModelEncoding = sparse.ModelEncoding
+	// RTOSSConfig selects an R-TOSS variant and ablation switches.
+	RTOSSConfig = core.Config
+)
+
+// Sparsity structures (re-exported).
+const (
+	Dense        = prune.Dense
+	Unstructured = prune.Unstructured
+	Pattern      = prune.Pattern
+	Channel      = prune.Channel
+	Filter       = prune.Filter
+	Mixed        = prune.Mixed
+)
+
+// KITTIClasses is the KITTI class count used throughout the evaluation.
+const KITTIClasses = models.KITTIClasses
+
+// NewYOLOv5s returns the YOLOv5s descriptor (7.02 M params with KITTI
+// classes) with deterministic synthetic weights.
+func NewYOLOv5s() *Model { return models.YOLOv5s(models.KITTIClasses) }
+
+// NewRetinaNet returns the RetinaNet-R50-FPN descriptor (36.49 M params
+// with KITTI classes).
+func NewRetinaNet() *Model { return models.RetinaNet(models.KITTIClasses) }
+
+// Table2Models returns the six detectors of the paper's Table 2.
+func Table2Models() []*Model { return models.Table2Models() }
+
+// NewRTOSS returns the R-TOSS pruner with the given entry count
+// (2 or 3 for the paper's variants; 4 and 5 for the sensitivity study).
+// It panics on other counts; use NewRTOSSWithConfig for error handling.
+func NewRTOSS(entries int) *core.Framework { return core.NewVariant(entries) }
+
+// NewRTOSSWithConfig builds an R-TOSS pruner from an explicit config
+// (ablation switches included).
+func NewRTOSSWithConfig(cfg RTOSSConfig) (*core.Framework, error) { return core.New(cfg) }
+
+// Baselines returns the five comparison frameworks: PatDNN, SparseML,
+// Network Slimming, Pruning Filters, Neural Pruning.
+func Baselines() []Pruner { return baselines.All() }
+
+// RTX2080Ti returns the desktop GPU platform model.
+func RTX2080Ti() Platform { return hw.RTX2080Ti() }
+
+// JetsonTX2 returns the embedded platform model.
+func JetsonTX2() Platform { return hw.JetsonTX2() }
+
+// Estimate computes the analytic latency/energy of a (possibly pruned)
+// model on a platform.
+func Estimate(m *Model, p Platform, s Structure) (*CostReport, error) {
+	return hw.Estimate(m, p, s)
+}
+
+// Assess scores a pruned model's accuracy with the information-
+// retention surrogate (see DESIGN.md for the substitution rationale).
+func Assess(orig, pruned *Model, res *Result) Quality {
+	return metrics.AssessPruned(orig, pruned, res)
+}
+
+// Forward runs a real forward pass and returns the final output tensor.
+func Forward(m *Model, input *Tensor) (*Tensor, error) { return engine.Output(m, input) }
+
+// NewTensor returns a zero-filled dense tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// Encode compresses a pruned model's weights in the format implied by
+// its sparsity structure and reports exact byte sizes.
+func Encode(m *Model, s Structure) *ModelEncoding {
+	var dict []uint16
+	if s == Pattern {
+		for _, e := range []int{2, 3, 4, 5} {
+			for _, mk := range pattern.NewDictionary(e).Masks {
+				dict = append(dict, uint16(mk))
+			}
+		}
+	}
+	return sparse.EncodeModel(m, s, dict)
+}
+
+// CanonicalPatterns returns the R-TOSS pattern dictionary for an entry
+// count (selected by the paper's combinatorics + adjacency + L2-usage
+// procedure).
+func CanonicalPatterns(entries int) Dictionary { return pattern.NewDictionary(entries) }
+
+// KITTIScenes generates n deterministic synthetic KITTI scenes.
+func KITTIScenes(seed uint64, n int) []Scene { return kitti.Dataset(seed, n, 640, 640) }
+
+// SceneMAP evaluates a detector quality score over scenes with the real
+// mAP evaluator (returns mAP in [0,1] at IoU 0.5).
+func SceneMAP(scenes []Scene, score float64, seed uint64) float64 {
+	return kitti.EvaluateScore(scenes, score, 0.5, seed)
+}
+
+// Experiment harness (one call per table/figure of the paper).
+var (
+	// Table1 regenerates the two-stage vs single-stage comparison.
+	Table1 = experiments.Table1
+	// Table2 regenerates model size vs TX2 execution time.
+	Table2 = experiments.Table2
+	// Table3 regenerates the entry-pattern sensitivity study.
+	Table3 = experiments.Table3
+	// Sensitivity returns Table 3 as structured rows.
+	Sensitivity = experiments.Sensitivity
+	// RunFrameworks measures every framework on one model.
+	RunFrameworks = experiments.RunFrameworks
+	// Fig4 regenerates the sparsity/compression comparison.
+	Fig4 = experiments.Fig4
+	// Fig5 regenerates the mAP comparison.
+	Fig5 = experiments.Fig5
+	// Fig6 regenerates the speedup comparison.
+	Fig6 = experiments.Fig6
+	// Fig7 regenerates the energy-reduction comparison.
+	Fig7 = experiments.Fig7
+	// Fig8 regenerates the qualitative KITTI scene comparison.
+	Fig8 = experiments.Fig8
+	// AblationDFS quantifies Algorithm 1's compute saving.
+	AblationDFS = experiments.AblationDFS
+	// AblationConnectivity contrasts kernel removal with R-TOSS.
+	AblationConnectivity = experiments.AblationConnectivity
+	// Ablation1x1 quantifies Algorithm 3's sparsity contribution.
+	Ablation1x1 = experiments.Ablation1x1
+	// RTOSSTradeoff sweeps the entry-pattern axis (5EP..2EP).
+	RTOSSTradeoff = experiments.RTOSSTradeoff
+	// NMSTradeoff sweeps SparseML's target sparsity.
+	NMSTradeoff = experiments.NMSTradeoff
+	// PDTradeoff sweeps PatDNN's connectivity fraction.
+	PDTradeoff = experiments.PDTradeoff
+)
+
+// TradeoffCurve is a sparsity/accuracy/latency design-space sweep.
+type TradeoffCurve = experiments.TradeoffCurve
+
+// TradeoffPoint is one operating point of a TradeoffCurve.
+type TradeoffPoint = experiments.TradeoffPoint

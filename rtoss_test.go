@@ -1,0 +1,132 @@
+package rtoss
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Integration tests over the public facade: the complete pipelines a
+// downstream user would run, exercised through the exported API only.
+
+func TestPublicPruneEvaluatePipeline(t *testing.T) {
+	m := NewYOLOv5s()
+	base := m.Clone()
+	res, err := NewRTOSS(2).Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CompressionRatio()-4.4) > 0.3 {
+		t.Errorf("compression %.2f, paper 4.4", res.CompressionRatio())
+	}
+	q := Assess(base, m, res)
+	if q.MAP <= 0 || q.MAP > 99 {
+		t.Errorf("surrogate mAP %v out of range", q.MAP)
+	}
+	for _, p := range []Platform{RTX2080Ti(), JetsonTX2()} {
+		baseCost, err := Estimate(base, p, Dense)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Estimate(m, p, res.Structure)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.Speedup(baseCost) <= 1.3 {
+			t.Errorf("%s speedup %.2f too low", p.Name, cost.Speedup(baseCost))
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	bs := Baselines()
+	if len(bs) != 5 {
+		t.Fatalf("baselines %d, want 5", len(bs))
+	}
+	m := NewYOLOv5s()
+	res, err := bs[0].Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sparsity() <= 0 {
+		t.Error("baseline pruned nothing")
+	}
+}
+
+func TestPublicEncode(t *testing.T) {
+	m := NewYOLOv5s()
+	res, err := NewRTOSS(3).Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := Encode(m, res.Structure)
+	if enc.CompressionRatio() <= 1.5 {
+		t.Errorf("encoded compression %.2f too low", enc.CompressionRatio())
+	}
+}
+
+func TestPublicForward(t *testing.T) {
+	// Real execution through the facade on a reduced-resolution input.
+	m := NewYOLOv5s()
+	m.InputH, m.InputW = 64, 64
+	input := NewTensor(1, 3, 64, 64)
+	for i := range input.Data {
+		input.Data[i] = float32(i%13)/13 - 0.5
+	}
+	out, err := Forward(m, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("empty forward output")
+	}
+}
+
+func TestPublicCanonicalPatterns(t *testing.T) {
+	total := len(CanonicalPatterns(2).Masks) + len(CanonicalPatterns(3).Masks)
+	if total != 21 {
+		t.Errorf("canonical patterns %d, paper says 21", total)
+	}
+}
+
+func TestPublicKITTIPipeline(t *testing.T) {
+	scenes := KITTIScenes(5, 20)
+	if len(scenes) != 20 {
+		t.Fatalf("scenes %d", len(scenes))
+	}
+	good := SceneMAP(scenes, 1.0, 3)
+	bad := SceneMAP(scenes, 0.7, 3)
+	if good <= bad {
+		t.Errorf("scene mAP ordering broken: %.3f vs %.3f", good, bad)
+	}
+}
+
+func TestPublicAblationConfig(t *testing.T) {
+	f, err := NewRTOSSWithConfig(RTOSSConfig{Entries: 3, UseDFSGrouping: false, Transform1x1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewYOLOv5s()
+	res, err := f.Prune(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InheritedKernels != 0 {
+		t.Error("grouping disabled but kernels inherited")
+	}
+	if _, err := NewRTOSSWithConfig(RTOSSConfig{Entries: 9}); err == nil {
+		t.Error("expected error for 9-entry config")
+	}
+}
+
+func TestPublicTablesRender(t *testing.T) {
+	for _, fn := range []func() (*Table, error){Table1, Table2, Table3} {
+		tab, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 || !strings.Contains(tab.Render(), "|") {
+			t.Error("table did not render")
+		}
+	}
+}
