@@ -2,6 +2,8 @@ package rtoss
 
 import (
 	"testing"
+
+	"rtoss/internal/rng"
 )
 
 // One benchmark per table and figure of the paper's evaluation (§V),
@@ -129,4 +131,46 @@ func BenchmarkSceneMAPEvaluation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = SceneMAP(scenes, 1.0, uint64(i))
 	}
+}
+
+// Execution-engine benchmarks: dense vs sparsity-aware forward passes
+// on a pattern-pruned YOLOv5s. The ratio of the dense and pattern-
+// sparse numbers is the measured end-to-end speedup semi-structured
+// pruning buys on this machine — the claim the whole paper rests on.
+
+// benchForwardPrunedYOLOv5s times Engine.Output on an R-TOSS-3EP-pruned
+// YOLOv5s at 64×64 under the given dispatch mode.
+func benchForwardPrunedYOLOv5s(b *testing.B, mode EngineMode) {
+	b.Helper()
+	m := NewYOLOv5s()
+	if _, err := NewRTOSS(3).Prune(m); err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(m, EngineOptions{Mode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(42)
+	in := NewTensor(1, 3, 64, 64)
+	for i := range in.Data {
+		in.Data[i] = float32(r.Range(-1, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Output(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardDensePrunedYOLOv5s(b *testing.B) {
+	benchForwardPrunedYOLOv5s(b, EngineDense)
+}
+
+func BenchmarkForwardPatternSparsePrunedYOLOv5s(b *testing.B) {
+	benchForwardPrunedYOLOv5s(b, EngineSparse)
+}
+
+func BenchmarkForwardAutoPrunedYOLOv5s(b *testing.B) {
+	benchForwardPrunedYOLOv5s(b, EngineAuto)
 }

@@ -5,6 +5,7 @@
 //	rtoss platforms           show the analytic platform models
 //	rtoss compare [flags]     full framework comparison on one model
 //	rtoss tradeoff [flags]    sparsity/accuracy/latency sweeps
+//	rtoss forward [flags]     run the real execution engine (-engine=dense|sparse|auto)
 //
 // Run any subcommand with -h for its flags.
 package main
@@ -15,8 +16,10 @@ import (
 	"os"
 
 	"rtoss"
+	"rtoss/internal/experiments"
 	"rtoss/internal/models"
 	"rtoss/internal/report"
+	"rtoss/internal/rng"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 		err = compare(os.Args[2:])
 	case "tradeoff":
 		err = tradeoff(os.Args[2:])
+	case "forward":
+		err = forward(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -50,7 +55,90 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward> [flags]")
+}
+
+// forward runs the real execution engine on a (optionally pruned) model
+// and reports wall-clock per pass, comparing the selected engine mode
+// against the dense baseline.
+func forward(args []string) error {
+	fs := flag.NewFlagSet("forward", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to run (yolov5s|retinanet)")
+	engineMode := fs.String("engine", "auto", "kernel dispatch: dense|sparse|auto")
+	entries := fs.Int("entries", 3, "R-TOSS entry patterns to prune with first (0 = leave dense)")
+	res := fs.Int("res", 64, "input resolution (HxW)")
+	runs := fs.Int("runs", 3, "timed passes per engine (best is reported)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := rtoss.ParseEngineMode(*engineMode)
+	if err != nil {
+		return err
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+	m, err := buildModel(*modelName)
+	if err != nil {
+		return err
+	}
+	if *entries > 0 {
+		fw, err := rtoss.NewRTOSSWithConfig(rtoss.RTOSSConfig{
+			Entries: *entries, UseDFSGrouping: true, Transform1x1: true,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Prune(m); err != nil {
+			return err
+		}
+		fmt.Printf("pruned with R-TOSS (%dEP): %.2f%% sparsity\n", *entries, 100*m.Sparsity())
+	}
+	in := rtoss.NewTensor(1, 3, *res, *res)
+	r := rng.New(7)
+	for i := range in.Data {
+		in.Data[i] = float32(r.Range(-1, 1))
+	}
+
+	timeEngine := func(mode rtoss.EngineMode) (float64, *rtoss.Tensor, error) {
+		e, err := rtoss.NewEngine(m, rtoss.EngineOptions{Mode: mode, Workers: *workers})
+		if err != nil {
+			return 0, nil, err
+		}
+		if mode != rtoss.EngineDense {
+			p, c := e.SparseLayers()
+			fmt.Printf("%-7s engine: %d pattern-sparse layers, %d CSR layers\n", mode, p, c)
+		}
+		return experiments.MeasureForward(e, in, *runs)
+	}
+
+	t, out, err := timeEngine(mode)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s engine: %.2f ms/pass (%d runs, %dx%d input, output %v)\n",
+		mode, t*1e3, *runs, *res, *res, out.Shape())
+	if mode == rtoss.EngineDense {
+		return nil
+	}
+	td, outDense, err := timeEngine(rtoss.EngineDense)
+	if err != nil {
+		return err
+	}
+	var maxDiff float64
+	for i := range out.Data {
+		d := float64(out.Data[i] - outDense.Data[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("%-7s engine: %.2f ms/pass\n", rtoss.EngineDense, td*1e3)
+	fmt.Printf("measured speedup: %.2fx (max abs output diff %.2g)\n", td/t, maxDiff)
+	return nil
 }
 
 func buildModel(name string) (*rtoss.Model, error) {
@@ -172,7 +260,7 @@ func compare(args []string) error {
 	t := &report.Table{
 		Title: "Framework comparison on " + zooName,
 		Headers: []string{"Framework", "Compression", "mAP", "GPU ms", "GPU speedup",
-			"TX2 ms", "TX2 speedup", "TX2 energy J"},
+			"TX2 ms", "TX2 speedup", "TX2 energy J", "Measured ms", "Measured speedup"},
 	}
 	for _, r := range rs {
 		t.AddRow(r.Framework,
@@ -182,7 +270,9 @@ func compare(args []string) error {
 			fmt.Sprintf("%.2fx", r.SpeedupGPU),
 			fmt.Sprintf("%.0f", r.TimeTX2*1e3),
 			fmt.Sprintf("%.2fx", r.SpeedupTX2),
-			fmt.Sprintf("%.2f", r.EnergyTX2))
+			fmt.Sprintf("%.2f", r.EnergyTX2),
+			fmt.Sprintf("%.1f", r.MeasuredSparse*1e3),
+			fmt.Sprintf("%.2fx", r.MeasuredSpeedup))
 	}
 	fmt.Print(t.Render())
 	return nil

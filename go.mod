@@ -1,0 +1,3 @@
+module rtoss
+
+go 1.24

@@ -266,6 +266,9 @@ func TestNeuralPruningCombinesBoth(t *testing.T) {
 }
 
 func TestBaselinesRespectNoPrune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full baseline sweep in -short mode")
+	}
 	m := models.RetinaNet(models.KITTIClasses)
 	for _, p := range All() {
 		mm := m.Clone()
@@ -281,6 +284,9 @@ func TestBaselinesRespectNoPrune(t *testing.T) {
 }
 
 func TestBaselineSparsityOrderOnYOLOv5s(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full baseline sweep in -short mode")
+	}
 	// NMS (global 70% unstructured) must induce more sparsity than the
 	// structured baselines at their defaults; all must be below
 	// R-TOSS-2EP's 7/9 on prunable weights (Fig 4's shape).

@@ -20,6 +20,9 @@ func results(t *testing.T, model string) map[string]FrameworkResult {
 }
 
 func TestRunFrameworksLineup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	rs, err := RunFrameworks("YOLOv5s")
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +36,9 @@ func TestRunFrameworksLineup(t *testing.T) {
 }
 
 func TestRunFrameworksCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	a, err := RunFrameworks("YOLOv5s")
 	if err != nil {
 		t.Fatal(err)
@@ -47,6 +53,9 @@ func TestRunFrameworksCached(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	// Fig 4: R-TOSS-2EP achieves the highest compression on both models
 	// (the paper's headline 4.4x / 2.89x).
 	for _, model := range EvalModels {
@@ -72,6 +81,9 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	// Fig 5: R-TOSS beats every non-pattern framework on mAP, and beats
 	// the base model.
 	for _, model := range EvalModels {
@@ -91,6 +103,9 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	// Fig 6: R-TOSS variants are the fastest frameworks on both models
 	// and platforms; 2EP > 3EP; TX2 YOLOv5s speedups land near the
 	// paper's 2.12x/2.15x.
@@ -118,6 +133,9 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	// Fig 7: R-TOSS saves the most energy; reductions on YOLOv5s/TX2
 	// sit in the paper's ~55-60% band.
 	for _, model := range EvalModels {
@@ -139,6 +157,9 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestTable1Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow analytic table regeneration in -short mode")
+	}
 	tab, err := Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +176,9 @@ func TestTable1Renders(t *testing.T) {
 }
 
 func TestTable2MatchesPaperWithin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow analytic table regeneration in -short mode")
+	}
 	tab, err := Table2()
 	if err != nil {
 		t.Fatal(err)
@@ -169,6 +193,9 @@ func TestTable2MatchesPaperWithin(t *testing.T) {
 }
 
 func TestTable3RowsAndOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow analytic table regeneration in -short mode")
+	}
 	rows, err := Sensitivity()
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +222,9 @@ func TestTable3RowsAndOrdering(t *testing.T) {
 }
 
 func TestFig8ShowsTinyCarBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	out, err := Fig8(70)
 	if err != nil {
 		t.Fatal(err)
@@ -256,6 +286,9 @@ func TestAblation1x1Doubles(t *testing.T) {
 }
 
 func TestSceneMAPOrderingMatchesSurrogate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework lineup in -short mode")
+	}
 	// The end-to-end scene evaluation must rank R-TOSS above the
 	// structured baselines, like the surrogate does.
 	maps, err := SceneMAP("RetinaNet", []string{"R-TOSS (2EP)", "Pruning Filters (PF)", "Base Model (BM)"}, 60)

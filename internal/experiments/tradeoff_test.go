@@ -28,6 +28,9 @@ func TestRTOSSTradeoffMonotone(t *testing.T) {
 }
 
 func TestNMSTradeoffAccuracyFalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow tradeoff sweep in -short mode")
+	}
 	c, err := NMSTradeoff("YOLOv5s", []float64{0.5, 0.7, 0.9})
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +58,9 @@ func TestPDTradeoffConnectivityHurtsAccuracy(t *testing.T) {
 }
 
 func TestRTOSSDominatesNMSSomewhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow tradeoff sweep in -short mode")
+	}
 	// The paper's overall claim in trade-off terms: some R-TOSS point
 	// Pareto-dominates the NMS default operating point.
 	rt, err := RTOSSTradeoff("YOLOv5s")
@@ -103,6 +109,9 @@ func TestParetoDominates(t *testing.T) {
 }
 
 func TestFigsRenderNonEmpty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow tradeoff sweep in -short mode")
+	}
 	for name, fig := range map[string]func() (string, error){
 		"Fig4": Fig4, "Fig5": Fig5, "Fig6": Fig6, "Fig7": Fig7,
 	} {

@@ -218,6 +218,9 @@ func pruneWithPD(t *testing.T, m *nn.Model) prune.Structure {
 }
 
 func TestTable2OrderingMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping two-stage zoo estimation in -short mode")
+	}
 	// Table 2 row order (by execution time on TX2): YOLOv5s < YOLOX <
 	// YOLOv7 < RetinaNet < YOLOR < DETR must be monotone except the
 	// paper's own YOLOv7/RetinaNet inversion, which we preserve the
@@ -239,6 +242,9 @@ func TestTable2OrderingMatchesPaper(t *testing.T) {
 }
 
 func TestEstimateTwoStage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping two-stage zoo estimation in -short mode")
+	}
 	zoo := models.Zoo()
 	rcnn := zoo[0]
 	p := RTX2080Ti()
@@ -256,6 +262,9 @@ func TestEstimateTwoStage(t *testing.T) {
 }
 
 func TestTable1FPSOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping two-stage zoo estimation in -short mode")
+	}
 	// Table 1's shape: fps(R-CNN) << fps(Fast) << fps(Faster) <<
 	// fps(single-stage detectors).
 	p := RTX2080Ti()

@@ -144,6 +144,9 @@ func TestSurrogateTable3YOLOv5s(t *testing.T) {
 }
 
 func TestSurrogateTable3RetinaNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework sweep in -short mode")
+	}
 	// Paper: RetinaNet 3EP 79.45, 2EP 82.9 — the flip (2EP > 3EP) must
 	// reproduce even though it reverses on YOLOv5s.
 	orig := models.RetinaNet(models.KITTIClasses)
@@ -165,6 +168,9 @@ func TestSurrogateTable3RetinaNet(t *testing.T) {
 }
 
 func TestSurrogateFig5Orderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full framework sweep in -short mode")
+	}
 	// Fig 5's shape on both models: R-TOSS beats NMS (best prior
 	// non-pattern framework); NS/PF are the worst; on YOLOv5s PD
 	// slightly outperforms R-TOSS-3EP (the paper concedes this).

@@ -57,6 +57,9 @@ func TestRetinaNetMatchesPaper(t *testing.T) {
 }
 
 func TestTable2ParamColumn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping paper-scale model construction in -short mode")
+	}
 	// Table 2 of the paper: parameters in millions.
 	want := map[string]float64{
 		"YOLOv5s":   7.02e6,
@@ -94,6 +97,9 @@ func TestAllModelsValidate(t *testing.T) {
 }
 
 func TestAllModelsHaveWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping paper-scale model construction in -short mode")
+	}
 	for _, m := range Table2Models() {
 		for _, l := range m.ConvLayers() {
 			if l.Weight == nil {
@@ -107,6 +113,9 @@ func TestAllModelsHaveWeights(t *testing.T) {
 }
 
 func TestZooTwoStageStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping paper-scale model construction in -short mode")
+	}
 	zoo := Zoo()
 	if len(zoo) != 6 {
 		t.Fatalf("zoo size %d", len(zoo))
@@ -126,6 +135,9 @@ func TestZooTwoStageStructure(t *testing.T) {
 }
 
 func TestTwoStageMACsDominatedByRegions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping paper-scale model construction in -short mode")
+	}
 	// The defining property of R-CNN: per-region evaluation dominates.
 	rcnn := Zoo()[0]
 	base, _ := rcnn.Model.MACs()

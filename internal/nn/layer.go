@@ -77,6 +77,11 @@ type Layer struct {
 	// means 1). RetinaNet's shared heads are instantiated once but run
 	// on five pyramid levels; their layers carry the spatial sum ratio.
 	MACScale float64
+	// Structure records the sparsity structure of the pruner that last
+	// touched this layer (SparsityDense when never pruned). The
+	// execution engine's auto mode uses it to pick a dense or sparse
+	// kernel per layer.
+	Structure Sparsity
 
 	// Conv fields. Weight is laid out [OutC, InC/Groups, KH, KW].
 	InC, OutC          int

@@ -1,0 +1,40 @@
+package nn
+
+import "fmt"
+
+// Sparsity classifies the sparsity structure pruning induces. It lives
+// here (rather than in internal/prune, which aliases it as
+// prune.Structure) so that layer descriptors can record the structure a
+// pruner left behind and the execution engine can dispatch dense or
+// sparse kernels per layer without import cycles.
+type Sparsity int
+
+// Sparsity structures, ordered roughly by regularity.
+const (
+	// SparsityDense: no pruning (the Base Model).
+	SparsityDense Sparsity = iota
+	// SparsityUnstructured: element-wise sparsity (magnitude pruning).
+	SparsityUnstructured
+	// SparsityPattern: semi-structured kernel patterns (R-TOSS, PatDNN).
+	SparsityPattern
+	// SparsityChannel: whole input channels removed (Network Slimming).
+	SparsityChannel
+	// SparsityFilter: whole filters removed (Pruning Filters).
+	SparsityFilter
+	// SparsityMixed: filter pruning combined with unstructured weight
+	// pruning (Neural Pruning).
+	SparsityMixed
+)
+
+var sparsityNames = map[Sparsity]string{
+	SparsityDense: "dense", SparsityUnstructured: "unstructured",
+	SparsityPattern: "pattern", SparsityChannel: "channel",
+	SparsityFilter: "filter", SparsityMixed: "mixed",
+}
+
+func (s Sparsity) String() string {
+	if n, ok := sparsityNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Structure(%d)", int(s))
+}

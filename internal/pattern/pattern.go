@@ -14,6 +14,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"rtoss/internal/rng"
 	"rtoss/internal/tensor"
@@ -303,11 +304,18 @@ const canonicalSeed = 0x52544f5353 // "RTOSS"
 // the canonical dictionaries.
 const canonicalKernels = 200000
 
-var dictCache = map[int]Dictionary{}
+var (
+	dictMu    sync.Mutex
+	dictCache = map[int]Dictionary{}
+)
 
 // NewDictionary returns the canonical dictionary for the given entry
-// count (2, 3, 4 or 5), computing and caching it on first use.
+// count (2, 3, 4 or 5), computing and caching it on first use. It is
+// safe for concurrent use (the execution engine compiles layers against
+// these dictionaries from worker goroutines).
 func NewDictionary(entries int) Dictionary {
+	dictMu.Lock()
+	defer dictMu.Unlock()
 	if d, ok := dictCache[entries]; ok {
 		return d
 	}

@@ -5,7 +5,6 @@
 package prune
 
 import (
-	"fmt"
 	"time"
 
 	"rtoss/internal/nn"
@@ -13,38 +12,28 @@ import (
 
 // Structure classifies the sparsity structure a framework induces. The
 // hardware model maps structure to effective GPU utilisation (regular
-// sparsity is acceleratable; irregular sparsity mostly is not), and the
-// sparse package maps it to a storage format.
-type Structure int
+// sparsity is acceleratable; irregular sparsity mostly is not), the
+// sparse package maps it to a storage format, and the execution engine
+// maps it to a dense or sparse convolution kernel. The underlying type
+// lives in package nn so layer descriptors can record it per layer.
+type Structure = nn.Sparsity
 
 // Sparsity structures, ordered roughly by regularity.
 const (
 	// Dense: no pruning (the Base Model).
-	Dense Structure = iota
+	Dense = nn.SparsityDense
 	// Unstructured: element-wise sparsity (magnitude pruning).
-	Unstructured
+	Unstructured = nn.SparsityUnstructured
 	// Pattern: semi-structured kernel patterns (R-TOSS, PatDNN).
-	Pattern
+	Pattern = nn.SparsityPattern
 	// Channel: whole input channels removed (Network Slimming).
-	Channel
+	Channel = nn.SparsityChannel
 	// Filter: whole filters removed (Pruning Filters).
-	Filter
+	Filter = nn.SparsityFilter
 	// Mixed: filter pruning combined with unstructured weight pruning
 	// (Neural Pruning).
-	Mixed
+	Mixed = nn.SparsityMixed
 )
-
-var structureNames = map[Structure]string{
-	Dense: "dense", Unstructured: "unstructured", Pattern: "pattern",
-	Channel: "channel", Filter: "filter", Mixed: "mixed",
-}
-
-func (s Structure) String() string {
-	if n, ok := structureNames[s]; ok {
-		return n
-	}
-	return fmt.Sprintf("Structure(%d)", int(s))
-}
 
 // Pruner is a pruning framework. Prune mutates the model's weight
 // tensors in place (callers pass a clone when the original matters) and
@@ -146,8 +135,15 @@ func (r *Result) CompressionRatio() float64 {
 
 // FillParams computes ParamsTotal/ParamsNNZ from the model after
 // pruning: all parameters count, zeros in prunable weight tensors drop
-// out of ParamsNNZ.
+// out of ParamsNNZ. It also records the run's sparsity structure on
+// every layer the pruner touched, which is what the execution engine's
+// auto mode dispatches sparse kernels on.
 func (r *Result) FillParams(m *nn.Model) {
+	for _, s := range r.Layers {
+		if s.NNZAfter < s.NNZBefore {
+			m.Layers[s.LayerID].Structure = r.Structure
+		}
+	}
 	r.ParamsTotal = m.Params()
 	var nnz int64
 	for _, l := range m.Layers {

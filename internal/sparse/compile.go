@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"fmt"
+	"math/bits"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/tensor"
+)
+
+// compile.go lowers the storage encodings of this package into the
+// executable sparse-convolution formats of internal/tensor. Storage
+// formats optimise bytes on the wire; the compiled formats optimise the
+// inner loop of a forward pass (precomputed tap offsets, prefix value
+// pointers). The split keeps internal/tensor free of model/pruning
+// imports.
+
+// maskTaps returns the set bit positions of mask in ascending order.
+func maskTaps(mask uint16) []int32 {
+	taps := make([]int32, 0, bits.OnesCount16(mask))
+	for i := 0; i < 16; i++ {
+		if mask&(1<<i) != 0 {
+			taps = append(taps, int32(i))
+		}
+	}
+	return taps
+}
+
+// Conv compiles a pattern-grouped encoding of a conv weight
+// [outC, inCPerG, kh, kw] into the executable pattern format. The
+// encoding's kernel size must equal kh*kw and cover outC*inCPerG
+// kernels.
+func (p *PatternGrouped) Conv(outC, inCPerG, kh, kw int) (*tensor.PatternConv, error) {
+	if p.KernelSize != kh*kw {
+		return nil, fmt.Errorf("sparse: pattern kernel size %d does not match %dx%d", p.KernelSize, kh, kw)
+	}
+	if len(p.Index) != outC*inCPerG {
+		return nil, fmt.Errorf("sparse: pattern encoding has %d kernels, conv needs %d", len(p.Index), outC*inCPerG)
+	}
+	pc := &tensor.PatternConv{
+		OutC: outC, InCPerG: inCPerG, KH: kh, KW: kw,
+		DictTaps: make([][]int32, len(p.Dict)),
+		Index:    p.Index,
+		ValPtr:   make([]int32, len(p.Index)),
+		Values:   p.Values,
+	}
+	for d, mask := range p.Dict {
+		pc.DictTaps[d] = maskTaps(mask)
+	}
+	at := int32(0)
+	for k, idx := range p.Index {
+		pc.ValPtr[k] = at
+		at += int32(len(pc.DictTaps[idx]))
+	}
+	if int(at) != len(p.Values) {
+		return nil, fmt.Errorf("sparse: pattern encoding has %d values, tap counts sum to %d", len(p.Values), at)
+	}
+	return pc, nil
+}
+
+// Conv compiles a CSR encoding of a conv weight viewed as
+// [outC, inCPerG*kh*kw] into the executable CSR format.
+func (c *CSR) Conv(kh, kw int) (*tensor.CSRConv, error) {
+	if kh*kw <= 0 || c.Cols%(kh*kw) != 0 {
+		return nil, fmt.Errorf("sparse: CSR cols %d not divisible by kernel size %dx%d", c.Cols, kh, kw)
+	}
+	return &tensor.CSRConv{
+		OutC: c.Rows, InCPerG: c.Cols / (kh * kw), KH: kh, KW: kw,
+		RowPtr: c.RowPtr, ColIdx: c.ColIdx, Values: c.Values,
+	}, nil
+}
+
+// Conv compiles a bitmap-kernel encoding of a conv weight
+// [outC, inCPerG, kh, kw] into the executable CSR format (a bitmap is a
+// per-kernel mask without the shared dictionary, so CSR is its natural
+// execution lowering).
+func (b *BitmapKernels) Conv(outC, inCPerG, kh, kw int) (*tensor.CSRConv, error) {
+	ks := kh * kw
+	if b.KernelSize != ks {
+		return nil, fmt.Errorf("sparse: bitmap kernel size %d does not match %dx%d", b.KernelSize, kh, kw)
+	}
+	if len(b.Masks) != outC*inCPerG {
+		return nil, fmt.Errorf("sparse: bitmap encoding has %d kernels, conv needs %d", len(b.Masks), outC*inCPerG)
+	}
+	cc := &tensor.CSRConv{
+		OutC: outC, InCPerG: inCPerG, KH: kh, KW: kw,
+		RowPtr: make([]int32, outC+1),
+		ColIdx: make([]int32, 0, len(b.Values)),
+		Values: b.Values,
+	}
+	for oc := 0; oc < outC; oc++ {
+		for ic := 0; ic < inCPerG; ic++ {
+			mask := b.Masks[oc*inCPerG+ic]
+			for _, t := range maskTaps(mask) {
+				cc.ColIdx = append(cc.ColIdx, int32(ic*ks)+t)
+			}
+		}
+		cc.RowPtr[oc+1] = int32(len(cc.ColIdx))
+	}
+	if len(cc.ColIdx) != len(cc.Values) {
+		return nil, fmt.Errorf("sparse: bitmap encoding has %d values for %d set bits", len(cc.Values), len(cc.ColIdx))
+	}
+	return cc, nil
+}
+
+// CompilePatternConv encodes a conv layer's weights in the
+// pattern-grouped format against the given mask dictionary and compiles
+// the result for execution. It fails (like EncodePatternGrouped) when
+// any kernel's occupancy mask is absent from the dictionary.
+func CompilePatternConv(l *nn.Layer, dict []uint16) (*tensor.PatternConv, error) {
+	if l.Kind != nn.Conv || l.Weight == nil {
+		return nil, fmt.Errorf("sparse: layer %q is not a weighted conv", l.Name)
+	}
+	ks := l.KH * l.KW
+	if ks > 16 {
+		return nil, fmt.Errorf("sparse: %dx%d kernels exceed the 16-bit mask", l.KH, l.KW)
+	}
+	pg, err := EncodePatternGrouped(l.Weight.Data, ks, dict)
+	if err != nil {
+		return nil, err
+	}
+	return pg.Conv(l.OutC, l.InC/l.Group, l.KH, l.KW)
+}
+
+// CompileCSRConv encodes a conv layer's weights as CSR and compiles the
+// result for execution.
+func CompileCSRConv(l *nn.Layer) (*tensor.CSRConv, error) {
+	if l.Kind != nn.Conv || l.Weight == nil {
+		return nil, fmt.Errorf("sparse: layer %q is not a weighted conv", l.Name)
+	}
+	inCPerG := l.InC / l.Group
+	csr := EncodeCSR(l.Weight.Data, l.OutC, inCPerG*l.KH*l.KW)
+	return csr.Conv(l.KH, l.KW)
+}

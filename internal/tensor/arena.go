@@ -1,0 +1,70 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Arena recycles tensor buffers within a bounded scope (one forward
+// pass, typically): instead of allocating a fresh tensor per layer and
+// leaving the garbage collector to clean up, the execution engine
+// returns each activation to the arena as soon as its last consumer has
+// run and the next layer of the same size reuses the buffer.
+//
+// Arena is safe for concurrent use by multiple goroutines.
+type Arena struct {
+	mu   sync.Mutex
+	free map[int][]*Tensor // released tensors keyed by element count
+
+	gets, reuses int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: map[int][]*Tensor{}}
+}
+
+// Get returns a tensor of the given shape, reusing a previously
+// released buffer of identical element count when one is available.
+// Unlike New, the contents of the returned tensor are UNSPECIFIED
+// (reused buffers keep their old data); callers must overwrite every
+// element.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	a.mu.Lock()
+	a.gets++
+	if list := a.free[n]; len(list) > 0 {
+		t := list[len(list)-1]
+		a.free[n] = list[:len(list)-1]
+		a.reuses++
+		a.mu.Unlock()
+		return t.Reshape(shape...)
+	}
+	a.mu.Unlock()
+	return New(shape...)
+}
+
+// Put releases a tensor's buffer back to the arena. The caller must not
+// use t (or any view sharing its data) afterwards.
+func (a *Arena) Put(t *Tensor) {
+	if t == nil || len(t.Data) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.free[len(t.Data)] = append(a.free[len(t.Data)], t)
+	a.mu.Unlock()
+}
+
+// Stats reports how many Get calls the arena served and how many of
+// them reused a released buffer instead of allocating.
+func (a *Arena) Stats() (gets, reuses int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gets, a.reuses
+}

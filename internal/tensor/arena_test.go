@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaReusesBuffers(t *testing.T) {
+	a := NewArena()
+	t1 := a.Get(2, 3, 4)
+	data := &t1.Data[0]
+	a.Put(t1)
+	t2 := a.Get(4, 3, 2) // same element count, different shape
+	if &t2.Data[0] != data {
+		t.Fatal("arena did not reuse the released buffer")
+	}
+	if t2.Dim(0) != 4 || t2.Dim(1) != 3 || t2.Dim(2) != 2 {
+		t.Fatalf("reused tensor has shape %v", t2.Shape())
+	}
+	t3 := a.Get(2, 3, 4) // nothing free: fresh allocation
+	if &t3.Data[0] == data {
+		t.Fatal("arena handed out a live buffer twice")
+	}
+	gets, reuses := a.Stats()
+	if gets != 3 || reuses != 1 {
+		t.Fatalf("stats = %d gets / %d reuses, want 3/1", gets, reuses)
+	}
+}
+
+func TestArenaDifferentSizesDoNotMix(t *testing.T) {
+	a := NewArena()
+	small := a.Get(2, 2)
+	a.Put(small)
+	big := a.Get(3, 3)
+	if len(big.Data) != 9 {
+		t.Fatalf("big tensor has %d elements", len(big.Data))
+	}
+	if _, reuses := a.Stats(); reuses != 0 {
+		t.Fatal("arena reused a buffer of the wrong size")
+	}
+}
+
+func TestArenaConcurrentUse(t *testing.T) {
+	a := NewArena()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tt := a.Get(4, 4)
+				tt.Fill(1)
+				a.Put(tt)
+			}
+		}()
+	}
+	wg.Wait()
+	gets, _ := a.Stats()
+	if gets != 800 {
+		t.Fatalf("gets = %d, want 800", gets)
+	}
+}

@@ -8,36 +8,68 @@ func ConvOut(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
 }
 
+// convCheck validates common convolution arguments and returns the
+// output spatial size.
+func convCheck(input *Tensor, k, cg, r, s int, bias []float32, stride, pad, groups int) (oh, ow int) {
+	if input.Rank() != 4 {
+		panic("tensor: convolution requires a 4-D input")
+	}
+	c, h, w := input.Dim(1), input.Dim(2), input.Dim(3)
+	if groups < 1 {
+		panic("tensor: convolution groups must be >= 1")
+	}
+	if c%groups != 0 || k%groups != 0 {
+		panic(fmt.Sprintf("tensor: convolution channels %d / filters %d not divisible by groups %d", c, k, groups))
+	}
+	if cg != c/groups {
+		panic(fmt.Sprintf("tensor: convolution weight expects %d input channels per group, input has %d", cg, c/groups))
+	}
+	if bias != nil && len(bias) != k {
+		panic("tensor: convolution bias length must equal output channels")
+	}
+	oh = ConvOut(h, r, stride, pad)
+	ow = ConvOut(w, s, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: convolution produces empty output for input %dx%d kernel %dx%d stride %d pad %d", h, w, r, s, stride, pad))
+	}
+	return oh, ow
+}
+
+// checkConvDst validates that dst has shape [n, k, oh, ow].
+func checkConvDst(dst *Tensor, n, k, oh, ow int) {
+	if dst.Rank() != 4 || dst.Dim(0) != n || dst.Dim(1) != k || dst.Dim(2) != oh || dst.Dim(3) != ow {
+		panic(fmt.Sprintf("tensor: convolution dst shape %v, want [%d %d %d %d]", dst.Shape(), n, k, oh, ow))
+	}
+}
+
 // Conv2D computes a 2-D cross-correlation (the deep-learning "convolution")
 // of input [N, C, H, W] with weight [K, C/groups, R, S], optional bias [K],
 // stride and symmetric zero padding. It uses the direct algorithm; see
 // Conv2DIm2col for the GEMM-based path used to cross-check it.
 func Conv2D(input, weight *Tensor, bias []float32, stride, pad, groups int) *Tensor {
-	if input.Rank() != 4 || weight.Rank() != 4 {
-		panic("tensor: Conv2D requires 4-D input and weight")
+	if weight.Rank() != 4 {
+		panic("tensor: Conv2D requires a 4-D weight")
+	}
+	oh, ow := convCheck(input, weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3), bias, stride, pad, groups)
+	out := New(input.Dim(0), weight.Dim(0), oh, ow)
+	Conv2DInto(out, input, weight, bias, stride, pad, groups)
+	return out
+}
+
+// Conv2DInto is Conv2D writing into a caller-provided dst tensor of
+// shape [N, K, OH, OW] (every element is overwritten, so dst need not
+// be zeroed). It lets callers reuse activation buffers across layers.
+func Conv2DInto(dst, input, weight *Tensor, bias []float32, stride, pad, groups int) {
+	if weight.Rank() != 4 {
+		panic("tensor: Conv2DInto requires a 4-D weight")
 	}
 	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
 	k, cg, r, s := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
-	if groups < 1 {
-		panic("tensor: Conv2D groups must be >= 1")
-	}
-	if c%groups != 0 || k%groups != 0 {
-		panic(fmt.Sprintf("tensor: Conv2D channels %d / filters %d not divisible by groups %d", c, k, groups))
-	}
-	if cg != c/groups {
-		panic(fmt.Sprintf("tensor: Conv2D weight expects %d input channels per group, input has %d", cg, c/groups))
-	}
-	if bias != nil && len(bias) != k {
-		panic("tensor: Conv2D bias length must equal output channels")
-	}
-	oh := ConvOut(h, r, stride, pad)
-	ow := ConvOut(w, s, stride, pad)
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Conv2D produces empty output for input %dx%d kernel %dx%d stride %d pad %d", h, w, r, s, stride, pad))
-	}
-	out := New(n, k, oh, ow)
+	oh, ow := convCheck(input, k, cg, r, s, bias, stride, pad, groups)
+	checkConvDst(dst, n, k, oh, ow)
 	kPerG := k / groups
 	cPerG := c / groups
+	in, wd, od := input.Data, weight.Data, dst.Data
 	for b := 0; b < n; b++ {
 		for ok := 0; ok < k; ok++ {
 			g := ok / kPerG
@@ -45,31 +77,36 @@ func Conv2D(input, weight *Tensor, bias []float32, stride, pad, groups int) *Ten
 			if bias != nil {
 				bv = bias[ok]
 			}
+			wBase0 := ok * cPerG * r * s
+			outPlane := od[((b*k+ok)*oh)*ow : ((b*k+ok)*oh+oh)*ow]
 			for oy := 0; oy < oh; oy++ {
+				outRow := outPlane[oy*ow : (oy+1)*ow]
 				for ox := 0; ox < ow; ox++ {
 					acc := bv
 					for ic := 0; ic < cPerG; ic++ {
-						inC := g*cPerG + ic
+						inPlane := in[((b*c+g*cPerG+ic)*h)*w:]
+						wBase := wBase0 + ic*r*s
 						for ky := 0; ky < r; ky++ {
 							iy := oy*stride - pad + ky
 							if iy < 0 || iy >= h {
 								continue
 							}
+							inRow := inPlane[iy*w : iy*w+w]
+							wRow := wd[wBase+ky*s : wBase+ky*s+s]
 							for kx := 0; kx < s; kx++ {
 								ix := ox*stride - pad + kx
 								if ix < 0 || ix >= w {
 									continue
 								}
-								acc += input.At(b, inC, iy, ix) * weight.At(ok, ic, ky, kx)
+								acc += inRow[ix] * wRow[kx]
 							}
 						}
 					}
-					out.Set(acc, b, ok, oy, ox)
+					outRow[ox] = acc
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Im2col unfolds input [N, C, H, W] into a matrix of shape
@@ -174,6 +211,17 @@ func MaxPool2D(input *Tensor, kernel, stride, pad int) *Tensor {
 	oh := ConvOut(h, kernel, stride, pad)
 	ow := ConvOut(w, kernel, stride, pad)
 	out := New(n, c, oh, ow)
+	MaxPool2DInto(out, input, kernel, stride, pad)
+	return out
+}
+
+// MaxPool2DInto is MaxPool2D writing into a caller-provided dst of
+// shape [N, C, OH, OW]; every element is overwritten.
+func MaxPool2DInto(out, input *Tensor, kernel, stride, pad int) {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh := ConvOut(h, kernel, stride, pad)
+	ow := ConvOut(w, kernel, stride, pad)
+	checkConvDst(out, n, c, oh, ow)
 	for b := 0; b < n; b++ {
 		for ic := 0; ic < c; ic++ {
 			for oy := 0; oy < oh; oy++ {
@@ -202,23 +250,50 @@ func MaxPool2D(input *Tensor, kernel, stride, pad int) *Tensor {
 			}
 		}
 	}
+}
+
+// UpsampleNearest scales spatial dimensions by an exact integer factor
+// using nearest-neighbour copy: out[y][x] = in[y/scale][x/scale]. It
+// panics when scale < 1.
+func UpsampleNearest(input *Tensor, scale int) *Tensor {
+	if scale < 1 {
+		panic(fmt.Sprintf("tensor: UpsampleNearest scale %d must be >= 1", scale))
+	}
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	out := New(n, c, scale*h, scale*w)
+	UpsampleNearestInto(out, input, scale)
 	return out
+}
+
+// UpsampleNearestInto is UpsampleNearest writing into a caller-provided
+// dst of shape [N, C, scale*H, scale*W]; every element is overwritten.
+func UpsampleNearestInto(out, input *Tensor, scale int) {
+	if scale < 1 {
+		panic(fmt.Sprintf("tensor: UpsampleNearest scale %d must be >= 1", scale))
+	}
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh, ow := scale*h, scale*w
+	checkConvDst(out, n, c, oh, ow)
+	for p := 0; p < n*c; p++ {
+		inPlane := input.Data[p*h*w : (p+1)*h*w]
+		outPlane := out.Data[p*oh*ow : (p+1)*oh*ow]
+		for y := 0; y < oh; y++ {
+			inRow := inPlane[(y/scale)*w : (y/scale+1)*w]
+			outRow := outPlane[y*ow : (y+1)*ow]
+			if scale == 1 {
+				copy(outRow, inRow)
+				continue
+			}
+			for x := 0; x < ow; x++ {
+				outRow[x] = inRow[x/scale]
+			}
+		}
+	}
 }
 
 // UpsampleNearest2x doubles spatial dimensions by nearest-neighbour copy.
 func UpsampleNearest2x(input *Tensor) *Tensor {
-	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
-	out := New(n, c, 2*h, 2*w)
-	for b := 0; b < n; b++ {
-		for ic := 0; ic < c; ic++ {
-			for y := 0; y < 2*h; y++ {
-				for x := 0; x < 2*w; x++ {
-					out.Set(input.At(b, ic, y/2, x/2), b, ic, y, x)
-				}
-			}
-		}
-	}
-	return out
+	return UpsampleNearest(input, 2)
 }
 
 // ConcatChannels concatenates 4-D tensors along the channel dimension.
@@ -236,19 +311,33 @@ func ConcatChannels(ts ...*Tensor) *Tensor {
 		total += t.Dim(1)
 	}
 	out := New(n, total, h, w)
+	ConcatChannelsInto(out, ts...)
+	return out
+}
+
+// ConcatChannelsInto is ConcatChannels writing into a caller-provided
+// dst of shape [N, sum(C_i), H, W]; every element is overwritten.
+func ConcatChannelsInto(out *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		panic("tensor: ConcatChannels of nothing")
+	}
+	n, h, w := ts[0].Dim(0), ts[0].Dim(2), ts[0].Dim(3)
+	total := 0
+	for _, t := range ts {
+		if t.Dim(0) != n || t.Dim(2) != h || t.Dim(3) != w {
+			panic("tensor: ConcatChannels shape mismatch")
+		}
+		total += t.Dim(1)
+	}
+	checkConvDst(out, n, total, h, w)
 	at := 0
 	for _, t := range ts {
 		c := t.Dim(1)
 		for b := 0; b < n; b++ {
-			for ic := 0; ic < c; ic++ {
-				for y := 0; y < h; y++ {
-					for x := 0; x < w; x++ {
-						out.Set(t.At(b, ic, y, x), b, at+ic, y, x)
-					}
-				}
-			}
+			src := t.Data[b*c*h*w : (b+1)*c*h*w]
+			dst := out.Data[(b*total+at)*h*w : (b*total+at+c)*h*w]
+			copy(dst, src)
 		}
 		at += c
 	}
-	return out
 }

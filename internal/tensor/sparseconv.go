@@ -1,0 +1,198 @@
+package tensor
+
+import "fmt"
+
+// sparseconv.go implements the sparse convolution kernels that turn
+// pruning-induced zeros into real execution speedups. Two compiled
+// weight formats exist, mirroring the storage formats in
+// internal/sparse:
+//
+//   - PatternConv: the pattern-grouped fast path. Every spatial kernel
+//     references one mask from a small shared dictionary, so the inner
+//     loop iterates only the <=k surviving taps per kernel and the
+//     per-kernel metadata is a single dictionary index — the execution
+//     counterpart of R-TOSS's "21 pre-defined patterns" argument.
+//   - CSRConv: compressed sparse rows over [OutC, InC/groups*KH*KW],
+//     the fallback for unstructured, filter and channel baselines whose
+//     zeros follow no shared pattern.
+//
+// Both kernels are tap-major: for each (batch, output-channel) plane
+// the output is initialised to the bias and each surviving weight then
+// accumulates a shifted copy of its input row, which keeps the inner
+// loops contiguous and free of per-element bounds arithmetic.
+
+// PatternConv is a convolution weight compiled to the pattern-grouped
+// sparse execution format.
+type PatternConv struct {
+	OutC, InCPerG, KH, KW int
+	// DictTaps[d] holds the kept tap offsets (ky*KW + kx, ascending) of
+	// dictionary mask d.
+	DictTaps [][]int32
+	// Index[k] is the dictionary entry of spatial kernel k, where
+	// k = oc*InCPerG + ic in row-major weight order.
+	Index []uint8
+	// ValPtr[k] indexes the first surviving value of kernel k in
+	// Values; kernel k holds len(DictTaps[Index[k]]) values, stored in
+	// ascending tap order.
+	ValPtr []int32
+	Values []float32
+}
+
+// NNZ returns the number of surviving weights.
+func (p *PatternConv) NNZ() int { return len(p.Values) }
+
+// CSRConv is a convolution weight compiled to compressed sparse rows:
+// one row per output channel over the flattened [InCPerG*KH*KW]
+// reduction axis, columns ascending within each row.
+type CSRConv struct {
+	OutC, InCPerG, KH, KW int
+	RowPtr                []int32
+	ColIdx                []int32
+	Values                []float32
+}
+
+// NNZ returns the number of surviving weights.
+func (c *CSRConv) NNZ() int { return len(c.Values) }
+
+// accumTap accumulates v times the (ky, kx)-shifted input plane into
+// the output plane, touching only the output positions whose input tap
+// is in bounds.
+func accumTap(outPlane, inPlane []float32, oh, ow, h, w, stride, pad, ky, kx int, v float32) {
+	// Go's integer division truncates toward zero, so negative
+	// numerators (tap entirely below/right of the padded input) must
+	// bail out before the division rounds them up to row 0.
+	oyTop, oxTop := h-1+pad-ky, w-1+pad-kx
+	if oyTop < 0 || oxTop < 0 {
+		return
+	}
+	oyMin := 0
+	if pad > ky {
+		oyMin = (pad - ky + stride - 1) / stride
+	}
+	oyMax := oyTop / stride
+	if oyMax > oh-1 {
+		oyMax = oh - 1
+	}
+	oxMin := 0
+	if pad > kx {
+		oxMin = (pad - kx + stride - 1) / stride
+	}
+	oxMax := oxTop / stride
+	if oxMax > ow-1 {
+		oxMax = ow - 1
+	}
+	if oxMax < oxMin {
+		return
+	}
+	for oy := oyMin; oy <= oyMax; oy++ {
+		iy := oy*stride - pad + ky
+		inRow := inPlane[iy*w : iy*w+w]
+		outRow := outPlane[oy*ow : oy*ow+ow]
+		if stride == 1 {
+			ix := oxMin - pad + kx
+			src := inRow[ix : ix+oxMax-oxMin+1]
+			dst := outRow[oxMin : oxMax+1]
+			for i, sv := range src {
+				dst[i] += v * sv
+			}
+			continue
+		}
+		ix := oxMin*stride - pad + kx
+		for ox := oxMin; ox <= oxMax; ox++ {
+			outRow[ox] += v * inRow[ix]
+			ix += stride
+		}
+	}
+}
+
+// Conv2DPattern computes the convolution of input [N, C, H, W] with a
+// pattern-grouped sparse weight, matching Conv2D on the decoded dense
+// weight up to floating-point summation order.
+func Conv2DPattern(input *Tensor, pc *PatternConv, bias []float32, stride, pad, groups int) *Tensor {
+	oh, ow := convCheck(input, pc.OutC, pc.InCPerG, pc.KH, pc.KW, bias, stride, pad, groups)
+	out := New(input.Dim(0), pc.OutC, oh, ow)
+	Conv2DPatternInto(out, input, pc, bias, stride, pad, groups)
+	return out
+}
+
+// Conv2DPatternInto is Conv2DPattern writing into a caller-provided dst
+// of shape [N, OutC, OH, OW]; every element is overwritten.
+func Conv2DPatternInto(dst, input *Tensor, pc *PatternConv, bias []float32, stride, pad, groups int) {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh, ow := convCheck(input, pc.OutC, pc.InCPerG, pc.KH, pc.KW, bias, stride, pad, groups)
+	checkConvDst(dst, n, pc.OutC, oh, ow)
+	if len(pc.Index) != pc.OutC*pc.InCPerG {
+		panic(fmt.Sprintf("tensor: PatternConv has %d kernel indices, want %d", len(pc.Index), pc.OutC*pc.InCPerG))
+	}
+	kPerG := pc.OutC / groups
+	for b := 0; b < n; b++ {
+		for ok := 0; ok < pc.OutC; ok++ {
+			var bv float32
+			if bias != nil {
+				bv = bias[ok]
+			}
+			outPlane := dst.Data[((b*pc.OutC+ok)*oh)*ow : ((b*pc.OutC+ok)*oh+oh)*ow]
+			for i := range outPlane {
+				outPlane[i] = bv
+			}
+			g := ok / kPerG
+			for ic := 0; ic < pc.InCPerG; ic++ {
+				kk := ok*pc.InCPerG + ic
+				taps := pc.DictTaps[pc.Index[kk]]
+				if len(taps) == 0 {
+					continue
+				}
+				vals := pc.Values[pc.ValPtr[kk] : int(pc.ValPtr[kk])+len(taps)]
+				inC := g*pc.InCPerG + ic
+				inPlane := input.Data[((b*c+inC)*h)*w : ((b*c+inC)*h+h)*w]
+				for t, off := range taps {
+					accumTap(outPlane, inPlane, oh, ow, h, w, stride, pad, int(off)/pc.KW, int(off)%pc.KW, vals[t])
+				}
+			}
+		}
+	}
+}
+
+// Conv2DCSR computes the convolution of input [N, C, H, W] with a CSR
+// sparse weight, matching Conv2D on the decoded dense weight up to
+// floating-point summation order.
+func Conv2DCSR(input *Tensor, cc *CSRConv, bias []float32, stride, pad, groups int) *Tensor {
+	oh, ow := convCheck(input, cc.OutC, cc.InCPerG, cc.KH, cc.KW, bias, stride, pad, groups)
+	out := New(input.Dim(0), cc.OutC, oh, ow)
+	Conv2DCSRInto(out, input, cc, bias, stride, pad, groups)
+	return out
+}
+
+// Conv2DCSRInto is Conv2DCSR writing into a caller-provided dst of
+// shape [N, OutC, OH, OW]; every element is overwritten.
+func Conv2DCSRInto(dst, input *Tensor, cc *CSRConv, bias []float32, stride, pad, groups int) {
+	n, c, h, w := input.Dim(0), input.Dim(1), input.Dim(2), input.Dim(3)
+	oh, ow := convCheck(input, cc.OutC, cc.InCPerG, cc.KH, cc.KW, bias, stride, pad, groups)
+	checkConvDst(dst, n, cc.OutC, oh, ow)
+	if len(cc.RowPtr) != cc.OutC+1 {
+		panic(fmt.Sprintf("tensor: CSRConv has %d row pointers, want %d", len(cc.RowPtr), cc.OutC+1))
+	}
+	kPerG := cc.OutC / groups
+	ks := cc.KH * cc.KW
+	for b := 0; b < n; b++ {
+		for ok := 0; ok < cc.OutC; ok++ {
+			var bv float32
+			if bias != nil {
+				bv = bias[ok]
+			}
+			outPlane := dst.Data[((b*cc.OutC+ok)*oh)*ow : ((b*cc.OutC+ok)*oh+oh)*ow]
+			for i := range outPlane {
+				outPlane[i] = bv
+			}
+			g := ok / kPerG
+			for e := cc.RowPtr[ok]; e < cc.RowPtr[ok+1]; e++ {
+				col := int(cc.ColIdx[e])
+				ic := col / ks
+				off := col % ks
+				inC := g*cc.InCPerG + ic
+				inPlane := input.Data[((b*c+inC)*h)*w : ((b*c+inC)*h+h)*w]
+				accumTap(outPlane, inPlane, oh, ow, h, w, stride, pad, off/cc.KW, off%cc.KW, cc.Values[e])
+			}
+		}
+	}
+}

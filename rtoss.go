@@ -15,14 +15,41 @@
 //     latency and energy, compressed weight formats (Encode), an
 //     information-retention accuracy surrogate (Assess), and a
 //     synthetic-KITTI detection pipeline with a real mAP evaluator;
+//   - a sparsity-aware concurrent execution engine (NewEngine) that
+//     turns pattern sparsity into measured wall-clock speedups;
 //   - the experiment harness regenerating every table and figure of
 //     the paper (Table1..Table3, Fig4..Fig8).
+//
+// # Engine modes
+//
+// NewEngine compiles a model for real execution in one of three kernel
+// dispatch modes:
+//
+//   - EngineDense runs every layer with the dense convolution kernels,
+//     whatever the weights look like — the baseline the paper argues
+//     against (zeros are multiplied like any other weight);
+//   - EngineSparse lowers every pruned layer to a sparse kernel: 3×3
+//     pattern-pruned layers use the pattern-grouped fast path (only the
+//     ≤k surviving taps per kernel are iterated, via the shared mask
+//     dictionary), everything else falls back to compressed sparse
+//     rows;
+//   - EngineAuto (the default, also used by Forward) picks dense or
+//     sparse per layer from the layer's recorded prune structure and
+//     measured weight density, so unpruned models pay no indirection.
+//
+// Layers execute wavefront-parallel over the model DAG's topological
+// levels on a bounded worker pool, and Engine.Output recycles
+// activation buffers through a per-run arena.
 //
 // Quick start:
 //
 //	m := rtoss.NewYOLOv5s()
 //	res, _ := rtoss.NewRTOSS(3).Prune(m)
 //	fmt.Printf("compression %.2fx\n", res.CompressionRatio())
+//
+//	eng, _ := rtoss.NewEngine(m, rtoss.EngineOptions{Mode: rtoss.EngineSparse})
+//	out, _ := eng.Output(rtoss.NewTensor(1, 3, 64, 64))
+//	fmt.Println(out.Shape())
 package rtoss
 
 import (
@@ -140,7 +167,32 @@ func Assess(orig, pruned *Model, res *Result) Quality {
 	return metrics.AssessPruned(orig, pruned, res)
 }
 
-// Forward runs a real forward pass and returns the final output tensor.
+// Engine is a model compiled for execution: per-layer dense/sparse
+// kernel dispatch plus wavefront-concurrent scheduling.
+type Engine = engine.Engine
+
+// EngineOptions configures NewEngine.
+type EngineOptions = engine.Options
+
+// EngineMode selects the engine's kernel-dispatch policy.
+type EngineMode = engine.Mode
+
+// Engine dispatch modes (see the package comment).
+const (
+	EngineAuto   = engine.ModeAuto
+	EngineDense  = engine.ModeDense
+	EngineSparse = engine.ModeSparse
+)
+
+// NewEngine compiles a model for execution. Recompile after pruning for
+// the sparse dispatch to see the new zeros.
+func NewEngine(m *Model, opts EngineOptions) (*Engine, error) { return engine.New(m, opts) }
+
+// ParseEngineMode parses "auto", "dense" or "sparse".
+func ParseEngineMode(s string) (EngineMode, error) { return engine.ParseMode(s) }
+
+// Forward runs a real forward pass (auto engine mode) and returns the
+// final output tensor.
 func Forward(m *Model, input *Tensor) (*Tensor, error) { return engine.Output(m, input) }
 
 // NewTensor returns a zero-filled dense tensor with the given shape.

@@ -119,7 +119,51 @@ func TestPublicAblationConfig(t *testing.T) {
 	}
 }
 
+func TestPublicEngineModes(t *testing.T) {
+	m := NewYOLOv5s()
+	if _, err := NewRTOSS(2).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	input := NewTensor(1, 3, 64, 64)
+	for i := range input.Data {
+		input.Data[i] = float32(i%17)/17 - 0.5
+	}
+	dense, err := NewEngine(m, EngineOptions{Mode: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dense.Output(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewEngine(m, EngineOptions{Mode: EngineSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, c := sparse.SparseLayers(); p == 0 || c == 0 {
+		t.Fatalf("sparse engine compiled %d pattern / %d csr layers on a pruned model", p, c)
+	}
+	got, err := sparse.Output(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(want) {
+		t.Fatalf("sparse output shape %v, dense %v", got.Shape(), want.Shape())
+	}
+	for i := range got.Data {
+		if d := got.Data[i] - want.Data[i]; d < -1e-5 || d > 1e-5 {
+			t.Fatalf("sparse output diverges from dense at %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+	if _, err := ParseEngineMode("nonsense"); err == nil {
+		t.Error("expected error for unknown engine mode")
+	}
+}
+
 func TestPublicTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping slow analytic table regeneration in -short mode")
+	}
 	for _, fn := range []func() (*Table, error){Table1, Table2, Table3} {
 		tab, err := fn()
 		if err != nil {
