@@ -6,6 +6,8 @@
 //	rtoss compare [flags]     full framework comparison on one model
 //	rtoss tradeoff [flags]    sparsity/accuracy/latency sweeps
 //	rtoss forward [flags]     run the real execution engine (-engine=dense|sparse|auto)
+//	rtoss serve [flags]       serve a compiled model over HTTP with micro-batching
+//	rtoss bench [flags]       single vs batched vs served throughput (optionally as JSON)
 //
 // Run any subcommand with -h for its flags.
 package main
@@ -13,13 +15,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"rtoss"
 	"rtoss/internal/experiments"
 	"rtoss/internal/models"
 	"rtoss/internal/report"
 	"rtoss/internal/rng"
+	"rtoss/internal/serve"
 )
 
 func main() {
@@ -41,6 +46,10 @@ func main() {
 		err = tradeoff(os.Args[2:])
 	case "forward":
 		err = forward(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
+	case "bench":
+		err = benchCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -55,7 +64,97 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|serve|bench> [flags]")
+}
+
+// zooName maps a CLI model flag to its zoo display name.
+func zooName(cli string) (string, error) {
+	switch cli {
+	case "yolov5s":
+		return "YOLOv5s", nil
+	case "retinanet":
+		return "RetinaNet", nil
+	}
+	return "", fmt.Errorf("unknown model %q (yolov5s|retinanet)", cli)
+}
+
+// serveCmd compiles one model variant through the serving registry and
+// exposes it over HTTP with the micro-batching scheduler.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	modelName := fs.String("model", "yolov5s", "model to serve (yolov5s|retinanet)")
+	variant := fs.String("variant", "rtoss-3ep", "pruning variant (dense|rtoss-2ep..rtoss-5ep)")
+	engineMode := fs.String("engine", "sparse", "kernel dispatch: dense|sparse|auto")
+	res := fs.Int("res", 64, "input resolution (HxW) accepted by /infer")
+	maxBatch := fs.Int("max-batch", 8, "max images coalesced into one forward")
+	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a fuller batch")
+	workers := fs.Int("workers", 2, "concurrent batch executors")
+	queue := fs.Int("queue", 64, "pending request queue bound")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := zooName(*modelName)
+	if err != nil {
+		return err
+	}
+	mode, err := rtoss.ParseEngineMode(*engineMode)
+	if err != nil {
+		return err
+	}
+	key := serve.Key{Arch: arch, Variant: *variant, Mode: mode}
+	fmt.Printf("compiling %v ...\n", key)
+	start := time.Now()
+	prog, err := serve.NewRegistry().Program(key)
+	if err != nil {
+		return err
+	}
+	p, c := prog.SparseLayers()
+	fmt.Printf("compiled in %.2fs (%d pattern-sparse layers, %d CSR layers)\n",
+		time.Since(start).Seconds(), p, c)
+	srv := serve.NewServer(prog, serve.Config{
+		MaxBatch: *maxBatch, MaxDelay: *maxDelay, Workers: *workers, QueueCap: *queue,
+	})
+	defer srv.Close()
+	inC, hw := prog.Model().InputC, *res
+	fmt.Printf("serving on http://%s  (POST /infer: %d float32 LE = %dx%dx%d image; GET /stats, /healthz)\n",
+		*addr, inC*hw*hw, inC, hw, hw)
+	return http.ListenAndServe(*addr, serve.NewHandler(srv, inC, hw, hw))
+}
+
+// benchCmd measures single-stream vs batched vs served throughput and
+// optionally writes the report as JSON (the CI artifact format).
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to bench (yolov5s|retinanet)")
+	entries := fs.Int("entries", 3, "R-TOSS entry patterns for the sparse variant")
+	res := fs.Int("res", 64, "input resolution (HxW)")
+	batch := fs.Int("batch", 8, "images per batched forward")
+	streams := fs.Int("streams", 8, "concurrent client streams")
+	images := fs.Int("images", 0, "images per scenario (0 = 2*streams)")
+	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := zooName(*modelName)
+	if err != nil {
+		return err
+	}
+	rep, err := serve.RunBench(serve.BenchConfig{
+		Arch: arch, Entries: *entries, Res: *res,
+		Batch: *batch, Streams: *streams, Images: *images,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
 }
 
 // forward runs the real execution engine on a (optionally pruned) model

@@ -6,33 +6,36 @@
 // codebase: semi-structured sparsity is *executable* — a pattern-pruned
 // model really does run faster than its dense twin.
 //
-// The engine is sparsity-aware and concurrent:
+// The package is split compile-once / run-many:
 //
-//   - per layer it dispatches dense, pattern-grouped or CSR convolution
-//     kernels, chosen from the layer's recorded prune structure and
-//     measured weight density (Options.Mode selects dense-only,
-//     forced-sparse or automatic dispatch);
-//   - layers are wavefront-scheduled: the DAG's topological levels run
-//     one after another, the layers inside a level concurrently on a
-//     bounded worker pool;
-//   - Output-style runs reuse activation buffers through a per-run
-//     arena — a layer's output buffer is recycled as soon as its last
-//     consumer has executed.
+//   - Program (see Compile) is the immutable compiled artifact: per
+//     layer it holds dense, pattern-grouped or CSR convolution kernels,
+//     chosen from the layer's recorded prune structure and measured
+//     weight density (Options.Mode selects dense-only, forced-sparse or
+//     automatic dispatch), plus the DAG's topological wavefront levels
+//     and the consumer counts of the activation buffer plan. One
+//     Program safely serves any number of concurrent goroutines.
+//   - Run state is cheap and per-request: each Output/ForwardBatch call
+//     borrows a runState (activation arena + buffer refcounts) from the
+//     Program's sync.Pool, so steady-state serving re-uses activation
+//     buffers across requests instead of re-allocating them.
 //
-// The analytic latency/energy estimation lives in internal/hw; this
-// package is the numeric twin.
+// Within a run, layers are wavefront-scheduled: the DAG's topological
+// levels run one after another, the layers inside a level concurrently
+// on a bounded worker pool; batched inputs additionally split
+// convolutions across the batch dimension. Output-style runs recycle a
+// layer's output buffer as soon as its last consumer has executed.
+//
+// Engine is a legacy alias for Program; New is a legacy alias for
+// Compile. The analytic latency/energy estimation lives in internal/hw;
+// this package is the numeric twin.
 package engine
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"rtoss/internal/nn"
-	"rtoss/internal/pattern"
-	"rtoss/internal/sparse"
 	"rtoss/internal/tensor"
 )
 
@@ -77,7 +80,7 @@ func ParseMode(s string) (Mode, error) {
 // win comfortably below ~3/4 density and lose above it.
 const autoDensityCutoff = 0.75
 
-// Options configures an Engine.
+// Options configures a Program.
 type Options struct {
 	// Mode is the kernel-dispatch policy (default ModeAuto).
 	Mode Mode
@@ -89,425 +92,12 @@ type Options struct {
 	PatternDict []uint16
 }
 
-// compiledConv is a conv layer lowered to a sparse execution format;
-// exactly one field is set.
-type compiledConv struct {
-	pattern *tensor.PatternConv
-	csr     *tensor.CSRConv
-}
+// Engine is the legacy name of Program, kept so existing callers (and
+// the public rtoss.Engine alias) keep compiling.
+type Engine = Program
 
-// Engine is a model compiled for execution: topological wavefront
-// levels plus per-layer kernel choices. An Engine is immutable after
-// New and safe for concurrent use; recompile after mutating the model's
-// weights (e.g. pruning) for the sparse dispatch to see the new zeros.
-type Engine struct {
-	model     *nn.Model
-	mode      Mode
-	workers   int
-	levels    [][]int
-	consumers []int32 // times each layer's output is consumed as an input
-	compiled  []*compiledConv
-}
-
-// defaultPatternDict returns the union of the canonical R-TOSS mask
-// dictionaries plus the empty mask, so connectivity-pruned (all-zero)
-// kernels still encode.
-func defaultPatternDict() []uint16 {
-	dict := []uint16{0}
-	for _, entries := range []int{2, 3, 4, 5} {
-		for _, m := range pattern.NewDictionary(entries).Masks {
-			dict = append(dict, uint16(m))
-		}
-	}
-	return dict
-}
-
-// New compiles a model for execution.
-func New(m *nn.Model, opts Options) (*Engine, error) {
-	order, err := m.Graph().TopoSort()
-	if err != nil {
-		return nil, err
-	}
-	n := len(m.Layers)
-	level := make([]int, n)
-	maxLevel := 0
-	for _, id := range order {
-		for _, p := range m.Layers[id].Inputs {
-			if level[p]+1 > level[id] {
-				level[id] = level[p] + 1
-			}
-		}
-		if level[id] > maxLevel {
-			maxLevel = level[id]
-		}
-	}
-	e := &Engine{
-		model:     m,
-		mode:      opts.Mode,
-		workers:   opts.Workers,
-		levels:    make([][]int, maxLevel+1),
-		consumers: make([]int32, n),
-		compiled:  make([]*compiledConv, n),
-	}
-	if e.workers <= 0 {
-		e.workers = runtime.GOMAXPROCS(0)
-	}
-	for _, id := range order {
-		e.levels[level[id]] = append(e.levels[level[id]], id)
-		for _, p := range m.Layers[id].Inputs {
-			e.consumers[p]++
-		}
-	}
-	if opts.Mode != ModeDense {
-		dict := opts.PatternDict
-		if dict == nil {
-			dict = defaultPatternDict()
-		}
-		for _, l := range m.Layers {
-			e.compiled[l.ID] = compileConv(l, opts.Mode, dict)
-		}
-	}
-	return e, nil
-}
-
-// compileConv lowers one conv layer to a sparse format, or returns nil
-// to keep it dense.
-func compileConv(l *nn.Layer, mode Mode, dict []uint16) *compiledConv {
-	if l.Kind != nn.Conv || l.Weight == nil {
-		return nil
-	}
-	wc := l.WeightCount()
-	if wc == 0 {
-		return nil
-	}
-	density := float64(l.NNZ()) / float64(wc)
-	pruned := l.Structure != nn.SparsityDense || density < 0.999
-	switch mode {
-	case ModeSparse:
-		if !pruned {
-			return nil
-		}
-	default: // ModeAuto
-		if !pruned || density > autoDensityCutoff {
-			return nil
-		}
-	}
-	// Pattern fast path: spatial kernels whose occupancy masks all come
-	// from the shared dictionary (3×3 pattern-pruned layers). 1×1
-	// layers (kernel size 1) and off-dictionary layers fall back to CSR.
-	if ks := l.KH * l.KW; ks > 1 && ks <= 16 {
-		if pc, err := sparse.CompilePatternConv(l, dict); err == nil {
-			return &compiledConv{pattern: pc}
-		}
-	}
-	cc, err := sparse.CompileCSRConv(l)
-	if err != nil {
-		return nil
-	}
-	return &compiledConv{csr: cc}
-}
-
-// Mode returns the engine's dispatch policy.
-func (e *Engine) Mode() Mode { return e.mode }
-
-// SparseLayers returns how many conv layers were compiled to a sparse
-// kernel (pattern-grouped and CSR counted separately).
-func (e *Engine) SparseLayers() (patternLayers, csrLayers int) {
-	for _, cc := range e.compiled {
-		if cc == nil {
-			continue
-		}
-		if cc.pattern != nil {
-			patternLayers++
-		} else {
-			csrLayers++
-		}
-	}
-	return patternLayers, csrLayers
-}
-
-// Forward runs the model on input (shape [N, InputC, H, W]) and returns
-// every layer's output tensor, indexed by layer ID. H/W may differ from
-// the model's nominal resolution as long as every conv output stays
-// non-empty. Because every output is retained, Forward cannot recycle
-// activation buffers; use Output when only the final tensor matters.
-func (e *Engine) Forward(input *tensor.Tensor) ([]*tensor.Tensor, error) {
-	return e.run(input, true)
-}
-
-// Output runs the model and returns the final layer's tensor.
-// Intermediate activations are recycled through a per-run arena as soon
-// as their last consumer has executed.
-func (e *Engine) Output(input *tensor.Tensor) (*tensor.Tensor, error) {
-	outs, err := e.run(input, false)
-	if err != nil {
-		return nil, err
-	}
-	return outs[len(outs)-1], nil
-}
-
-// runCtx is the per-run execution state.
-type runCtx struct {
-	e     *Engine
-	input *tensor.Tensor
-	outs  []*tensor.Tensor
-	// Arena-mode state (nil/unused when retaining all outputs): refs
-	// counts the remaining consumers of each layer's output, owned
-	// marks outputs whose buffers came from the arena, and alias maps
-	// pass-through outputs (Detect) to the layer that owns the buffer.
-	arena *tensor.Arena
-	refs  []int32
-	owned []bool
-	alias []int32
-}
-
-func (e *Engine) run(input *tensor.Tensor, retainAll bool) ([]*tensor.Tensor, error) {
-	if input.Rank() != 4 {
-		return nil, fmt.Errorf("engine: input must be 4-D, got %v", input.Shape())
-	}
-	if input.Dim(1) != e.model.InputC {
-		return nil, fmt.Errorf("engine: input has %d channels, model wants %d", input.Dim(1), e.model.InputC)
-	}
-	n := len(e.model.Layers)
-	rc := &runCtx{e: e, input: input, outs: make([]*tensor.Tensor, n)}
-	if !retainAll {
-		rc.arena = tensor.NewArena()
-		rc.refs = make([]int32, n)
-		copy(rc.refs, e.consumers)
-		rc.refs[n-1]++ // the returned output is never recycled
-		rc.owned = make([]bool, n)
-		rc.alias = make([]int32, n)
-		for i := range rc.alias {
-			rc.alias[i] = -1
-		}
-	}
-	for _, lvl := range e.levels {
-		if e.workers <= 1 || len(lvl) == 1 {
-			for _, id := range lvl {
-				if err := rc.exec(id); err != nil {
-					return nil, err
-				}
-			}
-			continue
-		}
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		sem := make(chan struct{}, e.workers)
-		for _, id := range lvl {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(id int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				if err := rc.exec(id); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}(id)
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	}
-	return rc.outs, nil
-}
-
-// get allocates a layer output buffer, from the arena when recycling.
-func (rc *runCtx) get(shape ...int) *tensor.Tensor {
-	if rc.arena != nil {
-		return rc.arena.Get(shape...)
-	}
-	return tensor.New(shape...)
-}
-
-// consume retires one reference to layer id's output, recycling its
-// buffer once the last consumer is done. Aliased outputs forward the
-// release to the owning layer.
-func (rc *runCtx) consume(id int) {
-	if atomic.AddInt32(&rc.refs[id], -1) != 0 {
-		return
-	}
-	if a := rc.alias[id]; a >= 0 {
-		rc.consume(int(a))
-		return
-	}
-	if rc.owned[id] {
-		rc.arena.Put(rc.outs[id])
-		rc.outs[id] = nil
-	}
-}
-
-// exec runs one layer. Kernel panics (shape mismatches, empty outputs)
-// are recovered into errors so a failing worker cannot crash the pool.
-func (rc *runCtx) exec(id int) (err error) {
-	l := rc.e.model.Layers[id]
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: layer %q: %v", l.Name, r)
-		}
-	}()
-	in := func(i int) *tensor.Tensor { return rc.outs[l.Inputs[i]] }
-	var out *tensor.Tensor
-	owned := true
-	aliasOf := -1
-	switch l.Kind {
-	case nn.Input:
-		out, owned = rc.input, false
-	case nn.Conv:
-		out = rc.conv(l, in(0))
-	case nn.BatchNorm:
-		out = rc.batchNorm(in(0), l.Gamma, l.Beta)
-	case nn.Act:
-		out = rc.activate(in(0), l.Act)
-	case nn.MaxPool:
-		t := in(0)
-		oh := tensor.ConvOut(t.Dim(2), l.PoolK, l.PoolStride, l.PoolPad)
-		ow := tensor.ConvOut(t.Dim(3), l.PoolK, l.PoolStride, l.PoolPad)
-		out = rc.get(t.Dim(0), t.Dim(1), oh, ow)
-		tensor.MaxPool2DInto(out, t, l.PoolK, l.PoolStride, l.PoolPad)
-	case nn.Upsample:
-		t := in(0)
-		scale := l.Scale
-		if scale == 0 {
-			scale = 2
-		}
-		if scale < 1 {
-			return fmt.Errorf("engine: upsample layer %q has invalid scale %d", l.Name, l.Scale)
-		}
-		out = rc.get(t.Dim(0), t.Dim(1), scale*t.Dim(2), scale*t.Dim(3))
-		tensor.UpsampleNearestInto(out, t, scale)
-	case nn.Concat:
-		ts := make([]*tensor.Tensor, len(l.Inputs))
-		total := 0
-		for i := range l.Inputs {
-			ts[i] = in(i)
-			total += ts[i].Dim(1)
-		}
-		out = rc.get(ts[0].Dim(0), total, ts[0].Dim(2), ts[0].Dim(3))
-		tensor.ConcatChannelsInto(out, ts...)
-	case nn.Add:
-		first := in(0)
-		out = rc.get(first.Shape()...)
-		copy(out.Data, first.Data)
-		for i := 1; i < len(l.Inputs); i++ {
-			out.Add(in(i))
-		}
-	case nn.GlobalPool:
-		out = rc.globalAvgPool(in(0))
-	case nn.Linear:
-		out, err = rc.linear(in(0), l)
-		if err != nil {
-			return err
-		}
-	case nn.Detect:
-		// Sink node: expose the first head's output. The buffer stays
-		// owned by the producing layer (alias), so its release waits
-		// for this output's own consumers.
-		out, owned, aliasOf = in(0), false, l.Inputs[0]
-	default:
-		return fmt.Errorf("engine: unsupported layer kind %v", l.Kind)
-	}
-	rc.outs[id] = out
-	if rc.arena != nil {
-		rc.owned[id] = owned
-		rc.alias[id] = int32(aliasOf)
-		for i, p := range l.Inputs {
-			if i == 0 && aliasOf >= 0 {
-				continue // reference transferred to the alias
-			}
-			rc.consume(p)
-		}
-	}
-	return nil
-}
-
-// conv dispatches one convolution to the compiled sparse kernel or the
-// dense path.
-func (rc *runCtx) conv(l *nn.Layer, t *tensor.Tensor) *tensor.Tensor {
-	oh := tensor.ConvOut(t.Dim(2), l.KH, l.Stride, l.Pad)
-	ow := tensor.ConvOut(t.Dim(3), l.KW, l.Stride, l.Pad)
-	out := rc.get(t.Dim(0), l.OutC, oh, ow)
-	switch cc := rc.e.compiled[l.ID]; {
-	case cc != nil && cc.pattern != nil:
-		tensor.Conv2DPatternInto(out, t, cc.pattern, l.Bias, l.Stride, l.Pad, l.Group)
-	case cc != nil && cc.csr != nil:
-		tensor.Conv2DCSRInto(out, t, cc.csr, l.Bias, l.Stride, l.Pad, l.Group)
-	default:
-		tensor.Conv2DInto(out, t, l.Weight, l.Bias, l.Stride, l.Pad, l.Group)
-	}
-	return out
-}
-
-func (rc *runCtx) batchNorm(t *tensor.Tensor, gamma, beta []float32) *tensor.Tensor {
-	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
-	out := rc.get(n, c, h, w)
-	hw := h * w
-	for b := 0; b < n; b++ {
-		for ic := 0; ic < c; ic++ {
-			g, be := gamma[ic], beta[ic]
-			src := t.Data[(b*c+ic)*hw : (b*c+ic+1)*hw]
-			dst := out.Data[(b*c+ic)*hw : (b*c+ic+1)*hw]
-			for i, v := range src {
-				dst[i] = g*v + be
-			}
-		}
-	}
-	return out
-}
-
-func (rc *runCtx) activate(t *tensor.Tensor, act nn.Activation) *tensor.Tensor {
-	out := rc.get(t.Shape()...)
-	for i, v := range t.Data {
-		out.Data[i] = applyAct(v, act)
-	}
-	return out
-}
-
-func (rc *runCtx) globalAvgPool(t *tensor.Tensor) *tensor.Tensor {
-	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
-	out := rc.get(n, c, 1, 1)
-	hw := h * w
-	for b := 0; b < n; b++ {
-		for ic := 0; ic < c; ic++ {
-			sum := 0.0
-			for _, v := range t.Data[(b*c+ic)*hw : (b*c+ic+1)*hw] {
-				sum += float64(v)
-			}
-			out.Data[b*c+ic] = float32(sum / float64(hw))
-		}
-	}
-	return out
-}
-
-func (rc *runCtx) linear(t *tensor.Tensor, l *nn.Layer) (*tensor.Tensor, error) {
-	n := t.Dim(0)
-	flat := t.Dim(1) * t.Dim(2) * t.Dim(3)
-	if flat != l.InF {
-		return nil, fmt.Errorf("engine: linear %q expects %d features, got %d", l.Name, l.InF, flat)
-	}
-	out := rc.get(n, l.OutF, 1, 1)
-	for b := 0; b < n; b++ {
-		for o := 0; o < l.OutF; o++ {
-			acc := float32(0)
-			if l.LinB != nil {
-				acc = l.LinB[o]
-			}
-			row := l.LinW.Data[o*l.InF : (o+1)*l.InF]
-			for i := 0; i < flat; i++ {
-				acc += row[i] * t.Data[b*flat+i]
-			}
-			out.Data[b*l.OutF+o] = acc
-		}
-	}
-	return out, nil
-}
+// New compiles a model for execution. It is the legacy name of Compile.
+func New(m *nn.Model, opts Options) (*Engine, error) { return Compile(m, opts) }
 
 // ---------------------------------------------------------------------
 // Package-level convenience API (compile-and-run with defaults).
@@ -516,20 +106,20 @@ func (rc *runCtx) linear(t *tensor.Tensor, l *nn.Layer) (*tensor.Tensor, error) 
 // GOMAXPROCS workers) and returns every layer's output tensor, indexed
 // by layer ID.
 func Forward(m *nn.Model, input *tensor.Tensor) ([]*tensor.Tensor, error) {
-	e, err := New(m, Options{})
+	p, err := Compile(m, Options{})
 	if err != nil {
 		return nil, err
 	}
-	return e.Forward(input)
+	return p.Forward(input)
 }
 
 // Output runs Forward and returns the final layer's tensor.
 func Output(m *nn.Model, input *tensor.Tensor) (*tensor.Tensor, error) {
-	e, err := New(m, Options{})
+	p, err := Compile(m, Options{})
 	if err != nil {
 		return nil, err
 	}
-	return e.Output(input)
+	return p.Output(input)
 }
 
 func applyAct(v float32, act nn.Activation) float32 {

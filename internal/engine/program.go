@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/sparse"
+	"rtoss/internal/tensor"
+)
+
+// Program is a model compiled once for execution: topological wavefront
+// levels, per-layer kernel choices and the activation buffer plan
+// (consumer counts). A Program is immutable after Compile and safe for
+// concurrent use — one Program serves any number of goroutines; per-run
+// state is borrowed from an internal pool. Recompile after mutating the
+// model's weights (e.g. pruning) for the sparse dispatch to see the new
+// zeros; the model must not be mutated while the Program is in use.
+type Program struct {
+	model     *nn.Model
+	mode      Mode
+	workers   int
+	levels    [][]int
+	consumers []int32 // times each layer's output is consumed as an input
+	compiled  []*sparse.CompiledConv
+
+	// runs pools per-request state (activation arena + refcounts) so
+	// steady-state serving reuses buffers across requests.
+	runs sync.Pool
+}
+
+// Compile lowers a model into an immutable, shareable Program.
+func Compile(m *nn.Model, opts Options) (*Program, error) {
+	order, err := m.Graph().TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(m.Layers)
+	level := make([]int, n)
+	maxLevel := 0
+	for _, id := range order {
+		for _, p := range m.Layers[id].Inputs {
+			if level[p]+1 > level[id] {
+				level[id] = level[p] + 1
+			}
+		}
+		if level[id] > maxLevel {
+			maxLevel = level[id]
+		}
+	}
+	p := &Program{
+		model:     m,
+		mode:      opts.Mode,
+		workers:   opts.Workers,
+		levels:    make([][]int, maxLevel+1),
+		consumers: make([]int32, n),
+		compiled:  make([]*sparse.CompiledConv, n),
+	}
+	if p.workers <= 0 {
+		p.workers = runtime.GOMAXPROCS(0)
+	}
+	for _, id := range order {
+		p.levels[level[id]] = append(p.levels[level[id]], id)
+		for _, pr := range m.Layers[id].Inputs {
+			p.consumers[pr]++
+		}
+	}
+	if opts.Mode != ModeDense {
+		dict := opts.PatternDict
+		if dict == nil {
+			dict = sparse.DefaultPatternDict()
+		}
+		cutoff := autoDensityCutoff
+		if opts.Mode == ModeSparse {
+			cutoff = 1 // every pruned layer, whatever its density
+		}
+		for _, l := range m.Layers {
+			p.compiled[l.ID] = sparse.CompileConv(l, dict, cutoff)
+		}
+	}
+	p.runs.New = func() any { return p.newRunState() }
+	return p, nil
+}
+
+// Mode returns the program's dispatch policy.
+func (p *Program) Mode() Mode { return p.mode }
+
+// Model returns the model the program was compiled from. Treat it as
+// read-only; mutating weights invalidates the compiled kernels.
+func (p *Program) Model() *nn.Model { return p.model }
+
+// Workers returns the per-level worker pool bound.
+func (p *Program) Workers() int { return p.workers }
+
+// SparseLayers returns how many conv layers were compiled to a sparse
+// kernel (pattern-grouped and CSR counted separately).
+func (p *Program) SparseLayers() (patternLayers, csrLayers int) {
+	for _, cc := range p.compiled {
+		if cc == nil {
+			continue
+		}
+		if cc.Pattern != nil {
+			patternLayers++
+		} else {
+			csrLayers++
+		}
+	}
+	return patternLayers, csrLayers
+}
+
+// runState is the poolable per-request execution state for runs that
+// recycle activation buffers: the arena the buffers come from plus the
+// refcount/ownership planes. The arena outlives individual runs (that
+// is the point of pooling — buffers warm up once), while the planes are
+// reset on acquire.
+type runState struct {
+	arena *tensor.Arena
+	refs  []int32
+	owned []bool
+	alias []int32
+}
+
+func (p *Program) newRunState() *runState {
+	n := len(p.model.Layers)
+	return &runState{
+		arena: tensor.NewArena(),
+		refs:  make([]int32, n),
+		owned: make([]bool, n),
+		alias: make([]int32, n),
+	}
+}
+
+// acquireRun borrows reset per-request state from the pool.
+func (p *Program) acquireRun() *runState {
+	rs := p.runs.Get().(*runState)
+	n := len(p.model.Layers)
+	copy(rs.refs, p.consumers)
+	rs.refs[n-1]++ // the returned output is never recycled
+	for i := range rs.owned {
+		rs.owned[i] = false
+		rs.alias[i] = -1
+	}
+	return rs
+}
+
+// releaseRun returns per-request state (and its warm arena) to the pool.
+func (p *Program) releaseRun(rs *runState) { p.runs.Put(rs) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// drops items randomly under -race, so pool-retention assertions only
+// hold without it.
+const raceEnabled = true

@@ -39,7 +39,7 @@ func AblationDFS(modelName string) (*AblationDFSResult, error) {
 // R-TOSS's refusal to remove kernels (ablation A2): at comparable
 // overall sparsity, connectivity pruning costs accuracy.
 func AblationConnectivity(modelName string) (*AblationConnectivityResult, error) {
-	orig := buildModel(modelName)
+	orig := sharedModel(modelName)
 
 	// With connectivity: 4EP patterns + 30% kernel removal (PD).
 	withM := buildModel(modelName)

@@ -57,12 +57,12 @@ type FrameworkResult struct {
 // but survives 64×64 thanks to padding).
 const measuredRes = 64
 
-// MeasureForward times an engine's forward pass (best of reps runs,
-// which suppresses one-off scheduler/GC hiccups; reps < 1 counts as 1)
-// and returns the final output tensor of the last run. It is shared by
-// RunFrameworks and the rtoss CLI so both measure with the same
-// methodology.
-func MeasureForward(e *engine.Engine, input *tensor.Tensor, reps int) (float64, *tensor.Tensor, error) {
+// MeasureForward times a compiled Program's forward pass (best of reps
+// runs, which suppresses one-off scheduler/GC hiccups; reps < 1 counts
+// as 1) and returns the final output tensor of the last run. It is
+// shared by RunFrameworks, the serving benchmarks and the rtoss CLI so
+// all measure with the same methodology.
+func MeasureForward(e *engine.Program, input *tensor.Tensor, reps int) (float64, *tensor.Tensor, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -92,16 +92,26 @@ func probeInput(c, res int) *tensor.Tensor {
 	return in
 }
 
-// buildModel returns a fresh copy of a zoo model by name.
+// buildModel returns a fresh copy of a zoo model by name — the path
+// for pruners, which mutate weights and must own their copy.
 func buildModel(name string) *nn.Model {
-	switch name {
-	case "YOLOv5s":
-		return models.YOLOv5s(models.KITTIClasses)
-	case "RetinaNet":
-		return models.RetinaNet(models.KITTIClasses)
-	default:
-		panic("experiments: unknown model " + name)
+	m, err := models.ByName(name, models.KITTIClasses)
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
+	return m
+}
+
+// sharedModel returns the shared read-only zoo instance by name — the
+// path for baselines and reference measurements (analytic estimates,
+// dense Program compilation, accuracy assessment), which only read
+// weights and so skip the multi-million-parameter clone.
+func sharedModel(name string) *nn.Model {
+	m, err := models.Shared(name, models.KITTIClasses)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return m
 }
 
 // Pruners returns the paper's framework lineup: BM (nil pruner),
@@ -130,7 +140,7 @@ func RunFrameworks(modelName string) ([]FrameworkResult, error) {
 	frameworkMu.Unlock()
 
 	gpu, tx2 := hw.RTX2080Ti(), hw.JetsonTX2()
-	orig := buildModel(modelName)
+	orig := sharedModel(modelName)
 	baseGPU, err := hw.Estimate(orig, gpu, prune.Dense)
 	if err != nil {
 		return nil, err
@@ -140,7 +150,7 @@ func RunFrameworks(modelName string) ([]FrameworkResult, error) {
 		return nil, err
 	}
 	probe := probeInput(orig.InputC, measuredRes)
-	denseEng, err := engine.New(orig, engine.Options{Mode: engine.ModeDense})
+	denseEng, err := engine.Compile(orig, engine.Options{Mode: engine.ModeDense})
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +185,7 @@ func RunFrameworks(modelName string) ([]FrameworkResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sparseEng, err := engine.New(m, engine.Options{Mode: engine.ModeSparse})
+		sparseEng, err := engine.Compile(m, engine.Options{Mode: engine.ModeSparse})
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +291,7 @@ func Sensitivity() ([]SensitivityRow, error) {
 	gpu := hw.RTX2080Ti()
 	var rows []SensitivityRow
 	for _, modelName := range EvalModels {
-		orig := buildModel(modelName)
+		orig := sharedModel(modelName)
 		for _, entries := range []int{5, 4, 3, 2} {
 			m := buildModel(modelName)
 			res, err := core.NewVariant(entries).Prune(m)

@@ -37,7 +37,7 @@ func sweep(modelName, family string, pruners []struct {
 	p     prune.Pruner
 }) (*TradeoffCurve, error) {
 	tx2 := hw.JetsonTX2()
-	orig := buildModel(modelName)
+	orig := sharedModel(modelName)
 	base, err := hw.Estimate(orig, tx2, prune.Dense)
 	if err != nil {
 		return nil, err

@@ -9,21 +9,63 @@ import (
 
 // Building a zoo model is dominated by synthesizing tens of millions of
 // deterministic weights, so constructors memoise the first build per
-// (architecture, classes) and hand out deep clones: callers always own
-// their copy and may prune it freely.
+// (architecture, classes). Two access paths share the memo:
+//
+//   - cached hands out a deep Clone: callers own their copy and may
+//     prune it freely (the constructors' historical contract);
+//   - sharedCached hands out the memoised instance itself, so
+//     read-only consumers (compiling an execution Program, analytic
+//     estimates, the serving registry) skip the multi-million-weight
+//     copy. Shared instances must never be mutated.
 var (
 	cacheMu sync.Mutex
 	cache   = map[string]*nn.Model{}
 )
 
-func cached(name string, classes int, build func() *nn.Model) *nn.Model {
+func lookup(name string, classes int, build func() *nn.Model) *nn.Model {
 	key := fmt.Sprintf("%s/%d", name, classes)
 	cacheMu.Lock()
+	defer cacheMu.Unlock()
 	m, ok := cache[key]
 	if !ok {
 		m = build()
 		cache[key] = m
 	}
-	cacheMu.Unlock()
-	return m.Clone()
+	return m
+}
+
+func cached(name string, classes int, build func() *nn.Model) *nn.Model {
+	return lookup(name, classes, build).Clone()
+}
+
+func sharedCached(name string, classes int, build func() *nn.Model) *nn.Model {
+	return lookup(name, classes, build)
+}
+
+// Shared returns the shared read-only instance of an evaluation model
+// by its display name ("YOLOv5s" or "RetinaNet"). The instance is
+// memoised and handed to every caller — do not mutate it; clone via
+// ByName (or the per-model constructor) before pruning.
+func Shared(name string, classes int) (*nn.Model, error) {
+	switch name {
+	case "YOLOv5s":
+		return YOLOv5sShared(classes), nil
+	case "RetinaNet":
+		return RetinaNetShared(classes), nil
+	}
+	return nil, fmt.Errorf("models: no shared instance for %q (YOLOv5s|RetinaNet)", name)
+}
+
+// ByName is the clone counterpart of Shared: a fresh deep copy of an
+// evaluation model by display name, safe to prune. It keeps the
+// name dispatch in one place for every caller (serving registry,
+// experiment runners, CLIs).
+func ByName(name string, classes int) (*nn.Model, error) {
+	switch name {
+	case "YOLOv5s":
+		return YOLOv5s(classes), nil
+	case "RetinaNet":
+		return RetinaNet(classes), nil
+	}
+	return nil, fmt.Errorf("models: unknown evaluation model %q (YOLOv5s|RetinaNet)", name)
 }

@@ -219,3 +219,40 @@ func BenchmarkBuildRetinaNet(b *testing.B) {
 		_ = RetinaNet(KITTIClasses)
 	}
 }
+
+func TestSharedCacheHandsOutOneInstance(t *testing.T) {
+	a := YOLOv5sShared(KITTIClasses)
+	b := YOLOv5sShared(KITTIClasses)
+	if a != b {
+		t.Fatal("shared path returned distinct instances")
+	}
+	byName, err := Shared("YOLOv5s", KITTIClasses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName != a {
+		t.Fatal("Shared by name returned a different instance than YOLOv5sShared")
+	}
+	if _, err := Shared("DETR", KITTIClasses); err == nil {
+		t.Fatal("Shared should reject architectures without a shared path")
+	}
+
+	// The clone path must still hand out independent copies: mutating a
+	// clone (what pruners do) may not leak into the shared instance.
+	clone := YOLOv5s(KITTIClasses)
+	if clone == a {
+		t.Fatal("clone path returned the shared instance")
+	}
+	var conv *nn.Layer
+	for _, l := range clone.Layers {
+		if l.Kind == nn.Conv && l.Weight != nil {
+			conv = l
+			break
+		}
+	}
+	orig := a.Layers[conv.ID].Weight.Data[0]
+	conv.Weight.Data[0] = orig + 42
+	if a.Layers[conv.ID].Weight.Data[0] != orig {
+		t.Fatal("mutating a clone corrupted the shared instance")
+	}
+}

@@ -130,3 +130,9 @@ const HeadLevels = 5
 func RetinaNet(classes int) *nn.Model {
 	return cached("RetinaNet", classes, func() *nn.Model { return buildRetinaNet(classes) })
 }
+
+// RetinaNetShared returns the shared read-only RetinaNet instance (no
+// clone); see Shared for the mutation contract.
+func RetinaNetShared(classes int) *nn.Model {
+	return sharedCached("RetinaNet", classes, func() *nn.Model { return buildRetinaNet(classes) })
+}

@@ -154,3 +154,9 @@ func mustShapes(m *nn.Model) []nn.Shape {
 func YOLOv5s(classes int) *nn.Model {
 	return cached("YOLOv5s", classes, func() *nn.Model { return buildYOLOv5s(classes) })
 }
+
+// YOLOv5sShared returns the shared read-only YOLOv5s instance (no
+// clone); see Shared for the mutation contract.
+func YOLOv5sShared(classes int) *nn.Model {
+	return sharedCached("YOLOv5s", classes, func() *nn.Model { return buildYOLOv5s(classes) })
+}

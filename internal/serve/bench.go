@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"rtoss/internal/engine"
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// bench.go measures the serving stack end to end: single-stream dense
+// vs sparse forwards, batched forwards, concurrent streams over one
+// shared Program, and the micro-batching server. The same harness backs
+// `rtoss bench` and the CI JSON artifact (BENCH_PR2.json), so both
+// report identical methodology.
+
+// BenchConfig parameterises RunBench. Zero values select the defaults.
+type BenchConfig struct {
+	Arch    string // "YOLOv5s" (default) or "RetinaNet"
+	Entries int    // R-TOSS entry patterns for the sparse variant (default 3)
+	Res     int    // input H and W (default 64)
+	Batch   int    // images per batched forward (default 8)
+	Streams int    // concurrent client streams (default 8)
+	Images  int    // images per scenario (default 2*Streams)
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.Arch == "" {
+		c.Arch = "YOLOv5s"
+	}
+	if c.Entries == 0 {
+		c.Entries = 3
+	}
+	if c.Res <= 0 {
+		c.Res = 64
+	}
+	if c.Batch <= 0 {
+		c.Batch = 8
+	}
+	if c.Streams <= 0 {
+		c.Streams = 8
+	}
+	if c.Images <= 0 {
+		c.Images = 2 * c.Streams
+	}
+	return c
+}
+
+// BenchResult is one scenario's measurement.
+type BenchResult struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"`
+	Images       int     `json:"images"`
+	Seconds      float64 `json:"seconds"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	// Speedups are relative to the sequential baselines of the same run.
+	SpeedupVsSingleDense  float64 `json:"speedup_vs_single_dense"`
+	SpeedupVsSingleSparse float64 `json:"speedup_vs_single_sparse"`
+	AvgBatch              float64 `json:"avg_batch,omitempty"` // served scenarios only
+}
+
+// BenchReport is the full output of one RunBench call.
+type BenchReport struct {
+	Model      string        `json:"model"`
+	Variant    string        `json:"variant"`
+	Res        int           `json:"res"`
+	Batch      int           `json:"batch"`
+	Streams    int           `json:"streams"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+}
+
+// RunBench builds the dense and pruned Programs through a Registry and
+// measures five scenarios: sequential dense, sequential sparse, batched
+// sparse, concurrent streams sharing the sparse Program, and the
+// micro-batching server over it.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	dense, err := reg.Program(Key{Arch: cfg.Arch, Variant: "dense", Mode: engine.ModeDense})
+	if err != nil {
+		return nil, err
+	}
+	variant := fmt.Sprintf("rtoss-%dep", cfg.Entries)
+	sparse, err := reg.Program(Key{Arch: cfg.Arch, Variant: variant, Mode: engine.ModeSparse})
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := make([]*tensor.Tensor, cfg.Images)
+	r := rng.New(0xfeed)
+	for i := range inputs {
+		in := tensor.New(1, dense.Model().InputC, cfg.Res, cfg.Res)
+		for j := range in.Data {
+			in.Data[j] = float32(r.Range(-1, 1))
+		}
+		inputs[i] = in
+	}
+
+	rep := &BenchReport{
+		Model: cfg.Arch, Variant: variant,
+		Res: cfg.Res, Batch: cfg.Batch, Streams: cfg.Streams,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	single := func(p *engine.Program) (float64, error) {
+		start := time.Now()
+		for _, in := range inputs {
+			if _, err := p.Output(in); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	// Warm up both programs (compile pools, page in weights) off the clock.
+	if _, err := dense.Output(inputs[0]); err != nil {
+		return nil, err
+	}
+	if _, err := sparse.Output(inputs[0]); err != nil {
+		return nil, err
+	}
+
+	denseSec, err := single(dense)
+	if err != nil {
+		return nil, err
+	}
+	rep.add("single-stream", "dense", cfg.Images, denseSec, denseSec, 0, 0)
+
+	sparseSec, err := single(sparse)
+	if err != nil {
+		return nil, err
+	}
+	rep.add("single-stream", "sparse", cfg.Images, sparseSec, denseSec, sparseSec, 0)
+
+	// Batched: ForwardBatch in chunks of Batch.
+	start := time.Now()
+	for at := 0; at < len(inputs); at += cfg.Batch {
+		end := at + cfg.Batch
+		if end > len(inputs) {
+			end = len(inputs)
+		}
+		if _, err := sparse.ForwardBatch(inputs[at:end]); err != nil {
+			return nil, err
+		}
+	}
+	rep.add("batched", "sparse", cfg.Images, time.Since(start).Seconds(), denseSec, sparseSec, 0)
+
+	// Concurrent streams over one shared Program.
+	sec, err := concurrentStreams(cfg.Streams, inputs, func(in *tensor.Tensor) error {
+		_, err := sparse.Output(in)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.add("concurrent-streams", "sparse", cfg.Images, sec, denseSec, sparseSec, 0)
+
+	// Micro-batching server over the same Program.
+	srv := NewServer(sparse, Config{MaxBatch: cfg.Batch})
+	sec, err = concurrentStreams(cfg.Streams, inputs, func(in *tensor.Tensor) error {
+		_, err := srv.Infer(in)
+		return err
+	})
+	st := srv.Stats()
+	srv.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.add("served", "sparse", cfg.Images, sec, denseSec, sparseSec, st.AvgBatch)
+	return rep, nil
+}
+
+// concurrentStreams fans the inputs out over n client goroutines and
+// returns the wall-clock seconds until every request completed.
+func concurrentStreams(n int, inputs []*tensor.Tensor, infer func(*tensor.Tensor) error) (float64, error) {
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(inputs); i += n {
+				if err := infer(inputs[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	return time.Since(start).Seconds(), firstErr
+}
+
+func (r *BenchReport) add(name, mode string, images int, sec, denseSec, sparseSec, avgBatch float64) {
+	res := BenchResult{
+		Name: name, Mode: mode, Images: images, Seconds: sec,
+		AvgBatch: avgBatch,
+	}
+	if sec > 0 {
+		res.ImagesPerSec = float64(images) / sec
+		res.SpeedupVsSingleDense = denseSec / sec
+		if sparseSec > 0 {
+			res.SpeedupVsSingleSparse = sparseSec / sec
+		}
+	}
+	r.Results = append(r.Results, res)
+}
+
+// WriteJSON writes the report to path as indented JSON.
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render returns the report as an aligned text table.
+func (r *BenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving benchmark: %s %s, %dx%d input, batch %d, %d streams, GOMAXPROCS %d\n",
+		r.Model, r.Variant, r.Res, r.Res, r.Batch, r.Streams, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-20s %-7s %7s %9s %11s %11s %9s\n",
+		"scenario", "mode", "images", "img/s", "vs dense", "vs sparse", "avg batch")
+	for _, res := range r.Results {
+		avgBatch := ""
+		if res.AvgBatch > 0 {
+			avgBatch = fmt.Sprintf("%.2f", res.AvgBatch)
+		}
+		fmt.Fprintf(&b, "%-20s %-7s %7d %9.2f %10.2fx %10.2fx %9s\n",
+			res.Name, res.Mode, res.Images, res.ImagesPerSec,
+			res.SpeedupVsSingleDense, res.SpeedupVsSingleSparse, avgBatch)
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"rtoss/internal/tensor"
+)
+
+// HTTP front end for a Server. The wire format is deliberately minimal:
+// an image is raw little-endian float32 NCHW bytes, so a client needs
+// no codec beyond a byte order.
+//
+//	POST /infer    body = C*H*W float32s (LE), or empty for a zero image
+//	               → JSON {shape, l2, latency_ms} (+ data with ?data=1)
+//	GET  /stats    → JSON Stats snapshot
+//	GET  /healthz  → 200 "ok"
+
+// NewHandler serves one model Server over HTTP. inputC, inputH and
+// inputW fix the accepted image shape (request bodies must match it
+// exactly).
+func NewHandler(s *Server, inputC, inputH, inputW int) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, statsJSON(s.Stats()))
+	})
+	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
+		in, err := readImage(r.Body, inputC, inputH, inputW)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		start := time.Now()
+		out, err := s.Infer(in)
+		if err != nil {
+			code := http.StatusInternalServerError
+			if err == ErrClosed {
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		resp := map[string]any{
+			"shape":      out.Shape(),
+			"l2":         out.L2(),
+			"latency_ms": float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if r.URL.Query().Get("data") == "1" {
+			resp["data"] = out.Data
+		}
+		writeJSON(w, resp)
+	})
+	return mux
+}
+
+// readImage decodes a request body into a [1, C, H, W] tensor. An empty
+// body means a zero image (useful for smoke tests and load generators).
+func readImage(body io.Reader, c, h, w int) (*tensor.Tensor, error) {
+	raw, err := io.ReadAll(io.LimitReader(body, int64(c*h*w*4)+1))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading image: %w", err)
+	}
+	in := tensor.New(1, c, h, w)
+	if len(raw) == 0 {
+		return in, nil
+	}
+	if len(raw) != c*h*w*4 {
+		return nil, fmt.Errorf("serve: image body must be %d bytes (%dx%dx%d float32 LE), got %d",
+			c*h*w*4, c, h, w, len(raw))
+	}
+	for i := range in.Data {
+		in.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return in, nil
+}
+
+func statsJSON(st Stats) map[string]any {
+	return map[string]any{
+		"requests":       st.Requests,
+		"rejected":       st.Rejected,
+		"errors":         st.Errors,
+		"completed":      st.Completed,
+		"batches":        st.Batches,
+		"avg_batch":      st.AvgBatch,
+		"max_batch":      st.MaxBatch,
+		"avg_latency_ms": float64(st.AvgLatency) / float64(time.Millisecond),
+		"max_latency_ms": float64(st.MaxLatency) / float64(time.Millisecond),
+		"queue_depth":    st.QueueDepth,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,127 @@
+// Package serve is the concurrent serving subsystem built on the
+// compile-once / run-many engine: a registry that prunes and compiles
+// each requested model variant exactly once and caches the immutable
+// Program, a micro-batching scheduler that coalesces concurrent
+// requests into batched forwards, and per-model latency/throughput
+// accounting.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rtoss/internal/core"
+	"rtoss/internal/engine"
+	"rtoss/internal/models"
+	"rtoss/internal/nn"
+)
+
+// Key identifies one servable model variant: the architecture, the
+// pruning variant applied to it, and the engine's kernel-dispatch mode.
+type Key struct {
+	// Arch is the zoo architecture: "YOLOv5s" or "RetinaNet".
+	Arch string
+	// Variant is "dense" (no pruning) or "rtoss-<N>ep" (R-TOSS with N
+	// entry patterns, N in 2..5).
+	Variant string
+	// Mode is the kernel-dispatch policy the Program is compiled with.
+	Mode engine.Mode
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Arch, k.Variant, k.Mode)
+}
+
+// ParseVariant validates a variant string and returns its R-TOSS entry
+// count (0 for "dense").
+func ParseVariant(s string) (entries int, err error) {
+	if s == "dense" {
+		return 0, nil
+	}
+	rest, ok := strings.CutPrefix(s, "rtoss-")
+	if ok {
+		if digits, ok := strings.CutSuffix(rest, "ep"); ok {
+			if n, err := strconv.Atoi(digits); err == nil && n >= 2 && n <= 5 {
+				return n, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown variant %q (dense|rtoss-2ep..rtoss-5ep)", s)
+}
+
+// Registry lazily builds and caches one Program per Key. Concurrent
+// requests for the same key block on a single build (the multi-second
+// prune+compile runs once); requests for distinct keys build
+// independently. A Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[Key]*registryEntry
+}
+
+type registryEntry struct {
+	once sync.Once
+	prog *engine.Program
+	err  error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[Key]*registryEntry{}}
+}
+
+// Program returns the compiled Program for a key, building (prune +
+// compile) on first request and caching the result — including a build
+// error, which callers see on every subsequent request for that key.
+func (r *Registry) Program(k Key) (*engine.Program, error) {
+	r.mu.Lock()
+	e := r.entries[k]
+	if e == nil {
+		e = &registryEntry{}
+		r.entries[k] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = buildProgram(k) })
+	return e.prog, e.err
+}
+
+// Keys returns the registered keys in deterministic order.
+func (r *Registry) Keys() []Key {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ks := make([]Key, 0, len(r.entries))
+	for k := range r.entries {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+	return ks
+}
+
+// buildProgram assembles the model for a key and compiles it. The dense
+// variant compiles straight from the shared read-only zoo instance (no
+// weight clone); pruning variants clone first, because pruning mutates
+// weights.
+func buildProgram(k Key) (*engine.Program, error) {
+	entries, err := ParseVariant(k.Variant)
+	if err != nil {
+		return nil, err
+	}
+	var m *nn.Model
+	if entries == 0 {
+		m, err = models.Shared(k.Arch, models.KITTIClasses)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m, err = models.ByName(k.Arch, models.KITTIClasses)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := core.NewVariant(entries).Prune(m); err != nil {
+			return nil, fmt.Errorf("serve: pruning %s: %w", k, err)
+		}
+	}
+	return engine.Compile(m, engine.Options{Mode: k.Mode})
+}

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rtoss/internal/engine"
+	"rtoss/internal/tensor"
+)
+
+// Config tunes a Server's micro-batching scheduler. Zero values select
+// the defaults.
+type Config struct {
+	// MaxBatch is the most images one forward pass coalesces (default 8).
+	MaxBatch int
+	// MaxDelay is how long a worker holding a partial batch waits for
+	// more requests before running it (default 2ms). Lower favours
+	// latency, higher favours throughput.
+	MaxDelay time.Duration
+	// Workers is how many batch executors run concurrently (default 2).
+	// Each executes full forward passes on the shared Program.
+	Workers int
+	// QueueCap bounds the pending-request queue (default 64). Infer
+	// blocks when the queue is full; TryInfer sheds load instead.
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	return c
+}
+
+// Server turns one shared Program into a concurrent inference service:
+// requests enter a bounded queue, workers coalesce them into batches of
+// up to MaxBatch images (waiting at most MaxDelay for stragglers), run
+// one batched forward per batch, and fan the outputs back out to the
+// callers. All methods are safe for concurrent use.
+type Server struct {
+	prog  *engine.Program
+	cfg   Config
+	queue chan *request
+	wg    sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	stats serverStats
+}
+
+var (
+	// ErrClosed is returned by Infer/TryInfer after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrQueueFull is returned by TryInfer when the queue is saturated.
+	ErrQueueFull = errors.New("serve: request queue full")
+)
+
+type request struct {
+	in   *tensor.Tensor
+	resp chan response
+	enq  time.Time
+}
+
+type response struct {
+	out *tensor.Tensor
+	err error
+}
+
+// NewServer starts cfg.Workers batch executors over the shared Program
+// and returns the running server. Callers own the Program; one Program
+// may back several servers.
+func NewServer(prog *engine.Program, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		prog:  prog,
+		cfg:   cfg,
+		queue: make(chan *request, cfg.QueueCap),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Infer runs one image ([C, H, W] or [1, C, H, W]) through the service
+// and blocks until its output is ready (or the server closes). When the
+// queue is full, Infer waits for a slot — use TryInfer to shed load.
+func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.submit(in, true)
+}
+
+// TryInfer is Infer, except it returns ErrQueueFull instead of blocking
+// when the queue is saturated.
+func (s *Server) TryInfer(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.submit(in, false)
+}
+
+func (s *Server) submit(in *tensor.Tensor, wait bool) (*tensor.Tensor, error) {
+	req := &request{in: in, resp: make(chan response, 1), enq: time.Now()}
+	// The read lock holds Close's channel close off until the send has
+	// completed, so submit never sends on a closed channel.
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	if wait {
+		s.queue <- req
+	} else {
+		select {
+		case s.queue <- req:
+		default:
+			s.closeMu.RUnlock()
+			atomic.AddUint64(&s.stats.rejected, 1)
+			return nil, ErrQueueFull
+		}
+	}
+	atomic.AddUint64(&s.stats.requests, 1)
+	s.closeMu.RUnlock()
+	r := <-req.resp
+	return r.out, r.err
+}
+
+// Close stops accepting requests, drains the queue, and waits for
+// in-flight batches to finish. It is idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// worker pulls a request, tops the batch up to MaxBatch (waiting at
+// most MaxDelay), runs one batched forward, and replies to every caller.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for first := range s.queue {
+		batch := s.gather(first)
+		s.execute(batch)
+	}
+}
+
+// gather collects up to MaxBatch-1 additional requests behind first.
+func (s *Server) gather(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxDelay)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				return batch // closing: run what we have
+			}
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (s *Server) execute(batch []*request) {
+	// Clients may legitimately submit different image sizes (Programs
+	// accept any resolution the model supports), and images can only be
+	// stacked with identical shapes — so partition the batch by shape
+	// and forward each group separately. One malformed request then
+	// fails alone instead of poisoning whoever it was co-batched with.
+	for _, group := range groupByShape(batch) {
+		ins := make([]*tensor.Tensor, len(group))
+		for i, req := range group {
+			ins[i] = req.in
+		}
+		outs, err := s.prog.ForwardBatch(ins)
+		now := time.Now()
+		s.stats.recordBatch(len(group))
+		for i, req := range group {
+			r := response{err: err}
+			if err == nil {
+				r.out = outs[i]
+			} else {
+				atomic.AddUint64(&s.stats.errors, 1)
+			}
+			s.stats.recordLatency(now.Sub(req.enq))
+			req.resp <- r
+		}
+	}
+}
+
+// groupByShape splits a batch into stackable groups of identical image
+// shape, preserving arrival order within each group. The common case
+// (every client sends the model's nominal resolution) stays one group.
+func groupByShape(batch []*request) [][]*request {
+	groups := make([][]*request, 0, 1)
+outer:
+	for _, req := range batch {
+		for i, g := range groups {
+			if sameImageShape(g[0].in, req.in) {
+				groups[i] = append(g, req)
+				continue outer
+			}
+		}
+		groups = append(groups, []*request{req})
+	}
+	return groups
+}
+
+// sameImageShape reports whether two single-image tensors stack: equal
+// shapes, treating [C, H, W] and [1, C, H, W] as equivalent. Malformed
+// inputs (wrong rank) compare false against everything, so they fail
+// in their own group of one.
+func sameImageShape(a, b *tensor.Tensor) bool {
+	as, bs := a.Shape(), b.Shape()
+	if len(as) == 4 && as[0] == 1 {
+		as = as[1:]
+	}
+	if len(bs) == 4 && bs[0] == 1 {
+		bs = bs[1:]
+	}
+	if len(as) != 3 || len(bs) != 3 {
+		return false
+	}
+	return as[0] == bs[0] && as[1] == bs[1] && as[2] == bs[2]
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	st := s.stats.snapshot()
+	st.QueueDepth = len(s.queue)
+	return st
+}
+
+// serverStats is the atomically-updated internals behind Stats.
+type serverStats struct {
+	requests, rejected, errors uint64
+	batches, batchedImages     uint64
+	maxBatch                   int64
+	latencyNS, maxLatencyNS    int64
+}
+
+func (st *serverStats) recordBatch(size int) {
+	atomic.AddUint64(&st.batches, 1)
+	atomic.AddUint64(&st.batchedImages, uint64(size))
+	atomicMax(&st.maxBatch, int64(size))
+}
+
+func (st *serverStats) recordLatency(d time.Duration) {
+	atomic.AddInt64(&st.latencyNS, int64(d))
+	atomicMax(&st.maxLatencyNS, int64(d))
+}
+
+func atomicMax(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
+	}
+}
+
+// Stats is one snapshot of a server's accounting: how much traffic it
+// has seen, how well micro-batching is coalescing it, and what the
+// callers' end-to-end latency (queue wait + batch execution) looks like.
+type Stats struct {
+	Requests               uint64 // accepted requests
+	Rejected               uint64 // TryInfer load-shed rejections
+	Errors                 uint64 // requests that returned an error
+	Completed              uint64 // images that went through a forward pass
+	Batches                uint64 // batched forward passes executed
+	AvgBatch               float64
+	MaxBatch               int
+	AvgLatency, MaxLatency time.Duration
+	QueueDepth             int
+}
+
+func (st *serverStats) snapshot() Stats {
+	out := Stats{
+		Requests:   atomic.LoadUint64(&st.requests),
+		Rejected:   atomic.LoadUint64(&st.rejected),
+		Errors:     atomic.LoadUint64(&st.errors),
+		Completed:  atomic.LoadUint64(&st.batchedImages),
+		Batches:    atomic.LoadUint64(&st.batches),
+		MaxBatch:   int(atomic.LoadInt64(&st.maxBatch)),
+		MaxLatency: time.Duration(atomic.LoadInt64(&st.maxLatencyNS)),
+	}
+	if out.Batches > 0 {
+		out.AvgBatch = float64(out.Completed) / float64(out.Batches)
+	}
+	if out.Completed > 0 {
+		out.AvgLatency = time.Duration(atomic.LoadInt64(&st.latencyNS) / int64(out.Completed))
+	}
+	return out
+}

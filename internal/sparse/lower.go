@@ -1,0 +1,71 @@
+package sparse
+
+import (
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+	"rtoss/internal/tensor"
+)
+
+// lower.go holds the kernel-lowering policy: deciding whether a conv
+// layer is worth executing sparsely and, if so, which compiled format
+// it gets. The execution engine used to own this decision; it lives
+// here so that every consumer of compiled kernels (engine programs,
+// the serving registry, tests) lowers layers identically.
+
+// CompiledConv is a conv layer lowered to a sparse execution format;
+// exactly one field is set.
+type CompiledConv struct {
+	Pattern *tensor.PatternConv
+	CSR     *tensor.CSRConv
+}
+
+// DefaultPatternDict returns the union of the canonical R-TOSS mask
+// dictionaries (2EP..5EP) plus the empty mask, so connectivity-pruned
+// (all-zero) kernels still encode.
+func DefaultPatternDict() []uint16 {
+	dict := []uint16{0}
+	for _, entries := range []int{2, 3, 4, 5} {
+		for _, m := range pattern.NewDictionary(entries).Masks {
+			dict = append(dict, uint16(m))
+		}
+	}
+	return dict
+}
+
+// CompileConv lowers one conv layer to a sparse execution format, or
+// returns nil to keep it dense. A layer is lowered when it has been
+// pruned (recorded structure, or measured density below 0.999) and its
+// weight density does not exceed densityCutoff — pass 1 to lower every
+// pruned layer regardless of density (forced-sparse dispatch), or the
+// break-even cutoff of the target kernels for automatic dispatch.
+//
+// Spatial kernels whose occupancy masks all come from dict take the
+// pattern-grouped fast path; 1x1 and off-dictionary layers fall back to
+// CSR. A nil dict means DefaultPatternDict.
+func CompileConv(l *nn.Layer, dict []uint16, densityCutoff float64) *CompiledConv {
+	if l.Kind != nn.Conv || l.Weight == nil {
+		return nil
+	}
+	wc := l.WeightCount()
+	if wc == 0 {
+		return nil
+	}
+	density := float64(l.NNZ()) / float64(wc)
+	pruned := l.Structure != nn.SparsityDense || density < 0.999
+	if !pruned || density > densityCutoff {
+		return nil
+	}
+	if dict == nil {
+		dict = DefaultPatternDict()
+	}
+	if ks := l.KH * l.KW; ks > 1 && ks <= 16 {
+		if pc, err := CompilePatternConv(l, dict); err == nil {
+			return &CompiledConv{Pattern: pc}
+		}
+	}
+	cc, err := CompileCSRConv(l)
+	if err != nil {
+		return nil
+	}
+	return &CompiledConv{CSR: cc}
+}

@@ -1,0 +1,96 @@
+package sparse
+
+import (
+	"testing"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/pattern"
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// lowerLayer builds a 3x3 conv layer with deterministic random weights.
+func lowerLayer(seed uint64) *nn.Layer {
+	r := rng.New(seed)
+	l := &nn.Layer{
+		ID: 1, Name: "conv", Kind: nn.Conv,
+		InC: 4, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1, Group: 1,
+		Weight: tensor.New(4, 4, 3, 3),
+	}
+	for i := range l.Weight.Data {
+		l.Weight.Data[i] = float32(r.Range(-1, 1))
+	}
+	return l
+}
+
+// TestCompileConvPolicy checks the dense-vs-sparse lowering decision
+// and the pattern-vs-CSR format choice the engine relies on.
+func TestCompileConvPolicy(t *testing.T) {
+	// An unpruned dense layer stays dense at any cutoff.
+	if cc := CompileConv(lowerLayer(1), nil, 1); cc != nil {
+		t.Fatal("dense layer was lowered to a sparse kernel")
+	}
+
+	// Dictionary-masked kernels take the pattern path.
+	pat := lowerLayer(2)
+	masks := pattern.NewDictionary(3).Masks
+	for k := 0; k < pat.KernelCount(); k++ {
+		masks[k%len(masks)].Apply(pat.Weight.Data[k*9 : (k+1)*9])
+	}
+	pat.Structure = nn.SparsityPattern
+	cc := CompileConv(pat, nil, 1)
+	if cc == nil || cc.Pattern == nil || cc.CSR != nil {
+		t.Fatalf("pattern-pruned layer lowered to %+v, want pattern format", cc)
+	}
+
+	// Off-dictionary sparsity falls back to CSR.
+	csr := lowerLayer(3)
+	for k := 0; k < csr.KernelCount(); k++ {
+		kernel := csr.Weight.Data[k*9 : (k+1)*9]
+		for i := 6; i < 9; i++ { // 6-entry masks are in no canonical dict
+			kernel[i] = 0
+		}
+	}
+	csr.Structure = nn.SparsityUnstructured
+	cc = CompileConv(csr, nil, 1)
+	if cc == nil || cc.CSR == nil || cc.Pattern != nil {
+		t.Fatalf("off-dictionary layer lowered to %+v, want CSR format", cc)
+	}
+
+	// The density cutoff keeps nearly-dense pruned layers on the dense
+	// path: the 6/9 layer is 0.667 dense, so a 0.5 cutoff rejects it.
+	if cc := CompileConv(csr, nil, 0.5); cc != nil {
+		t.Fatal("cutoff 0.5 lowered a 0.667-density layer")
+	}
+	if cc := CompileConv(csr, nil, 0.75); cc == nil {
+		t.Fatal("cutoff 0.75 kept a 0.667-density layer dense")
+	}
+
+	// Non-conv and weightless layers never lower.
+	if cc := CompileConv(&nn.Layer{Kind: nn.Act}, nil, 1); cc != nil {
+		t.Fatal("activation layer lowered")
+	}
+	if cc := CompileConv(&nn.Layer{Kind: nn.Conv}, nil, 1); cc != nil {
+		t.Fatal("weightless conv lowered")
+	}
+}
+
+// TestDefaultPatternDict checks the canonical union dictionary covers
+// every entry-count variant plus the empty mask.
+func TestDefaultPatternDict(t *testing.T) {
+	dict := DefaultPatternDict()
+	seen := map[uint16]bool{}
+	for _, m := range dict {
+		seen[m] = true
+	}
+	if !seen[0] {
+		t.Fatal("default dictionary misses the empty (connectivity-pruned) mask")
+	}
+	for _, entries := range []int{2, 3, 4, 5} {
+		for _, m := range pattern.NewDictionary(entries).Masks {
+			if !seen[uint16(m)] {
+				t.Fatalf("default dictionary misses %dEP mask %v", entries, m)
+			}
+		}
+	}
+}

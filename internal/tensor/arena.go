@@ -6,22 +6,66 @@ import (
 )
 
 // Arena recycles tensor buffers within a bounded scope (one forward
-// pass, typically): instead of allocating a fresh tensor per layer and
-// leaving the garbage collector to clean up, the execution engine
-// returns each activation to the arena as soon as its last consumer has
-// run and the next layer of the same size reuses the buffer.
+// pass, or one execution program's run pool): instead of allocating a
+// fresh tensor per layer and leaving the garbage collector to clean up,
+// the execution engine returns each activation to the arena as soon as
+// its last consumer has run and the next layer of the same size reuses
+// the buffer.
+//
+// Retention is capped: at most MaxPerSize buffers are kept per element
+// count and at most MaxBytes in total, so a long-lived arena (one that
+// outlives a single run, e.g. pooled by a serving program) releases
+// peak-batch buffers back to the garbage collector instead of holding
+// them forever. Put calls beyond a cap silently drop the buffer.
 //
 // Arena is safe for concurrent use by multiple goroutines.
 type Arena struct {
 	mu   sync.Mutex
 	free map[int][]*Tensor // released tensors keyed by element count
 
-	gets, reuses int
+	maxPerSize int
+	maxBytes   int64
+	retained   int64 // bytes currently held across all free lists
+
+	gets, reuses, drops int
 }
 
-// NewArena returns an empty arena.
+// ArenaLimits bounds what an Arena retains. Zero or negative fields
+// select the defaults.
+type ArenaLimits struct {
+	// MaxPerSize caps the retained buffers per distinct element count.
+	MaxPerSize int
+	// MaxBytes caps the total bytes retained across all free lists.
+	MaxBytes int64
+}
+
+const (
+	// DefaultArenaMaxPerSize is the default per-size retention cap. A
+	// forward pass rarely has more same-sized activations alive at once
+	// than its wavefront width, so a small cap loses nothing.
+	DefaultArenaMaxPerSize = 8
+	// DefaultArenaMaxBytes is the default total retention cap (bytes).
+	DefaultArenaMaxBytes = 64 << 20
+)
+
+// NewArena returns an empty arena with the default retention limits.
 func NewArena() *Arena {
-	return &Arena{free: map[int][]*Tensor{}}
+	return NewArenaLimited(ArenaLimits{})
+}
+
+// NewArenaLimited returns an empty arena with explicit retention limits.
+func NewArenaLimited(lim ArenaLimits) *Arena {
+	if lim.MaxPerSize <= 0 {
+		lim.MaxPerSize = DefaultArenaMaxPerSize
+	}
+	if lim.MaxBytes <= 0 {
+		lim.MaxBytes = DefaultArenaMaxBytes
+	}
+	return &Arena{
+		free:       map[int][]*Tensor{},
+		maxPerSize: lim.MaxPerSize,
+		maxBytes:   lim.MaxBytes,
+	}
 }
 
 // Get returns a tensor of the given shape, reusing a previously
@@ -43,6 +87,7 @@ func (a *Arena) Get(shape ...int) *Tensor {
 		t := list[len(list)-1]
 		a.free[n] = list[:len(list)-1]
 		a.reuses++
+		a.retained -= tensorBytes(t)
 		a.mu.Unlock()
 		return t.Reshape(shape...)
 	}
@@ -51,15 +96,26 @@ func (a *Arena) Get(shape ...int) *Tensor {
 }
 
 // Put releases a tensor's buffer back to the arena. The caller must not
-// use t (or any view sharing its data) afterwards.
+// use t (or any view sharing its data) afterwards. Buffers beyond the
+// arena's retention limits are dropped (left to the garbage collector).
 func (a *Arena) Put(t *Tensor) {
 	if t == nil || len(t.Data) == 0 {
 		return
 	}
+	size := tensorBytes(t)
 	a.mu.Lock()
+	if len(a.free[len(t.Data)]) >= a.maxPerSize || a.retained+size > a.maxBytes {
+		a.drops++
+		a.mu.Unlock()
+		return
+	}
 	a.free[len(t.Data)] = append(a.free[len(t.Data)], t)
+	a.retained += size
 	a.mu.Unlock()
 }
+
+// tensorBytes returns the buffer size of t in bytes.
+func tensorBytes(t *Tensor) int64 { return int64(len(t.Data)) * 4 }
 
 // Stats reports how many Get calls the arena served and how many of
 // them reused a released buffer instead of allocating.
@@ -67,4 +123,16 @@ func (a *Arena) Stats() (gets, reuses int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.gets, a.reuses
+}
+
+// Retained reports what the arena currently holds (buffer count and
+// total bytes) and how many Put calls were dropped by the retention
+// limits.
+func (a *Arena) Retained() (buffers int, bytes int64, drops int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, list := range a.free {
+		buffers += len(list)
+	}
+	return buffers, a.retained, a.drops
 }

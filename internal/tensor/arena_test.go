@@ -40,6 +40,69 @@ func TestArenaDifferentSizesDoNotMix(t *testing.T) {
 	}
 }
 
+func TestArenaCapsPerSizeRetention(t *testing.T) {
+	a := NewArenaLimited(ArenaLimits{MaxPerSize: 2, MaxBytes: 1 << 20})
+	ts := make([]*Tensor, 5)
+	for i := range ts {
+		ts[i] = a.Get(8, 8)
+	}
+	for _, tt := range ts {
+		a.Put(tt)
+	}
+	buffers, bytes, drops := a.Retained()
+	if buffers != 2 || drops != 3 {
+		t.Fatalf("retained %d buffers with %d drops, want 2 retained / 3 dropped", buffers, drops)
+	}
+	if bytes != 2*8*8*4 {
+		t.Fatalf("retained %d bytes, want %d", bytes, 2*8*8*4)
+	}
+}
+
+func TestArenaCapsTotalBytes(t *testing.T) {
+	// 1 KiB budget: one 64-element float32 buffer (256 B) per size class
+	// fits, but a fifth distinct size class would exceed the budget.
+	a := NewArenaLimited(ArenaLimits{MaxPerSize: 8, MaxBytes: 1024})
+	sizes := [][]int{{64}, {8, 8}, {2, 32}, {4, 16}, {16, 4}}
+	held := make([]*Tensor, 0, len(sizes))
+	for i, s := range sizes {
+		// Distinct element counts per class so free lists don't merge.
+		held = append(held, a.Get(append([]int{i + 1}, s...)...))
+	}
+	dropped := 0
+	for _, tt := range held {
+		before, _, _ := a.Retained()
+		a.Put(tt)
+		after, _, _ := a.Retained()
+		if after == before {
+			dropped++
+		}
+	}
+	_, bytes, drops := a.Retained()
+	if bytes > 1024 {
+		t.Fatalf("retained %d bytes exceeds the 1024-byte cap", bytes)
+	}
+	if drops == 0 || dropped != drops {
+		t.Fatalf("drops = %d (observed %d), want > 0 once the byte budget is spent", drops, dropped)
+	}
+}
+
+func TestArenaByteBudgetFreesUpOnReuse(t *testing.T) {
+	a := NewArenaLimited(ArenaLimits{MaxPerSize: 4, MaxBytes: 256})
+	t1 := a.Get(64) // exactly the budget
+	a.Put(t1)
+	if _, bytes, _ := a.Retained(); bytes != 256 {
+		t.Fatalf("retained %d bytes, want 256", bytes)
+	}
+	t2 := a.Get(64) // reuse frees the budget
+	if _, bytes, _ := a.Retained(); bytes != 0 {
+		t.Fatal("reuse did not release retained bytes")
+	}
+	a.Put(t2) // fits again
+	if _, bytes, drops := a.Retained(); bytes != 256 || drops != 0 {
+		t.Fatalf("re-put retained %d bytes with %d drops, want 256/0", bytes, drops)
+	}
+}
+
 func TestArenaConcurrentUse(t *testing.T) {
 	a := NewArena()
 	var wg sync.WaitGroup

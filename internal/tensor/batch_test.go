@@ -1,0 +1,66 @@
+package tensor
+
+import "testing"
+
+func TestStackAndSplitRoundTrip(t *testing.T) {
+	a := New(1, 2, 3, 3)
+	b := New(2, 3, 3) // rank-3 image mixes with rank-4 single images
+	for i := range a.Data {
+		a.Data[i] = float32(i)
+		b.Data[i] = float32(-i)
+	}
+	batch := Stack([]*Tensor{a, b})
+	if batch.Dim(0) != 2 || batch.Dim(1) != 2 || batch.Dim(2) != 3 || batch.Dim(3) != 3 {
+		t.Fatalf("stacked shape %v", batch.Shape())
+	}
+	parts := SplitBatch(batch)
+	if len(parts) != 2 {
+		t.Fatalf("split into %d parts", len(parts))
+	}
+	for i := range a.Data {
+		if parts[0].Data[i] != a.Data[i] || parts[1].Data[i] != b.Data[i] {
+			t.Fatalf("round trip corrupted element %d", i)
+		}
+	}
+	// Split results own their data.
+	parts[0].Data[0] = 99
+	if batch.Data[0] == 99 {
+		t.Fatal("SplitBatch returned a view, want a copy")
+	}
+}
+
+func TestBatchViewSharesData(t *testing.T) {
+	batch := New(3, 2, 2, 2)
+	for i := range batch.Data {
+		batch.Data[i] = float32(i)
+	}
+	v := batch.BatchView(1)
+	if v.Dim(0) != 1 || v.Dim(1) != 2 || v.Dim(2) != 2 || v.Dim(3) != 2 {
+		t.Fatalf("view shape %v", v.Shape())
+	}
+	if v.Data[0] != 8 {
+		t.Fatalf("view starts at %g, want 8", v.Data[0])
+	}
+	v.Data[0] = -1
+	if batch.Data[8] != -1 {
+		t.Fatal("view write not visible in the batch")
+	}
+}
+
+func TestStackRejectsMismatches(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty stack", func() { Stack(nil) })
+	mustPanic("shape mismatch", func() { Stack([]*Tensor{New(1, 2, 3, 3), New(1, 2, 4, 4)}) })
+	mustPanic("multi-image input", func() { Stack([]*Tensor{New(2, 2, 3, 3)}) })
+	mustPanic("rank-2 input", func() { Stack([]*Tensor{New(3, 3)}) })
+	mustPanic("view out of range", func() { New(2, 1, 1, 1).BatchView(2) })
+	mustPanic("split non-batch", func() { SplitBatch(New(3, 3)) })
+}

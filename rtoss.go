@@ -41,14 +41,26 @@
 // levels on a bounded worker pool, and Engine.Output recycles
 // activation buffers through a per-run arena.
 //
+// # Compile once, run many
+//
+// The engine is split into an immutable Program (CompileProgram; Engine
+// is its legacy alias) and cheap pooled per-request run state: one
+// Program safely serves any number of concurrent goroutines, and
+// Program.ForwardBatch runs a whole batch of images through one
+// forward pass. The serving subsystem builds on that split:
+// NewServeRegistry caches one Program per (architecture, variant, mode)
+// key, and NewServer coalesces concurrent requests into micro-batches
+// with bounded queueing and latency/throughput stats (see `rtoss serve`
+// and `rtoss bench`).
+//
 // Quick start:
 //
 //	m := rtoss.NewYOLOv5s()
 //	res, _ := rtoss.NewRTOSS(3).Prune(m)
 //	fmt.Printf("compression %.2fx\n", res.CompressionRatio())
 //
-//	eng, _ := rtoss.NewEngine(m, rtoss.EngineOptions{Mode: rtoss.EngineSparse})
-//	out, _ := eng.Output(rtoss.NewTensor(1, 3, 64, 64))
+//	prog, _ := rtoss.CompileProgram(m, rtoss.EngineOptions{Mode: rtoss.EngineSparse})
+//	out, _ := prog.Output(rtoss.NewTensor(1, 3, 64, 64))
 //	fmt.Println(out.Shape())
 package rtoss
 
@@ -66,6 +78,7 @@ import (
 	"rtoss/internal/pattern"
 	"rtoss/internal/prune"
 	"rtoss/internal/report"
+	"rtoss/internal/serve"
 	"rtoss/internal/sparse"
 	"rtoss/internal/tensor"
 )
@@ -167,11 +180,17 @@ func Assess(orig, pruned *Model, res *Result) Quality {
 	return metrics.AssessPruned(orig, pruned, res)
 }
 
-// Engine is a model compiled for execution: per-layer dense/sparse
-// kernel dispatch plus wavefront-concurrent scheduling.
+// Program is a model compiled once for execution: per-layer
+// dense/sparse kernel dispatch, wavefront scheduling levels and the
+// activation buffer plan. Immutable and safe for concurrent use; run
+// state is pooled internally. Program.ForwardBatch runs many images in
+// one pass.
+type Program = engine.Program
+
+// Engine is the legacy name of Program.
 type Engine = engine.Engine
 
-// EngineOptions configures NewEngine.
+// EngineOptions configures CompileProgram / NewEngine.
 type EngineOptions = engine.Options
 
 // EngineMode selects the engine's kernel-dispatch policy.
@@ -184,9 +203,45 @@ const (
 	EngineSparse = engine.ModeSparse
 )
 
-// NewEngine compiles a model for execution. Recompile after pruning for
-// the sparse dispatch to see the new zeros.
+// CompileProgram compiles a model into an immutable, shareable Program.
+// Recompile after pruning for the sparse dispatch to see the new zeros.
+func CompileProgram(m *Model, opts EngineOptions) (*Program, error) {
+	return engine.Compile(m, opts)
+}
+
+// NewEngine is the legacy name of CompileProgram.
 func NewEngine(m *Model, opts EngineOptions) (*Engine, error) { return engine.New(m, opts) }
+
+// ---------------------------------------------------------------------
+// Serving subsystem (micro-batching inference over shared Programs).
+
+type (
+	// ServeKey identifies one servable model variant in a registry.
+	ServeKey = serve.Key
+	// ServeRegistry lazily prunes+compiles and caches one Program per key.
+	ServeRegistry = serve.Registry
+	// ServeConfig tunes a Server's micro-batching scheduler.
+	ServeConfig = serve.Config
+	// ServeStats is a server accounting snapshot.
+	ServeStats = serve.Stats
+	// Server coalesces concurrent requests into batched forwards.
+	Server = serve.Server
+	// BenchConfig parameterises RunServeBench.
+	BenchConfig = serve.BenchConfig
+	// BenchReport is a serving benchmark report (the BENCH JSON format).
+	BenchReport = serve.BenchReport
+)
+
+// NewServeRegistry returns an empty Program registry.
+func NewServeRegistry() *ServeRegistry { return serve.NewRegistry() }
+
+// NewServer starts a micro-batching inference server over a shared
+// Program; see ServeConfig for the knobs.
+func NewServer(prog *Program, cfg ServeConfig) *Server { return serve.NewServer(prog, cfg) }
+
+// RunServeBench measures single-stream vs batched vs served throughput
+// with the same harness as `rtoss bench` and the CI artifact.
+func RunServeBench(cfg BenchConfig) (*BenchReport, error) { return serve.RunBench(cfg) }
 
 // ParseEngineMode parses "auto", "dense" or "sparse".
 func ParseEngineMode(s string) (EngineMode, error) { return engine.ParseMode(s) }

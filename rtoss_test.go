@@ -160,6 +160,52 @@ func TestPublicEngineModes(t *testing.T) {
 	}
 }
 
+func TestPublicServeAPI(t *testing.T) {
+	reg := NewServeRegistry()
+	key := ServeKey{Arch: "YOLOv5s", Variant: "dense", Mode: EngineDense}
+	prog, err := reg.Program(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := reg.Program(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog != again {
+		t.Fatal("registry rebuilt a cached Program")
+	}
+	input := NewTensor(1, 3, 64, 64)
+	for i := range input.Data {
+		input.Data[i] = float32(i%13)/13 - 0.5
+	}
+	want, err := prog.Output(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := prog.ForwardBatch([]*Tensor{input, input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != 2 || !batched[0].SameShape(want) {
+		t.Fatalf("ForwardBatch returned %d outputs of shape %v, want 2 of %v",
+			len(batched), batched[0].Shape(), want.Shape())
+	}
+	srv := NewServer(prog, ServeConfig{MaxBatch: 2})
+	defer srv.Close()
+	got, err := srv.Infer(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Data {
+		if d := got.Data[i] - want.Data[i]; d < -1e-5 || d > 1e-5 {
+			t.Fatalf("served output diverges from direct forward at %d", i)
+		}
+	}
+	if st := srv.Stats(); st.Requests != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 request completed", st)
+	}
+}
+
 func TestPublicTablesRender(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping slow analytic table regeneration in -short mode")
