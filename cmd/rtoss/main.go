@@ -6,6 +6,7 @@
 //	rtoss compare [flags]     full framework comparison on one model
 //	rtoss tradeoff [flags]    sparsity/accuracy/latency sweeps
 //	rtoss forward [flags]     run the real execution engine (-engine=dense|sparse|auto)
+//	rtoss detect [flags]      end-to-end detection: image in, JSON boxes out
 //	rtoss serve [flags]       serve a compiled model over HTTP with micro-batching
 //	rtoss bench [flags]       single vs batched vs served throughput (optionally as JSON)
 //
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -20,7 +22,9 @@ import (
 	"time"
 
 	"rtoss"
+	"rtoss/internal/detect"
 	"rtoss/internal/experiments"
+	"rtoss/internal/kitti"
 	"rtoss/internal/models"
 	"rtoss/internal/report"
 	"rtoss/internal/rng"
@@ -46,6 +50,8 @@ func main() {
 		err = tradeoff(os.Args[2:])
 	case "forward":
 		err = forward(os.Args[2:])
+	case "detect":
+		err = detectCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "bench":
@@ -64,7 +70,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|serve|bench> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench> [flags]")
 }
 
 // zooName maps a CLI model flag to its zoo display name.
@@ -102,6 +108,15 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Validate the cheap flag-derived config before the multi-second
+	// prune+compile.
+	spec, err := models.HeadByName(arch, models.KITTIClasses)
+	if err != nil {
+		return err
+	}
+	if s := spec.MaxStride(); *res <= 0 || *res%s != 0 {
+		return fmt.Errorf("-res %d must be a positive multiple of the %s head stride %d", *res, arch, s)
+	}
 	key := serve.Key{Arch: arch, Variant: *variant, Mode: mode}
 	fmt.Printf("compiling %v ...\n", key)
 	start := time.Now()
@@ -117,9 +132,15 @@ func serveCmd(args []string) error {
 	})
 	defer srv.Close()
 	inC, hw := prog.Model().InputC, *res
-	fmt.Printf("serving on http://%s  (POST /infer: %d float32 LE = %dx%dx%d image; GET /stats, /healthz)\n",
-		*addr, inC*hw*hw, inC, hw, hw)
-	return http.ListenAndServe(*addr, serve.NewHandler(srv, inC, hw, hw))
+	fmt.Printf("serving on http://%s\n", *addr)
+	fmt.Printf("  POST /infer   %d float32 LE = %dx%dx%d image\n", inC*hw*hw, inC, hw, hw)
+	fmt.Printf("  POST /detect  PPM/PGM/PNG image -> JSON detections\n")
+	fmt.Printf("  GET  /stats, /healthz\n")
+	return http.ListenAndServe(*addr, serve.NewHandler(srv, serve.HandlerConfig{
+		InputC: inC, InputH: hw, InputW: hw,
+		Detect: &detect.Config{Spec: spec},
+		Labels: kitti.ClassNames[:],
+	}))
 }
 
 // benchCmd measures single-stream vs batched vs served throughput and
@@ -238,6 +259,123 @@ func forward(args []string) error {
 	fmt.Printf("%-7s engine: %.2f ms/pass\n", rtoss.EngineDense, td*1e3)
 	fmt.Printf("measured speedup: %.2fx (max abs output diff %.2g)\n", td/t, maxDiff)
 	return nil
+}
+
+// detectCmd runs the full detection pipeline on one image and prints
+// the boxes as JSON: letterbox preprocess, (optionally pruned) sparse
+// forward pass, head decode, class-aware NMS, un-letterbox.
+func detectCmd(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to run (yolov5s|retinanet)")
+	engineMode := fs.String("engine", "sparse", "kernel dispatch: dense|sparse|auto")
+	entries := fs.Int("entries", 3, "R-TOSS entry patterns to prune with first (0 = leave dense)")
+	res := fs.Int("res", 256, "model input resolution (letterboxed; multiple of 32)")
+	imagePath := fs.String("image", "", "image to run (PPM/PGM/PNG; empty = bundled synthetic KITTI sample)")
+	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1] (0 = default)")
+	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1] (0 = default)")
+	maxDet := fs.Int("max", 100, "max detections in the output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := rtoss.ParseEngineMode(*engineMode)
+	if err != nil {
+		return err
+	}
+	m, err := buildModel(*modelName)
+	if err != nil {
+		return err
+	}
+	variant := "dense"
+	if *entries > 0 {
+		fw, err := rtoss.NewRTOSSWithConfig(rtoss.RTOSSConfig{
+			Entries: *entries, UseDFSGrouping: true, Transform1x1: true,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Prune(m); err != nil {
+			return err
+		}
+		variant = fmt.Sprintf("rtoss-%dep", *entries)
+	}
+	prog, err := rtoss.CompileProgram(m, rtoss.EngineOptions{Mode: mode})
+	if err != nil {
+		return err
+	}
+	det, err := rtoss.NewDetector(prog, *res, rtoss.DetectConfig{
+		ScoreThreshold: *score, IoUThreshold: *iou, MaxDetections: *maxDet,
+	})
+	if err != nil {
+		return err
+	}
+	img, source, err := loadImage(*imagePath)
+	if err != nil {
+		return err
+	}
+	result, err := det.Detect(img)
+	if err != nil {
+		return err
+	}
+	labels := rtoss.KITTIClassNames()
+	type detJSON struct {
+		Box   [4]float64 `json:"box"`
+		Class int        `json:"class"`
+		Label string     `json:"label,omitempty"`
+		Score float64    `json:"score"`
+	}
+	out := struct {
+		Model      string             `json:"model"`
+		Variant    string             `json:"variant"`
+		Engine     string             `json:"engine"`
+		Image      string             `json:"image"`
+		ImageSize  [2]int             `json:"image_size"`
+		InputRes   int                `json:"input_res"`
+		Count      int                `json:"count"`
+		Detections []detJSON          `json:"detections"`
+		TimingMS   map[string]float64 `json:"timing_ms"`
+	}{
+		Model: m.Name, Variant: variant, Engine: mode.String(),
+		Image: source, ImageSize: [2]int{result.SrcW, result.SrcH}, InputRes: *res,
+		Count: len(result.Detections),
+		TimingMS: map[string]float64{
+			"preprocess": float64(result.Timing.Preprocess) / 1e6,
+			"forward":    float64(result.Timing.Forward) / 1e6,
+			"decode":     float64(result.Timing.Decode) / 1e6,
+			"total":      float64(result.Timing.Total()) / 1e6,
+		},
+	}
+	for _, d := range result.Detections {
+		dj := detJSON{
+			Box:   [4]float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
+			Class: d.Class,
+			Score: d.Score,
+		}
+		if d.Class >= 0 && d.Class < len(labels) {
+			dj.Label = labels[d.Class]
+		}
+		out.Detections = append(out.Detections, dj)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// loadImage reads an image file, or renders the bundled synthetic
+// KITTI sample when path is empty.
+func loadImage(path string) (*rtoss.Tensor, string, error) {
+	if path == "" {
+		return rtoss.KITTISampleImage(496, 160), "synthetic-kitti-sample", nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	img, err := rtoss.DecodeImage(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	return img, path, nil
 }
 
 func buildModel(name string) (*rtoss.Model, error) {

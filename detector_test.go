@@ -1,0 +1,143 @@
+package rtoss
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// detector_test.go covers the end-to-end detection pipeline through the
+// public API: image in, boxes out, dense and sparse engines agreeing.
+
+// detectorFor compiles the pruned model in the given mode and wraps it
+// in a detector at a small (fast) resolution.
+func detectorFor(t *testing.T, m *Model, mode EngineMode, res int) *Detector {
+	t.Helper()
+	prog, err := CompileProgram(m, EngineOptions{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(prog, res, DetectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// TestDetectDenseVsSparseIdenticalBoxes is the pipeline's acceptance
+// gate: the same R-TOSS-pruned YOLOv5s, compiled once with dense and
+// once with sparse kernels, must produce identical detections (same
+// count, classes, and boxes within 1e-4) on the bundled sample image.
+func TestDetectDenseVsSparseIdenticalBoxes(t *testing.T) {
+	m := NewYOLOv5s()
+	if _, err := NewRTOSS(3).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	img := KITTISampleImage(496, 160)
+	dense, err := detectorFor(t, m, EngineDense, 128).Detect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := detectorFor(t, m, EngineSparse, 128).Detect(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense.Detections) == 0 {
+		t.Fatal("dense pipeline produced no detections (synthetic weights should fire above threshold)")
+	}
+	if len(dense.Detections) != len(sparse.Detections) {
+		t.Fatalf("dense %d detections, sparse %d", len(dense.Detections), len(sparse.Detections))
+	}
+	for i := range dense.Detections {
+		d, s := dense.Detections[i], sparse.Detections[i]
+		if d.Class != s.Class {
+			t.Errorf("det %d: class %d vs %d", i, d.Class, s.Class)
+		}
+		if diff := math.Abs(d.Score - s.Score); diff > 1e-4 {
+			t.Errorf("det %d: score diff %g > 1e-4", i, diff)
+		}
+		for j, delta := range []float64{
+			d.Box.X1 - s.Box.X1, d.Box.Y1 - s.Box.Y1,
+			d.Box.X2 - s.Box.X2, d.Box.Y2 - s.Box.Y2,
+		} {
+			if math.Abs(delta) > 1e-4 {
+				t.Errorf("det %d: box coord %d differs by %g > 1e-4", i, j, delta)
+			}
+		}
+	}
+	// The timing breakdown covers every stage.
+	tm := sparse.Timing
+	if tm.Forward <= 0 || tm.Preprocess <= 0 || tm.Decode <= 0 {
+		t.Errorf("incomplete timing breakdown: %+v", tm)
+	}
+	if sparse.SrcW != 496 || sparse.SrcH != 160 {
+		t.Errorf("source dims = %dx%d, want 496x160", sparse.SrcW, sparse.SrcH)
+	}
+}
+
+// TestDetectRetinaNet smoke-tests the anchor-decode path end to end on
+// the second layer-faithful zoo model.
+func TestDetectRetinaNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RetinaNet end-to-end is slow; covered by the full suite")
+	}
+	m := NewRetinaNet()
+	if _, err := NewRTOSS(3).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	det := detectorFor(t, m, EngineSparse, 128)
+	res, err := det.Detect(KITTISampleImage(320, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Detections {
+		if d.Class < 0 || d.Class >= KITTIClasses {
+			t.Errorf("class %d out of range", d.Class)
+		}
+		if d.Box.X2 > 320 || d.Box.Y2 > 128 || d.Box.X1 < 0 || d.Box.Y1 < 0 {
+			t.Errorf("box %v outside the 320x128 source", d.Box)
+		}
+	}
+}
+
+// TestDetectImageRoundTrip checks the public image codec path feeds the
+// detector: encode the sample scene to PPM, decode it back, detect.
+func TestDetectImageRoundTrip(t *testing.T) {
+	img := KITTISampleImage(200, 96)
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(img) {
+		t.Fatalf("round-trip shape %v, want %v", back.Shape(), img.Shape())
+	}
+	if !back.Equal(img, 1.0/254) {
+		t.Error("PPM round-trip exceeded 8-bit quantisation error")
+	}
+}
+
+// TestNewDetectorValidation pins the error paths a user will hit first.
+func TestNewDetectorValidation(t *testing.T) {
+	m := NewYOLOv5s()
+	prog, err := CompileProgram(m, EngineOptions{Mode: EngineDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDetector(prog, 100, DetectConfig{}); err == nil {
+		t.Error("resolution 100 (not a multiple of 32) accepted")
+	}
+	det, err := NewDetector(prog, 0, DetectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, w := det.InputSize(); h != 640 || w != 640 {
+		t.Errorf("default resolution = %dx%d, want the model's 640x640", h, w)
+	}
+	if det.Config().ScoreThreshold != 0.25 {
+		t.Errorf("default score threshold = %v, want 0.25", det.Config().ScoreThreshold)
+	}
+}

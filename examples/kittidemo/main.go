@@ -1,42 +1,105 @@
-// KITTI demo: the end-to-end detection pipeline — regenerates Fig 8's
-// qualitative comparison (which frameworks still see the tiny distant
-// car) and cross-checks the accuracy surrogate against the real mAP
-// evaluator on synthetic KITTI scenes.
+// KITTI demo: the end-to-end detection pipeline on a synthetic KITTI
+// street scene, dense vs sparse. The same R-TOSS-pruned YOLOv5s runs
+// once compiled with dense kernels and once with the pattern/CSR
+// sparse kernels; both produce the same boxes, the sparse engine just
+// gets them faster. Per-stage latency (preprocess / forward /
+// decode+NMS) is reported for each engine, and the boxes are
+// cross-checked against each other.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
+	"os"
+	"time"
 
 	"rtoss"
 )
 
-func main() {
-	// Fig 8: one fixed scene, RetinaNet pruned four ways.
-	fig8, err := rtoss.Fig8(78)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(fig8)
+const inputRes = 256
 
-	// Cross-check: run each framework's quality score through the scene
-	// simulator and the *real* mAP evaluator (greedy IoU matching + PR
-	// curve), and confirm the ordering matches the surrogate's.
-	fmt.Println("Scene-level mAP cross-check (200 synthetic scenes, IoU 0.5):")
-	scenes := rtoss.KITTIScenes(2023, 200)
-	rs, err := rtoss.RunFrameworks("RetinaNet")
+func main() {
+	// The bundled sample scene (examples/data/kitti_sample.ppm is this
+	// exact image; regenerate with rtoss.EncodePPM if needed).
+	img := rtoss.KITTISampleImage(496, 160)
+	if f, err := os.Open("examples/data/kitti_sample.ppm"); err == nil {
+		if decoded, err := rtoss.DecodeImage(f); err == nil {
+			img = decoded
+		}
+		f.Close()
+	}
+
+	// One pruned model, two compilations: the weights are identical;
+	// only the kernel dispatch differs.
+	m := rtoss.NewYOLOv5s()
+	res, err := rtoss.NewRTOSS(3).Prune(m)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var baseMAP float64
-	for _, r := range rs {
-		if r.Framework == "Base Model (BM)" {
-			baseMAP = r.MAP
+	fmt.Printf("YOLOv5s pruned with R-TOSS 3EP: %.1f%% sparsity, %.2fx compression\n\n",
+		100*res.Sparsity(), res.CompressionRatio())
+
+	type run struct {
+		name   string
+		mode   rtoss.EngineMode
+		result *rtoss.DetectResult
+	}
+	runs := []run{
+		{name: "dense", mode: rtoss.EngineDense},
+		{name: "sparse", mode: rtoss.EngineSparse},
+	}
+	for i := range runs {
+		prog, err := rtoss.CompileProgram(m, rtoss.EngineOptions{Mode: runs[i].mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		det, err := rtoss.NewDetector(prog, inputRes, rtoss.DetectConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Warm the activation arena, then measure.
+		if _, err := det.Detect(img); err != nil {
+			log.Fatal(err)
+		}
+		runs[i].result, err = det.Detect(img)
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
-	for _, r := range rs {
-		sceneMAP := rtoss.SceneMAP(scenes, r.MAP/baseMAP, 7)
-		fmt.Printf("  %-22s surrogate %.2f%%  scene-eval %.2f%%\n",
-			r.Framework, r.MAP, 100*sceneMAP)
+
+	fmt.Printf("Per-stage latency (%dx%d input, one image):\n", inputRes, inputRes)
+	fmt.Printf("  %-8s %12s %12s %12s %12s\n", "engine", "preprocess", "forward", "decode+NMS", "total")
+	for _, r := range runs {
+		t := r.result.Timing
+		fmt.Printf("  %-8s %10.2fms %10.2fms %10.2fms %10.2fms\n", r.name,
+			ms(t.Preprocess), ms(t.Forward), ms(t.Decode), ms(t.Total()))
+	}
+	dense, sparse := runs[0].result, runs[1].result
+	fmt.Printf("  forward speedup: %.2fx\n\n", float64(dense.Timing.Forward)/float64(sparse.Timing.Forward))
+
+	// Same weights must mean same boxes, whatever the kernels.
+	if len(dense.Detections) != len(sparse.Detections) {
+		log.Fatalf("engines disagree: dense %d boxes, sparse %d", len(dense.Detections), len(sparse.Detections))
+	}
+	maxDiff := 0.0
+	for i := range dense.Detections {
+		a, b := dense.Detections[i].Box, sparse.Detections[i].Box
+		for _, d := range []float64{a.X1 - b.X1, a.Y1 - b.Y1, a.X2 - b.X2, a.Y2 - b.Y2} {
+			maxDiff = math.Max(maxDiff, math.Abs(d))
+		}
+	}
+	fmt.Printf("dense vs sparse: %d detections each, max box coordinate diff %.2g\n\n",
+		len(dense.Detections), maxDiff)
+
+	labels := rtoss.KITTIClassNames()
+	fmt.Println("Top detections (sparse engine):")
+	for i, d := range sparse.Detections {
+		if i == 8 {
+			break
+		}
+		fmt.Printf("  %-16s %.2f  %v\n", labels[d.Class], d.Score, d.Box)
 	}
 }
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

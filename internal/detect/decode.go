@@ -1,0 +1,257 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+
+	"rtoss/internal/tensor"
+)
+
+// decode.go turns raw detection-head tensors into candidate boxes in
+// model-input pixel space. The two decode families mirror the two
+// layer-faithful zoo models: YOLOv5's anchor-grid heads (one fused
+// prediction map per pyramid level) and RetinaNet's anchor heads
+// (separate classification and regression maps over a shared anchor
+// set). Which family applies, and with which strides/anchors, is
+// described by a HeadSpec — exported per model by internal/models.
+
+// HeadKind selects the decode family for a model's heads.
+type HeadKind int
+
+const (
+	// HeadYOLOv5 decodes fused [A*(5+classes), H, W] prediction maps,
+	// one per level, with the YOLOv5 v6 box parameterisation.
+	HeadYOLOv5 HeadKind = iota
+	// HeadRetinaNet decodes a [A*classes, H, W] classification map and
+	// a [A*4, H, W] box-delta map over one shared anchor set.
+	HeadRetinaNet
+)
+
+func (k HeadKind) String() string {
+	switch k {
+	case HeadYOLOv5:
+		return "yolov5"
+	case HeadRetinaNet:
+		return "retinanet"
+	}
+	return fmt.Sprintf("HeadKind(%d)", int(k))
+}
+
+// HeadLevel describes one pyramid level of a detection head.
+type HeadLevel struct {
+	// Stride is the level's cumulative downsampling factor: one grid
+	// cell covers Stride x Stride input pixels.
+	Stride int
+	// Anchors are the level's prior box sizes as (w, h) pairs in
+	// model-input pixels.
+	Anchors [][2]float64
+}
+
+// HeadSpec is the decode metadata for one detector architecture: which
+// family its heads belong to and the stride/anchor layout per level.
+// Specs for the zoo models are exported by internal/models.
+type HeadSpec struct {
+	Kind    HeadKind
+	Classes int
+	// Levels holds one entry per YOLO head tensor; RetinaNet's shared
+	// head uses a single entry (the level its maps are computed on).
+	Levels []HeadLevel
+}
+
+// MaxStride returns the coarsest level stride (model input sizes must
+// be divisible by it for the grids to line up).
+func (s HeadSpec) MaxStride() int {
+	max := 1
+	for _, l := range s.Levels {
+		if l.Stride > max {
+			max = l.Stride
+		}
+	}
+	return max
+}
+
+// Validate checks the spec against a set of head tensors.
+func (s HeadSpec) Validate(heads []*tensor.Tensor) error {
+	if s.Classes <= 0 {
+		return fmt.Errorf("detect: head spec has %d classes", s.Classes)
+	}
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("detect: head spec has no levels")
+	}
+	switch s.Kind {
+	case HeadYOLOv5:
+		if len(heads) != len(s.Levels) {
+			return fmt.Errorf("detect: %d YOLO heads for %d levels", len(heads), len(s.Levels))
+		}
+		for i, h := range heads {
+			c, _, _ := headDims(h)
+			want := len(s.Levels[i].Anchors) * (5 + s.Classes)
+			if c != want {
+				return fmt.Errorf("detect: YOLO head %d has %d channels, want %d (%d anchors x (5+%d))",
+					i, c, want, len(s.Levels[i].Anchors), s.Classes)
+			}
+		}
+	case HeadRetinaNet:
+		if len(heads) != 2 {
+			return fmt.Errorf("detect: RetinaNet wants [cls, reg] heads, got %d", len(heads))
+		}
+		a := len(s.Levels[0].Anchors)
+		cc, ch, cw := headDims(heads[0])
+		rc, rh, rw := headDims(heads[1])
+		if cc != a*s.Classes {
+			return fmt.Errorf("detect: RetinaNet cls head has %d channels, want %d (%d anchors x %d classes)",
+				cc, a*s.Classes, a, s.Classes)
+		}
+		if rc != a*4 {
+			return fmt.Errorf("detect: RetinaNet reg head has %d channels, want %d (%d anchors x 4)", rc, a*4, a)
+		}
+		if ch != rh || cw != rw {
+			return fmt.Errorf("detect: RetinaNet cls/reg grids differ: %dx%d vs %dx%d", ch, cw, rh, rw)
+		}
+	default:
+		return fmt.Errorf("detect: unknown head kind %v", s.Kind)
+	}
+	return nil
+}
+
+// headDims normalises a head tensor ([C, H, W] or [1, C, H, W]) to its
+// channel/grid dimensions.
+func headDims(t *tensor.Tensor) (c, h, w int) {
+	switch {
+	case t.Rank() == 3:
+		return t.Dim(0), t.Dim(1), t.Dim(2)
+	case t.Rank() == 4 && t.Dim(0) == 1:
+		return t.Dim(1), t.Dim(2), t.Dim(3)
+	}
+	panic(fmt.Sprintf("detect: head tensor %v is not a single image map", t.Shape()))
+}
+
+// headData returns the flat [C*H*W] data of a single-image head map.
+func headData(t *tensor.Tensor) []float32 { return t.Data }
+
+// Decode turns raw head tensors into candidate detections in
+// model-input pixel coordinates, keeping only candidates whose score
+// reaches scoreThresh. Scores are objectness x best-class probability
+// for YOLO and best-class probability for RetinaNet; each location/
+// anchor emits at most its best class.
+func Decode(heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) ([]Detection, error) {
+	if err := spec.Validate(heads); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case HeadYOLOv5:
+		return decodeYOLOv5(heads, spec, scoreThresh), nil
+	case HeadRetinaNet:
+		return decodeRetinaNet(heads, spec, scoreThresh), nil
+	}
+	return nil, fmt.Errorf("detect: unknown head kind %v", spec.Kind)
+}
+
+// decodeYOLOv5 implements the YOLOv5 v6 box parameterisation. For grid
+// cell (gx, gy), anchor (aw, ah) and raw outputs (tx, ty, tw, th, to,
+// tc...):
+//
+//	bx = (2*sigmoid(tx) - 0.5 + gx) * stride
+//	by = (2*sigmoid(ty) - 0.5 + gy) * stride
+//	bw = (2*sigmoid(tw))^2 * aw
+//	bh = (2*sigmoid(th))^2 * ah
+//	score = sigmoid(to) * max_c sigmoid(tc)
+func decodeYOLOv5(heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
+	var dets []Detection
+	per := 5 + spec.Classes
+	for li, head := range heads {
+		lv := spec.Levels[li]
+		_, gh, gw := headDims(head)
+		data := headData(head)
+		plane := gh * gw
+		for ai, anchor := range lv.Anchors {
+			base := ai * per * plane
+			for gy := 0; gy < gh; gy++ {
+				for gx := 0; gx < gw; gx++ {
+					cell := gy*gw + gx
+					at := func(ch int) float64 { return float64(data[base+ch*plane+cell]) }
+					obj := sigmoid(at(4))
+					if obj < scoreThresh {
+						continue // score = obj * cls <= obj
+					}
+					bestC, bestP := 0, 0.0
+					for c := 0; c < spec.Classes; c++ {
+						if p := sigmoid(at(5 + c)); p > bestP {
+							bestC, bestP = c, p
+						}
+					}
+					score := obj * bestP
+					if score < scoreThresh {
+						continue
+					}
+					bx := (2*sigmoid(at(0)) - 0.5 + float64(gx)) * float64(lv.Stride)
+					by := (2*sigmoid(at(1)) - 0.5 + float64(gy)) * float64(lv.Stride)
+					bw := sq(2*sigmoid(at(2))) * anchor[0]
+					bh := sq(2*sigmoid(at(3))) * anchor[1]
+					dets = append(dets, Detection{
+						Box:   Box{bx - bw/2, by - bh/2, bx + bw/2, by + bh/2},
+						Class: bestC,
+						Score: score,
+					})
+				}
+			}
+		}
+	}
+	return dets
+}
+
+// maxLogDelta clamps RetinaNet's exponentiated size deltas (standard
+// practice: exp(4) ~ 55x is already far beyond a sane regression).
+const maxLogDelta = 4.0
+
+// decodeRetinaNet decodes the shared-anchor classification and
+// regression maps. For the anchor (aw, ah) centred on cell (gx, gy) and
+// deltas (dx, dy, dw, dh):
+//
+//	cx = (gx + 0.5)*stride + dx*aw    w = aw * exp(min(dw, 4))
+//	cy = (gy + 0.5)*stride + dy*ah    h = ah * exp(min(dh, 4))
+//	score = max_c sigmoid(cls[c])
+func decodeRetinaNet(heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
+	lv := spec.Levels[0]
+	cls, reg := heads[0], heads[1]
+	_, gh, gw := headDims(cls)
+	cdata, rdata := headData(cls), headData(reg)
+	plane := gh * gw
+	var dets []Detection
+	for ai, anchor := range lv.Anchors {
+		cbase := ai * spec.Classes * plane
+		rbase := ai * 4 * plane
+		for gy := 0; gy < gh; gy++ {
+			for gx := 0; gx < gw; gx++ {
+				cell := gy*gw + gx
+				bestC, bestP := 0, 0.0
+				for c := 0; c < spec.Classes; c++ {
+					if p := sigmoid(float64(cdata[cbase+c*plane+cell])); p > bestP {
+						bestC, bestP = c, p
+					}
+				}
+				if bestP < scoreThresh {
+					continue
+				}
+				dx := float64(rdata[rbase+0*plane+cell])
+				dy := float64(rdata[rbase+1*plane+cell])
+				dw := math.Min(float64(rdata[rbase+2*plane+cell]), maxLogDelta)
+				dh := math.Min(float64(rdata[rbase+3*plane+cell]), maxLogDelta)
+				cx := (float64(gx)+0.5)*float64(lv.Stride) + dx*anchor[0]
+				cy := (float64(gy)+0.5)*float64(lv.Stride) + dy*anchor[1]
+				w := anchor[0] * math.Exp(dw)
+				h := anchor[1] * math.Exp(dh)
+				dets = append(dets, Detection{
+					Box:   Box{cx - w/2, cy - h/2, cx + w/2, cy + h/2},
+					Class: bestC,
+					Score: bestP,
+				})
+			}
+		}
+	}
+	return dets
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+func sq(v float64) float64 { return v * v }

@@ -1,0 +1,216 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"rtoss/internal/tensor"
+)
+
+// yoloSpec1 is a minimal single-level, single-anchor YOLO spec for
+// golden-value tests.
+func yoloSpec1() HeadSpec {
+	return HeadSpec{
+		Kind:    HeadYOLOv5,
+		Classes: 1,
+		Levels:  []HeadLevel{{Stride: 8, Anchors: [][2]float64{{16, 16}}}},
+	}
+}
+
+func boxClose(t *testing.T, got, want Box, eps float64) {
+	t.Helper()
+	if math.Abs(got.X1-want.X1) > eps || math.Abs(got.Y1-want.Y1) > eps ||
+		math.Abs(got.X2-want.X2) > eps || math.Abs(got.Y2-want.Y2) > eps {
+		t.Errorf("box = %v, want %v (eps %g)", got, want, eps)
+	}
+}
+
+// TestDecodeYOLOGolden pins the YOLOv5 v6 box parameterisation on a
+// hand-computed head tensor: raw (tx,ty,tw,th)=(0,0,0,0) at grid cell
+// (1,0) with anchor 16x16 and stride 8 places a 16x16 box at centre
+// (12,4); obj=2 and cls=1 give score sigmoid(2)*sigmoid(1).
+func TestDecodeYOLOGolden(t *testing.T) {
+	head := tensor.New(1, 6, 2, 2) // [tx ty tw th obj cls] planes of 2x2
+	const cell = 1                 // (gx, gy) = (1, 0)
+	head.Data[4*4+cell] = 2        // obj
+	head.Data[5*4+cell] = 1        // class 0
+	dets, err := Decode([]*tensor.Tensor{head}, yoloSpec1(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1 (zero cells score 0.25 < 0.5)", len(dets))
+	}
+	d := dets[0]
+	if d.Class != 0 {
+		t.Errorf("class = %d, want 0", d.Class)
+	}
+	if math.Abs(d.Score-0.6439142598879722) > 1e-9 {
+		t.Errorf("score = %.12f, want sigmoid(2)*sigmoid(1) = 0.643914259888", d.Score)
+	}
+	boxClose(t, d.Box, Box{4, -4, 20, 12}, 1e-9)
+}
+
+// TestDecodeYOLOSizeParam pins the (2*sigmoid)^2 size term: tw with
+// sigmoid(tw)=x gives width (2x)^2 * anchor.
+func TestDecodeYOLOSizeParam(t *testing.T) {
+	head := tensor.New(1, 6, 1, 1)
+	head.Data[4] = 10 // obj ~ 1
+	head.Data[5] = 10 // cls ~ 1
+	big := float32(20)
+	head.Data[2] = big // tw: sigmoid -> 1, width -> 4*anchorW
+	dets, err := Decode([]*tensor.Tensor{head}, yoloSpec1(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1", len(dets))
+	}
+	if w := dets[0].Box.Width(); math.Abs(w-64) > 1e-3 {
+		t.Errorf("width = %v, want ~64 (= (2*1)^2 * 16)", w)
+	}
+	if h := dets[0].Box.Height(); math.Abs(h-16) > 1e-6 {
+		t.Errorf("height = %v, want 16", h)
+	}
+}
+
+func retinaSpec1() HeadSpec {
+	return HeadSpec{
+		Kind:    HeadRetinaNet,
+		Classes: 2,
+		Levels:  []HeadLevel{{Stride: 8, Anchors: [][2]float64{{16, 16}}}},
+	}
+}
+
+// TestDecodeRetinaGolden pins the anchor-delta parameterisation:
+// dx=0.5 shifts the centre by half the anchor width, dw=ln 2 doubles
+// the width, and the score is the best class sigmoid.
+func TestDecodeRetinaGolden(t *testing.T) {
+	cls := tensor.New(1, 2, 1, 2) // 2 classes x 1 anchor, grid 1x2
+	reg := tensor.New(1, 4, 1, 2)
+	cls.Data[0] = 1.2 // class 0 at cell 0
+	cls.Data[2] = -1  // class 1 at cell 0
+	reg.Data[0] = 0.5 // dx
+	reg.Data[2] = -0.25
+	reg.Data[4] = float32(math.Log(2)) // dw
+	dets, err := Decode([]*tensor.Tensor{cls, reg}, retinaSpec1(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1 (zero cell scores 0.5 < 0.6)", len(dets))
+	}
+	d := dets[0]
+	if d.Class != 0 {
+		t.Errorf("class = %d, want 0", d.Class)
+	}
+	if math.Abs(d.Score-0.7685247834990175) > 1e-7 {
+		t.Errorf("score = %.12f, want sigmoid(1.2) = 0.768524783499", d.Score)
+	}
+	// cx = 4 + 0.5*16 = 12, cy = 4 - 0.25*16 = 0, w = 32, h = 16.
+	boxClose(t, d.Box, Box{-4, -8, 28, 8}, 1e-4)
+}
+
+// TestDecodeRetinaClampsLogDelta guards the exp() clamp on size deltas.
+func TestDecodeRetinaClampsLogDelta(t *testing.T) {
+	cls := tensor.New(1, 2, 1, 1)
+	reg := tensor.New(1, 4, 1, 1)
+	cls.Data[0] = 5
+	reg.Data[2] = 100 // dw: would be e^100 without the clamp
+	dets, err := Decode([]*tensor.Tensor{cls, reg}, retinaSpec1(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1", len(dets))
+	}
+	want := 16 * math.Exp(maxLogDelta)
+	if w := dets[0].Box.Width(); math.Abs(w-want) > 1e-6 {
+		t.Errorf("width = %v, want clamped %v", w, want)
+	}
+}
+
+func TestDecodeValidatesChannels(t *testing.T) {
+	// 5 channels cannot be 1 anchor x (5+1).
+	bad := tensor.New(1, 5, 2, 2)
+	if _, err := Decode([]*tensor.Tensor{bad}, yoloSpec1(), 0.5); err == nil {
+		t.Error("YOLO decode accepted a mis-shaped head")
+	}
+	cls := tensor.New(1, 2, 2, 2)
+	reg := tensor.New(1, 3, 2, 2) // not anchors*4
+	if _, err := Decode([]*tensor.Tensor{cls, reg}, retinaSpec1(), 0.5); err == nil {
+		t.Error("RetinaNet decode accepted a mis-shaped reg head")
+	}
+	if _, err := Decode([]*tensor.Tensor{cls}, retinaSpec1(), 0.5); err == nil {
+		t.Error("RetinaNet decode accepted a single head")
+	}
+}
+
+func TestNMSClassAware(t *testing.T) {
+	a := Detection{Box: Box{0, 0, 10, 10}, Class: 0, Score: 0.9}
+	b := Detection{Box: Box{1, 1, 11, 11}, Class: 0, Score: 0.8}   // overlaps a, same class
+	c := Detection{Box: Box{1, 1, 11, 11}, Class: 1, Score: 0.7}   // overlaps a, other class
+	d := Detection{Box: Box{50, 50, 60, 60}, Class: 0, Score: 0.6} // far away
+	kept := NMS([]Detection{a, b, c, d}, 0.45)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d, want 3 (b suppressed by a; c survives on class)", len(kept))
+	}
+	for i, want := range []Detection{a, c, d} {
+		if kept[i] != want {
+			t.Errorf("kept[%d] = %+v, want %+v", i, kept[i], want)
+		}
+	}
+}
+
+// TestNMSTieBreak pins the equal-score behaviour: the stable sort keeps
+// input order, so the earlier of two identical detections wins.
+func TestNMSTieBreak(t *testing.T) {
+	first := Detection{Box: Box{0, 0, 10, 10}, Class: 0, Score: 0.5}
+	second := Detection{Box: Box{0.5, 0, 10.5, 10}, Class: 0, Score: 0.5}
+	kept := NMS([]Detection{first, second}, 0.45)
+	if len(kept) != 1 {
+		t.Fatalf("kept %d, want 1", len(kept))
+	}
+	if kept[0] != first {
+		t.Errorf("tie broke to %+v, want the first input %+v", kept[0], first)
+	}
+	// Identical boxes (IoU exactly 1) must also suppress.
+	kept = NMS([]Detection{first, first}, 0.99)
+	if len(kept) != 1 {
+		t.Errorf("identical boxes: kept %d, want 1", len(kept))
+	}
+}
+
+func TestTopK(t *testing.T) {
+	dets := []Detection{
+		{Score: 0.1}, {Score: 0.9}, {Score: 0.5}, {Score: 0.9},
+	}
+	top := TopK(dets, 2)
+	if len(top) != 2 || top[0].Score != 0.9 || top[1].Score != 0.9 {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+	if got := TopK(dets, 10); len(got) != 4 {
+		t.Fatalf("TopK over length changed size: %d", len(got))
+	}
+}
+
+// TestPostprocessUnletterboxes runs the full post-network pipeline with
+// a non-trivial letterbox mapping and checks boxes land in source
+// pixels (and are clipped to the source bounds).
+func TestPostprocessUnletterboxes(t *testing.T) {
+	// Source 100x50 onto a 16x16 canvas: scale 0.16, pad (0, 4).
+	_, meta := tensor.LetterboxImage(tensor.New(3, 50, 100), 16, 16, 0)
+	head := tensor.New(1, 6, 2, 2) // stride-8 grid over the 16x16 canvas
+	head.Data[4*4+0] = 4           // obj at cell (0,0)
+	head.Data[5*4+0] = 4           // class
+	dets, err := Postprocess([]*tensor.Tensor{head}, meta, Config{Spec: yoloSpec1(), ScoreThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 1 {
+		t.Fatalf("got %d detections, want 1", len(dets))
+	}
+	// Model-space box: centre (4,4) size 16 -> [-4,-4,12,12]; source
+	// space: x/0.16, (y-4)/0.16 -> [-25,-50,75,50] clipped to 100x50.
+	boxClose(t, dets[0].Box, Box{0, 0, 75, 50}, 1e-6)
+}

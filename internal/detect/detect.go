@@ -1,6 +1,16 @@
-// Package detect provides the detection-pipeline primitives shared by
-// the evaluation stack: boxes, IoU, confidence filtering, and
-// class-aware non-maximum suppression.
+// Package detect implements the post-network half of the detection
+// pipeline. It provides the geometric primitives shared by the
+// evaluation stack — boxes, IoU, confidence filtering, class-aware
+// non-maximum suppression — plus the head decoders that turn raw
+// network outputs into boxes: YOLOv5 anchor-grid decode and RetinaNet
+// anchor decode, driven by per-model HeadSpec metadata exported from
+// internal/models.
+//
+// Postprocess chains decode -> score filter -> NMS -> un-letterbox for
+// one image. The package is deliberately engine-free (so the model zoo
+// can export HeadSpecs without import cycles); the image -> boxes
+// Detector that feeds Postprocess from a compiled engine.Program lives
+// in the root rtoss package, and the served variant in internal/serve.
 package detect
 
 import (
@@ -51,28 +61,19 @@ func (b Box) Scale(s float64) Box {
 	return Box{cx - hw, cy - hh, cx + hw, cy + hh}
 }
 
-// Clip returns the box clipped to [0,w]×[0,h].
+// Clip returns the box clipped to [0,w]×[0,h]. Boxes entirely outside
+// the frame collapse to a zero-area box on the nearest edge.
 func (b Box) Clip(w, h float64) Box {
-	c := b
-	if c.X1 < 0 {
-		c.X1 = 0
+	clamp := func(v, hi float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
 	}
-	if c.Y1 < 0 {
-		c.Y1 = 0
-	}
-	if c.X2 > w {
-		c.X2 = w
-	}
-	if c.Y2 > h {
-		c.Y2 = h
-	}
-	if c.X2 < c.X1 {
-		c.X2 = c.X1
-	}
-	if c.Y2 < c.Y1 {
-		c.Y2 = c.Y1
-	}
-	return c
+	return Box{clamp(b.X1, w), clamp(b.Y1, h), clamp(b.X2, w), clamp(b.Y2, h)}
 }
 
 // String implements fmt.Stringer.

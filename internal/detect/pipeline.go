@@ -1,0 +1,115 @@
+package detect
+
+import (
+	"sort"
+	"time"
+
+	"rtoss/internal/tensor"
+)
+
+// pipeline.go assembles the primitives into the full post-network
+// detection pipeline: decode -> score filter -> class-aware NMS ->
+// un-letterbox. The image -> boxes Detector that feeds this from a
+// compiled engine.Program lives in the root rtoss package (this
+// package stays engine-free so internal/models can export HeadSpecs
+// without an import cycle).
+
+// Config parameterises the post-network detection pipeline. Zero (or
+// negative) values select the defaults — thresholds therefore live in
+// (0, 1]; an explicit 0 cannot be distinguished from "unset".
+type Config struct {
+	// Spec is the model's head decode metadata (required).
+	Spec HeadSpec
+	// ScoreThreshold drops candidates below this confidence
+	// (default 0.25; must be > 0, see above).
+	ScoreThreshold float64
+	// IoUThreshold is the class-aware NMS overlap cutoff
+	// (default 0.45; must be > 0, see above).
+	IoUThreshold float64
+	// MaxCandidates bounds the boxes entering NMS, keeping the
+	// highest-scoring ones (default 1000; NMS is quadratic).
+	MaxCandidates int
+	// MaxDetections bounds the final detection count (default 300).
+	MaxDetections int
+}
+
+// WithDefaults returns the config with zero values replaced by the
+// documented defaults.
+func (c Config) WithDefaults() Config {
+	if c.ScoreThreshold <= 0 {
+		c.ScoreThreshold = 0.25
+	}
+	if c.IoUThreshold <= 0 {
+		c.IoUThreshold = 0.45
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 1000
+	}
+	if c.MaxDetections <= 0 {
+		c.MaxDetections = 300
+	}
+	return c
+}
+
+// TopK returns the k highest-scoring detections (stable: ties keep
+// their input order). It returns the input slice when k >= len.
+func TopK(dets []Detection, k int) []Detection {
+	if k >= len(dets) {
+		return dets
+	}
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Score > sorted[j].Score })
+	return sorted[:k]
+}
+
+// Postprocess runs the post-network pipeline on one image's head
+// tensors: decode to model-space candidates, keep the best
+// MaxCandidates, class-aware NMS, map boxes back to source-image
+// pixels via the letterbox metadata, and clip to the source bounds.
+func Postprocess(heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, error) {
+	cfg = cfg.WithDefaults()
+	cands, err := Decode(heads, cfg.Spec, cfg.ScoreThreshold)
+	if err != nil {
+		return nil, err
+	}
+	cands = TopK(cands, cfg.MaxCandidates)
+	kept := NMS(cands, cfg.IoUThreshold)
+	if len(kept) > cfg.MaxDetections {
+		kept = kept[:cfg.MaxDetections]
+	}
+	srcW, srcH := float64(meta.SrcW), float64(meta.SrcH)
+	out := kept[:0]
+	for _, d := range kept {
+		x1, y1 := meta.ToSource(d.Box.X1, d.Box.Y1)
+		x2, y2 := meta.ToSource(d.Box.X2, d.Box.Y2)
+		d.Box = NewBox(x1, y1, x2, y2).Clip(srcW, srcH)
+		if d.Box.Area() > 0 { // drop boxes clipped away entirely
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Timing is the per-stage wall-clock breakdown of one Detect call.
+type Timing struct {
+	// Preprocess covers letterbox resize + NCHW staging.
+	Preprocess time.Duration
+	// Forward covers the compiled Program's forward pass.
+	Forward time.Duration
+	// Decode covers head decoding, NMS and un-letterboxing.
+	Decode time.Duration
+}
+
+// Total returns the end-to-end pipeline time.
+func (t Timing) Total() time.Duration { return t.Preprocess + t.Forward + t.Decode }
+
+// Result is one end-to-end detection call's output.
+type Result struct {
+	// Detections are the kept boxes in source-image pixel coordinates,
+	// in descending score order.
+	Detections []Detection
+	// SrcW, SrcH are the input image's dimensions.
+	SrcW, SrcH int
+	// Timing is the per-stage latency breakdown.
+	Timing Timing
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"testing"
+
+	"rtoss/internal/nn"
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// tinyMultiHead builds a two-scale detector so Heads has more than one
+// tensor to return.
+func tinyMultiHead(t testing.TB, seed uint64) *nn.Model {
+	t.Helper()
+	b := nn.NewBuilder("tinymulti", 3, 32, 32, 2)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 8, 3, 2, 1, nn.SiLU)
+	p3 := b.ConvBNAct("p3", x, 8, 8, 3, 1, 1, nn.SiLU)
+	p4 := b.ConvBNAct("p4", p3, 8, 16, 3, 2, 1, nn.SiLU)
+	h3 := b.Conv("head3", p3, 8, 14, 1, 1, 0, true)
+	h4 := b.Conv("head4", p4, 16, 14, 1, 1, 0, true)
+	b.Detect("detect", h3, h4)
+	m := b.MustBuild()
+	m.InitWeights(seed)
+	return m
+}
+
+func TestHeadsMatchForward(t *testing.T) {
+	m := tinyMultiHead(t, 3)
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(rng.New(4), 3, 32, 32)
+	heads, err := p.Heads(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != 2 {
+		t.Fatalf("got %d heads, want 2", len(heads))
+	}
+	all, err := p.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detect *nn.Layer
+	for _, l := range m.Layers {
+		if l.Kind == nn.Detect {
+			detect = l
+		}
+	}
+	for i, id := range detect.Inputs {
+		if !heads[i].Equal(all[id], 0) {
+			t.Errorf("head %d differs from Forward output of layer %d", i, id)
+		}
+	}
+}
+
+// TestHeadsSurviveNextRun guards the buffer plan: head tensors returned
+// to the caller must not be recycled into a later run on the same
+// pooled arena.
+func TestHeadsSurviveNextRun(t *testing.T) {
+	m := tinyMultiHead(t, 5)
+	p, err := Compile(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randInput(rng.New(6), 3, 32, 32)
+	heads, err := p.Heads(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([]*tensor.Tensor, len(heads))
+	for i, h := range heads {
+		snap[i] = h.Clone()
+	}
+	// Churn the pooled run state with different inputs.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Output(randInput(rng.New(100+uint64(i)), 3, 32, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, h := range heads {
+		if !h.Equal(snap[i], 0) {
+			t.Errorf("head %d was clobbered by a later run", i)
+		}
+	}
+}
+
+func TestHeadsBatchMatchesSingle(t *testing.T) {
+	m := tinyMultiHead(t, 7)
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	inputs := []*tensor.Tensor{
+		randInput(r, 3, 32, 32),
+		randInput(r, 3, 32, 32),
+		randInput(r, 3, 32, 32),
+	}
+	batched, err := p.HeadsBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batched) != len(inputs) {
+		t.Fatalf("got %d results, want %d", len(batched), len(inputs))
+	}
+	for i, in := range inputs {
+		single, err := p.Heads(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := range single {
+			if !batched[i][h].Equal(single[h], 1e-5) {
+				t.Errorf("image %d head %d: batched differs from single", i, h)
+			}
+		}
+	}
+}
+
+// TestHeadsBatchResultsOwnData guards the buffer recycling in
+// HeadsBatch: the batch-sized head maps go back to the arena, so the
+// per-image results must be copies that later runs cannot clobber.
+func TestHeadsBatchResultsOwnData(t *testing.T) {
+	m := tinyMultiHead(t, 9)
+	p, err := Compile(m, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	inputs := []*tensor.Tensor{randInput(r, 3, 32, 32), randInput(r, 3, 32, 32)}
+	first, err := p.HeadsBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := make([][]*tensor.Tensor, len(first))
+	for i, hs := range first {
+		for _, h := range hs {
+			snap[i] = append(snap[i], h.Clone())
+		}
+	}
+	// Churn the pooled arena with different batches.
+	for k := 0; k < 3; k++ {
+		if _, err := p.HeadsBatch([]*tensor.Tensor{
+			randInput(rng.New(200+uint64(k)), 3, 32, 32),
+			randInput(rng.New(300+uint64(k)), 3, 32, 32),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, hs := range first {
+		for h, tns := range hs {
+			if !tns.Equal(snap[i][h], 0) {
+				t.Errorf("image %d head %d was clobbered by a later batch", i, h)
+			}
+		}
+	}
+}
+
+func TestHeadsErrorsWithoutDetect(t *testing.T) {
+	b := nn.NewBuilder("nodetect", 3, 8, 8, 2)
+	x := b.Input()
+	b.Conv("c", x, 3, 4, 3, 1, 1, true)
+	m := b.MustBuild()
+	m.InitWeights(1)
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Heads(tensor.New(1, 3, 8, 8)); err == nil {
+		t.Fatal("Heads on a model without Detect succeeded, want error")
+	}
+}

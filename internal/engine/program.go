@@ -23,6 +23,7 @@ type Program struct {
 	levels    [][]int
 	consumers []int32 // times each layer's output is consumed as an input
 	compiled  []*sparse.CompiledConv
+	headIDs   []int // inputs of the model's Detect sink (nil if none)
 
 	// runs pools per-request state (activation arena + refcounts) so
 	// steady-state serving reuses buffers across requests.
@@ -63,6 +64,11 @@ func Compile(m *nn.Model, opts Options) (*Program, error) {
 		p.levels[level[id]] = append(p.levels[level[id]], id)
 		for _, pr := range m.Layers[id].Inputs {
 			p.consumers[pr]++
+		}
+	}
+	for _, l := range m.Layers {
+		if l.Kind == nn.Detect {
+			p.headIDs = append([]int(nil), l.Inputs...)
 		}
 	}
 	if opts.Mode != ModeDense {
@@ -130,12 +136,17 @@ func (p *Program) newRunState() *runState {
 	}
 }
 
-// acquireRun borrows reset per-request state from the pool.
-func (p *Program) acquireRun() *runState {
+// acquireRun borrows reset per-request state from the pool. Layers in
+// keep get an extra reference so their output buffers are handed to the
+// caller instead of being recycled through the arena.
+func (p *Program) acquireRun(keep []int) *runState {
 	rs := p.runs.Get().(*runState)
 	n := len(p.model.Layers)
 	copy(rs.refs, p.consumers)
 	rs.refs[n-1]++ // the returned output is never recycled
+	for _, id := range keep {
+		rs.refs[id]++
+	}
 	for i := range rs.owned {
 		rs.owned[i] = false
 		rs.alias[i] = -1

@@ -200,7 +200,7 @@ func TestRunStatePoolWarmsArena(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rs := p.acquireRun()
+	rs := p.acquireRun(nil)
 	defer p.releaseRun(rs)
 	gets, reuses := rs.arena.Stats()
 	if gets == 0 {

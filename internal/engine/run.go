@@ -15,7 +15,7 @@ import (
 // non-empty. Because every output is retained, Forward cannot recycle
 // activation buffers; use Output when only the final tensor matters.
 func (p *Program) Forward(input *tensor.Tensor) ([]*tensor.Tensor, error) {
-	return p.run(input, true)
+	return p.run(input, true, nil)
 }
 
 // Output runs the model and returns the final layer's tensor.
@@ -23,11 +23,69 @@ func (p *Program) Forward(input *tensor.Tensor) ([]*tensor.Tensor, error) {
 // as soon as their last consumer has executed, so repeated calls reuse
 // warm buffers instead of re-allocating them.
 func (p *Program) Output(input *tensor.Tensor) (*tensor.Tensor, error) {
-	outs, err := p.run(input, false)
+	outs, err := p.run(input, false, nil)
 	if err != nil {
 		return nil, err
 	}
 	return outs[len(outs)-1], nil
+}
+
+// Heads runs the model and returns the detection-head tensors feeding
+// the model's Detect sink, in the sink's input order (for YOLOv5s the
+// P3/P4/P5 prediction maps; for RetinaNet the classification and
+// regression maps). Intermediate activations are recycled like Output;
+// the returned tensors are caller-owned. It errors if the model has no
+// Detect layer.
+func (p *Program) Heads(input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(p.headIDs) == 0 {
+		return nil, fmt.Errorf("engine: model %q has no detection heads", p.model.Name)
+	}
+	outs, err := p.run(input, false, p.headIDs)
+	if err != nil {
+		return nil, err
+	}
+	heads := make([]*tensor.Tensor, len(p.headIDs))
+	for i, id := range p.headIDs {
+		heads[i] = outs[id]
+	}
+	return heads, nil
+}
+
+// HeadsBatch stacks the inputs into one batch, runs the model once, and
+// returns each image's detection-head tensors: result[i][h] is head h
+// of image i, each a caller-owned [1, C, H, W] tensor. Input rules
+// match ForwardBatch. The batch-sized head buffers are split into
+// per-image copies and returned to the run's arena, so steady-state
+// serving reuses them across batches.
+func (p *Program) HeadsBatch(inputs []*tensor.Tensor) (heads [][]*tensor.Tensor, err error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("engine: HeadsBatch of no inputs")
+	}
+	if len(p.headIDs) == 0 {
+		return nil, fmt.Errorf("engine: model %q has no detection heads", p.model.Name)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			heads, err = nil, fmt.Errorf("engine: HeadsBatch: %v", r)
+		}
+	}()
+	batch := tensor.Stack(inputs)
+	heads = make([][]*tensor.Tensor, len(inputs))
+	for i := range heads {
+		heads[i] = make([]*tensor.Tensor, len(p.headIDs))
+	}
+	_, err = p.runFinish(batch, false, p.headIDs, func(outs []*tensor.Tensor, arena *tensor.Arena) {
+		for h, id := range p.headIDs {
+			for i, img := range tensor.SplitBatch(outs[id]) {
+				heads[i][h] = img
+			}
+			arena.Put(outs[id])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return heads, nil
 }
 
 // ForwardBatch stacks the inputs into one NCHW batch, runs the model
@@ -74,7 +132,15 @@ type runCtx struct {
 	rs *runState
 }
 
-func (p *Program) run(input *tensor.Tensor, retainAll bool) ([]*tensor.Tensor, error) {
+func (p *Program) run(input *tensor.Tensor, retainAll bool, keep []int) ([]*tensor.Tensor, error) {
+	return p.runFinish(input, retainAll, keep, nil)
+}
+
+// runFinish is run with a completion hook: on success, finish (if
+// non-nil, and the run recycles buffers) is invoked while the per-run
+// state is still held, so batch callers can copy kept outputs and Put
+// their buffers back into the arena before it returns to the pool.
+func (p *Program) runFinish(input *tensor.Tensor, retainAll bool, keep []int, finish func(outs []*tensor.Tensor, arena *tensor.Arena)) ([]*tensor.Tensor, error) {
 	if input.Rank() != 4 {
 		return nil, fmt.Errorf("engine: input must be 4-D, got %v", input.Shape())
 	}
@@ -84,7 +150,7 @@ func (p *Program) run(input *tensor.Tensor, retainAll bool) ([]*tensor.Tensor, e
 	n := len(p.model.Layers)
 	rc := &runCtx{p: p, input: input, outs: make([]*tensor.Tensor, n)}
 	if !retainAll {
-		rc.rs = p.acquireRun()
+		rc.rs = p.acquireRun(keep)
 		defer p.releaseRun(rc.rs)
 	}
 	for _, lvl := range p.levels {
@@ -123,6 +189,9 @@ func (p *Program) run(input *tensor.Tensor, retainAll bool) ([]*tensor.Tensor, e
 		if firstErr != nil {
 			return nil, firstErr
 		}
+	}
+	if finish != nil && rc.rs != nil {
+		finish(rc.outs, rc.rs.arena)
 	}
 	return rc.outs, nil
 }

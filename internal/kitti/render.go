@@ -1,0 +1,125 @@
+package kitti
+
+import (
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// render.go rasterises synthetic scenes into RGB image tensors, giving
+// the end-to-end detection pipeline (and `rtoss detect`) a bundled,
+// dependency-free test image: a sky gradient over a road plane with
+// each ground-truth object drawn as a shaded, outlined block.
+
+// classColors gives each KITTI class a distinct body colour (RGB in
+// [0, 1]) so rendered scenes are readable by eye.
+var classColors = [NumClasses][3]float32{
+	{0.75, 0.15, 0.15}, // Car: red
+	{0.75, 0.45, 0.15}, // Van: orange
+	{0.55, 0.35, 0.20}, // Truck: brown
+	{0.15, 0.35, 0.75}, // Pedestrian: blue
+	{0.20, 0.55, 0.75}, // Person_sitting: light blue
+	{0.20, 0.65, 0.30}, // Cyclist: green
+	{0.55, 0.20, 0.65}, // Tram: purple
+	{0.50, 0.50, 0.50}, // Misc: gray
+}
+
+// RenderScene rasterises a scene into a [3, H, W] tensor in [0, 1]:
+// sky gradient above the horizon, road below, objects back-to-front as
+// filled blocks with a dark outline and a lighter top band. Purely
+// deterministic for a given scene.
+func RenderScene(s Scene) *tensor.Tensor {
+	img := tensor.New(3, s.H, s.W)
+	plane := s.H * s.W
+	horizon := int(0.45 * float64(s.H))
+	for y := 0; y < s.H; y++ {
+		var r, g, b float32
+		if y < horizon {
+			// Sky: bright at the top, hazy at the horizon.
+			t := float32(y) / float32(horizon)
+			r, g, b = 0.45+0.25*t, 0.62+0.13*t, 0.85
+		} else {
+			// Road: darkens toward the viewer.
+			t := float32(y-horizon) / float32(s.H-horizon)
+			r, g, b = 0.42-0.12*t, 0.42-0.12*t, 0.44-0.12*t
+		}
+		for x := 0; x < s.W; x++ {
+			img.Data[0*plane+y*s.W+x] = r
+			img.Data[1*plane+y*s.W+x] = g
+			img.Data[2*plane+y*s.W+x] = b
+		}
+	}
+	// Lane marking down the road centre.
+	for y := horizon; y < s.H; y++ {
+		if (y/4)%2 == 0 {
+			continue
+		}
+		half := 1 + (y-horizon)/64
+		for x := s.W/2 - half; x < s.W/2+half; x++ {
+			if x >= 0 && x < s.W {
+				img.Data[0*plane+y*s.W+x] = 0.85
+				img.Data[1*plane+y*s.W+x] = 0.85
+				img.Data[2*plane+y*s.W+x] = 0.80
+			}
+		}
+	}
+	// Objects back-to-front so near (larger) boxes occlude distant ones.
+	order := make([]int, len(s.Truth))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if s.Truth[order[j]].Box.Y2 < s.Truth[order[i]].Box.Y2 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	set := func(y, x int, v [3]float32) {
+		if y < 0 || y >= s.H || x < 0 || x >= s.W {
+			return
+		}
+		img.Data[0*plane+y*s.W+x] = v[0]
+		img.Data[1*plane+y*s.W+x] = v[1]
+		img.Data[2*plane+y*s.W+x] = v[2]
+	}
+	for _, oi := range order {
+		g := s.Truth[oi]
+		color := classColors[g.Class]
+		lighter := [3]float32{min1(color[0] + 0.2), min1(color[1] + 0.2), min1(color[2] + 0.2)}
+		outline := [3]float32{color[0] * 0.4, color[1] * 0.4, color[2] * 0.4}
+		x1, y1 := int(g.Box.X1), int(g.Box.Y1)
+		x2, y2 := int(g.Box.X2), int(g.Box.Y2)
+		topBand := y1 + (y2-y1)/3
+		for y := y1; y <= y2; y++ {
+			for x := x1; x <= x2; x++ {
+				switch {
+				case y == y1 || y == y2 || x == x1 || x == x2:
+					set(y, x, outline)
+				case y < topBand:
+					set(y, x, lighter)
+				default:
+					set(y, x, color)
+				}
+			}
+		}
+	}
+	return img
+}
+
+func min1(v float32) float32 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SampleImageSeed seeds the bundled sample scene
+// (examples/data/kitti_sample.ppm is RenderScene of this scene).
+const SampleImageSeed = 2023
+
+// SampleImage renders the deterministic bundled sample scene at w x h —
+// the image `rtoss detect` falls back to when no -image is given, and
+// the source of examples/data/kitti_sample.ppm.
+func SampleImage(w, h int) *tensor.Tensor {
+	return RenderScene(GenerateScene(rng.New(SampleImageSeed), w, h))
+}

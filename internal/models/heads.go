@@ -1,0 +1,71 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"rtoss/internal/detect"
+)
+
+// heads.go exports the decode metadata that pairs each zoo model's
+// Detect inputs with the anchor-grid geometry the detection pipeline
+// needs. The specs mirror the published configurations: YOLOv5's three
+// P3/P4/P5 levels with the COCO-tuned anchors, and RetinaNet's
+// 3-scale x 3-ratio anchor set (our descriptor computes the shared
+// head on P3, so the spec exposes that single level — see retinanet.go
+// for the MAC-replication story behind the other pyramid levels).
+
+// yolov5Anchors are the YOLOv5 v6 default anchors as (w, h) pixel
+// pairs per level (P3/8, P4/16, P5/32).
+var yolov5Anchors = [3][3][2]float64{
+	{{10, 13}, {16, 30}, {33, 23}},
+	{{30, 61}, {62, 45}, {59, 119}},
+	{{116, 90}, {156, 198}, {373, 326}},
+}
+
+// YOLOv5sHead returns the decode spec for the YOLOv5s descriptor: the
+// Detect sink collects the P3/P4/P5 prediction maps (strides 8/16/32),
+// each fusing 3 anchors x (5 + classes) channels.
+func YOLOv5sHead(classes int) detect.HeadSpec {
+	spec := detect.HeadSpec{Kind: detect.HeadYOLOv5, Classes: classes}
+	for i, stride := range []int{8, 16, 32} {
+		lv := detect.HeadLevel{Stride: stride}
+		for _, a := range yolov5Anchors[i] {
+			lv.Anchors = append(lv.Anchors, a)
+		}
+		spec.Levels = append(spec.Levels, lv)
+	}
+	return spec
+}
+
+// RetinaNetHead returns the decode spec for the RetinaNet descriptor.
+// The shared classification/regression towers are instantiated on P3
+// (stride 8), so the Detect sink carries one [9*classes] map and one
+// [9*4] map; the 9 anchors are the standard 3 octave scales x 3 aspect
+// ratios around the level's base size of 32 pixels.
+func RetinaNetHead(classes int) detect.HeadSpec {
+	const base = 32.0
+	lv := detect.HeadLevel{Stride: 8}
+	for _, scale := range []float64{1, math.Pow(2, 1.0/3), math.Pow(2, 2.0/3)} {
+		for _, ratio := range []float64{0.5, 1, 2} {
+			// Equal-area anchors: w*h = (base*scale)^2, h/w = ratio.
+			size := base * scale
+			w := size / math.Sqrt(ratio)
+			h := size * math.Sqrt(ratio)
+			lv.Anchors = append(lv.Anchors, [2]float64{w, h})
+		}
+	}
+	return detect.HeadSpec{Kind: detect.HeadRetinaNet, Classes: classes, Levels: []detect.HeadLevel{lv}}
+}
+
+// HeadByName returns the decode spec for an evaluation model by its
+// display name ("YOLOv5s" or "RetinaNet").
+func HeadByName(name string, classes int) (detect.HeadSpec, error) {
+	switch name {
+	case "YOLOv5s":
+		return YOLOv5sHead(classes), nil
+	case "RetinaNet":
+		return RetinaNetHead(classes), nil
+	}
+	return detect.HeadSpec{}, fmt.Errorf("models: no head spec for %q (YOLOv5s|RetinaNet)", name)
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"testing"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/nn"
+)
+
+// detectInputChannels returns the OutC of each layer feeding a model's
+// Detect sink.
+func detectInputChannels(t *testing.T, m *nn.Model) []int {
+	t.Helper()
+	shapes, err := m.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range m.Layers {
+		if l.Kind != nn.Detect {
+			continue
+		}
+		chans := make([]int, len(l.Inputs))
+		for i, id := range l.Inputs {
+			chans[i] = shapes[id].C
+		}
+		return chans
+	}
+	t.Fatalf("model %s has no Detect layer", m.Name)
+	return nil
+}
+
+// TestYOLOv5sHeadMatchesModel checks the exported spec against the
+// actual descriptor: 3 levels, each 3 anchors x (5 + classes) channels.
+func TestYOLOv5sHeadMatchesModel(t *testing.T) {
+	spec := YOLOv5sHead(KITTIClasses)
+	chans := detectInputChannels(t, YOLOv5sShared(KITTIClasses))
+	if len(chans) != len(spec.Levels) {
+		t.Fatalf("model has %d heads, spec has %d levels", len(chans), len(spec.Levels))
+	}
+	for i, c := range chans {
+		want := len(spec.Levels[i].Anchors) * (5 + spec.Classes)
+		if c != want {
+			t.Errorf("head %d: model %d channels, spec wants %d", i, c, want)
+		}
+	}
+	if spec.MaxStride() != 32 {
+		t.Errorf("max stride = %d, want 32", spec.MaxStride())
+	}
+}
+
+// TestRetinaNetHeadMatchesModel checks the cls/reg channel layout and
+// the 9-anchor set.
+func TestRetinaNetHeadMatchesModel(t *testing.T) {
+	spec := RetinaNetHead(KITTIClasses)
+	chans := detectInputChannels(t, RetinaNetShared(KITTIClasses))
+	if len(chans) != 2 {
+		t.Fatalf("RetinaNet Detect has %d inputs, want 2 (cls, reg)", len(chans))
+	}
+	a := len(spec.Levels[0].Anchors)
+	if a != 9 {
+		t.Fatalf("spec has %d anchors, want 9", a)
+	}
+	if chans[0] != a*spec.Classes {
+		t.Errorf("cls head: model %d channels, spec wants %d", chans[0], a*spec.Classes)
+	}
+	if chans[1] != a*4 {
+		t.Errorf("reg head: model %d channels, spec wants %d", chans[1], a*4)
+	}
+	// Anchors are equal-area per octave scale: w*h == (32*scale)^2.
+	for i, anchor := range spec.Levels[0].Anchors {
+		area := anchor[0] * anchor[1]
+		scale := []float64{1, 1.2599210498948732, 1.5874010519681994}[i/3]
+		want := (32 * scale) * (32 * scale)
+		if diff := area - want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("anchor %d area = %v, want %v", i, area, want)
+		}
+	}
+}
+
+func TestHeadByName(t *testing.T) {
+	if _, err := HeadByName("YOLOv5s", KITTIClasses); err != nil {
+		t.Error(err)
+	}
+	if _, err := HeadByName("RetinaNet", KITTIClasses); err != nil {
+		t.Error(err)
+	}
+	if _, err := HeadByName("DETR", KITTIClasses); err == nil {
+		t.Error("HeadByName accepted an unsupported model")
+	}
+	spec, _ := HeadByName("YOLOv5s", KITTIClasses)
+	if spec.Kind != detect.HeadYOLOv5 {
+		t.Errorf("kind = %v, want yolov5", spec.Kind)
+	}
+}

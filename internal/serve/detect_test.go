@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/tensor"
+)
+
+// tinySpec matches tinyProgram's 14-channel head: 2 anchors x (5 + 2
+// classes) at the model's stride-4 output grid.
+func tinySpec() detect.HeadSpec {
+	return detect.HeadSpec{
+		Kind:    detect.HeadYOLOv5,
+		Classes: 2,
+		Levels:  []detect.HeadLevel{{Stride: 4, Anchors: [][2]float64{{8, 8}, {16, 16}}}},
+	}
+}
+
+// TestInferHeadsMatchesDirect checks the served heads path returns what
+// a direct Program.Heads call computes, and that heads and plain Infer
+// co-exist on one server.
+func TestInferHeadsMatchesDirect(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+
+	in := testImage(31)
+	heads, err := s.InferHeads(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.Heads(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != len(direct) {
+		t.Fatalf("served %d heads, direct %d", len(heads), len(direct))
+	}
+	for i := range heads {
+		if d := maxAbsDiff(heads[i], direct[i]); d > 1e-5 {
+			t.Errorf("head %d: served differs from direct by %g", i, d)
+		}
+	}
+	// Plain Infer still matches the final output on the same server.
+	out, err := s.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Output(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(out, want); d > 1e-5 {
+		t.Errorf("Infer differs from direct Output by %g", d)
+	}
+}
+
+// TestHTTPDetect drives POST /detect end to end with a PPM body and
+// cross-checks the response against the library pipeline.
+func TestHTTPDetect(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+	cfg := &detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05}
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{
+		InputC: 3, InputH: 32, InputW: 32,
+		Detect: cfg,
+		Labels: []string{"car", "pedestrian"},
+	}))
+	defer ts.Close()
+
+	// A deterministic non-square source image exercises letterboxing.
+	img := tensor.New(3, 24, 48)
+	for i := range img.Data {
+		img.Data[i] = float32(i%17) / 17
+	}
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, img); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/detect", "image/x-portable-pixmap", bytes.NewReader(ppm.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var got struct {
+		Detections []struct {
+			Box   []float64 `json:"box"`
+			Class int       `json:"class"`
+			Label string    `json:"label"`
+			Score float64   `json:"score"`
+		} `json:"detections"`
+		Count    int `json:"count"`
+		Image    map[string]int
+		TimingMS map[string]float64 `json:"timing_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Image["width"] != 48 || got.Image["height"] != 24 {
+		t.Errorf("image dims = %v, want 48x24", got.Image)
+	}
+	if got.Count != len(got.Detections) {
+		t.Errorf("count %d != len(detections) %d", got.Count, len(got.Detections))
+	}
+	for _, k := range []string{"preprocess", "forward", "decode", "total"} {
+		if _, ok := got.TimingMS[k]; !ok {
+			t.Errorf("timing_ms missing %q", k)
+		}
+	}
+
+	// Cross-check against the library pipeline on the decoded image.
+	decoded, err := tensor.DecodeImage(bytes.NewReader(ppm.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canvas, meta := tensor.LetterboxImage(decoded, 32, 32, tensor.LetterboxFill)
+	heads, err := p.Heads(canvas.Reshape(1, 3, 32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := detect.Postprocess(heads, meta, *cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != got.Count {
+		t.Fatalf("served %d detections, library pipeline %d", got.Count, len(want))
+	}
+	for i, d := range got.Detections {
+		w := want[i]
+		if d.Class != w.Class {
+			t.Errorf("det %d class %d, want %d", i, d.Class, w.Class)
+		}
+		if diff := d.Score - w.Score; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("det %d score %v, want %v", i, d.Score, w.Score)
+		}
+		for j, v := range []float64{w.Box.X1, w.Box.Y1, w.Box.X2, w.Box.Y2} {
+			if diff := d.Box[j] - v; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("det %d box[%d] = %v, want %v", i, j, d.Box[j], v)
+			}
+		}
+		if d.Class < 2 && d.Label == "" {
+			t.Errorf("det %d has no label", i)
+		}
+	}
+
+	// Garbage body is a 400.
+	resp, err = http.Post(ts.URL+"/detect", "image/png", bytes.NewReader([]byte("not an image")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage image: status %d, want 400", resp.StatusCode)
+	}
+
+	// Bad threshold overrides are 400s — including an explicit 0, which
+	// detect.Config cannot distinguish from "use the default".
+	for _, q := range []string{"score=wat", "score=0", "iou=1.5"} {
+		resp, err = http.Post(ts.URL+"/detect?"+q, "image/x-portable-pixmap", bytes.NewReader(ppm.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPDetectDisabled: without a Detect config the endpoint 404s.
+func TestHTTPDetectDisabled(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{InputC: 3, InputH: 32, InputW: 32}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/detect", "image/png", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled /detect: status %d, want 404", resp.StatusCode)
+	}
+}

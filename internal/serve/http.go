@@ -7,24 +7,46 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
+	"rtoss/internal/detect"
 	"rtoss/internal/tensor"
 )
 
-// HTTP front end for a Server. The wire format is deliberately minimal:
-// an image is raw little-endian float32 NCHW bytes, so a client needs
-// no codec beyond a byte order.
+// HTTP front end for a Server. Two wire formats:
 //
-//	POST /infer    body = C*H*W float32s (LE), or empty for a zero image
-//	               → JSON {shape, l2, latency_ms} (+ data with ?data=1)
+//	POST /infer    body = C*H*W float32s (LE, raw NCHW), or empty for a
+//	               zero image → JSON {shape, l2, latency_ms}
+//	               (+ data with ?data=1)
+//	POST /detect   body = an encoded image (PPM/PGM P2/P3/P5/P6 or PNG)
+//	               → JSON {detections, count, image, timing_ms}
+//	               (?score= and ?iou= override the thresholds)
 //	GET  /stats    → JSON Stats snapshot
 //	GET  /healthz  → 200 "ok"
+//
+// /infer speaks raw tensors so a load generator needs no codec beyond
+// a byte order; /detect speaks images so a camera, a curl command or a
+// browser can drive the full detection pipeline.
 
-// NewHandler serves one model Server over HTTP. inputC, inputH and
-// inputW fix the accepted image shape (request bodies must match it
-// exactly).
-func NewHandler(s *Server, inputC, inputH, inputW int) http.Handler {
+// maxImageBody bounds /detect request bodies (32 MiB decodes any sane
+// benchmark image).
+const maxImageBody = 32 << 20
+
+// HandlerConfig wires a Server to the HTTP front end.
+type HandlerConfig struct {
+	// InputC/InputH/InputW fix the raw-tensor shape /infer accepts.
+	InputC, InputH, InputW int
+	// Detect enables POST /detect with the given pipeline config
+	// (head spec + thresholds). Nil disables the endpoint (404).
+	Detect *detect.Config
+	// Labels maps class IDs to display names in /detect responses
+	// (optional; class indices are always included).
+	Labels []string
+}
+
+// NewHandler serves one model Server over HTTP.
+func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -33,7 +55,7 @@ func NewHandler(s *Server, inputC, inputH, inputW int) http.Handler {
 		writeJSON(w, statsJSON(s.Stats()))
 	})
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		in, err := readImage(r.Body, inputC, inputH, inputW)
+		in, err := readImage(r.Body, cfg.InputC, cfg.InputH, cfg.InputW)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -41,11 +63,7 @@ func NewHandler(s *Server, inputC, inputH, inputW int) http.Handler {
 		start := time.Now()
 		out, err := s.Infer(in)
 		if err != nil {
-			code := http.StatusInternalServerError
-			if err == ErrClosed {
-				code = http.StatusServiceUnavailable
-			}
-			http.Error(w, err.Error(), code)
+			http.Error(w, err.Error(), serveErrCode(err))
 			return
 		}
 		resp := map[string]any{
@@ -58,8 +76,101 @@ func NewHandler(s *Server, inputC, inputH, inputW int) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+	if cfg.Detect != nil {
+		mux.HandleFunc("POST /detect", func(w http.ResponseWriter, r *http.Request) {
+			handleDetect(w, r, s, cfg)
+		})
+	}
 	return mux
 }
+
+func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg HandlerConfig) {
+	pipe := *cfg.Detect
+	var err error
+	if pipe.ScoreThreshold, err = queryFloat(r, "score", pipe.ScoreThreshold); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if pipe.IoUThreshold, err = queryFloat(r, "iou", pipe.IoUThreshold); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	t0 := time.Now()
+	img, err := tensor.DecodeImage(io.LimitReader(r.Body, maxImageBody))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	canvas, meta := tensor.LetterboxImage(img, cfg.InputH, cfg.InputW, tensor.LetterboxFill)
+	in := canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2))
+	t1 := time.Now()
+	heads, err := s.InferHeads(in)
+	if err != nil {
+		http.Error(w, err.Error(), serveErrCode(err))
+		return
+	}
+	t2 := time.Now()
+	dets, err := detect.Postprocess(heads, meta, pipe)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	t3 := time.Now()
+	writeJSON(w, map[string]any{
+		"detections": detectionsJSON(dets, cfg.Labels),
+		"count":      len(dets),
+		"image":      map[string]int{"width": meta.SrcW, "height": meta.SrcH},
+		"timing_ms": map[string]float64{
+			"preprocess": ms(t1.Sub(t0)),
+			"forward":    ms(t2.Sub(t1)),
+			"decode":     ms(t3.Sub(t2)),
+			"total":      ms(t3.Sub(t0)),
+		},
+	})
+}
+
+// serveErrCode maps server errors to HTTP statuses: 503 when closed or
+// shedding load, 500 otherwise.
+func serveErrCode(err error) int {
+	if err == ErrClosed || err == ErrQueueFull {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// queryFloat parses a threshold override. Zero is rejected rather than
+// accepted: detect.Config treats non-positive thresholds as "unset"
+// (replaced by the defaults), so silently passing 0 through would run
+// the request with the default threshold instead of the requested one.
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	s := r.URL.Query().Get(key)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || v > 1 {
+		return 0, fmt.Errorf("serve: query %s=%q must be a number in (0, 1]", key, s)
+	}
+	return v, nil
+}
+
+func detectionsJSON(dets []detect.Detection, labels []string) []map[string]any {
+	out := make([]map[string]any, len(dets))
+	for i, d := range dets {
+		m := map[string]any{
+			"box":   []float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
+			"class": d.Class,
+			"score": d.Score,
+		}
+		if d.Class >= 0 && d.Class < len(labels) {
+			m["label"] = labels[d.Class]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // readImage decodes a request body into a [1, C, H, W] tensor. An empty
 // body means a zero image (useful for smoke tests and load generators).
@@ -91,8 +202,8 @@ func statsJSON(st Stats) map[string]any {
 		"batches":        st.Batches,
 		"avg_batch":      st.AvgBatch,
 		"max_batch":      st.MaxBatch,
-		"avg_latency_ms": float64(st.AvgLatency) / float64(time.Millisecond),
-		"max_latency_ms": float64(st.MaxLatency) / float64(time.Millisecond),
+		"avg_latency_ms": ms(st.AvgLatency),
+		"max_latency_ms": ms(st.MaxLatency),
 		"queue_depth":    st.QueueDepth,
 	}
 }

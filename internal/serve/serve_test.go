@@ -300,7 +300,7 @@ func TestHTTPHandler(t *testing.T) {
 	p := tinyProgram(t)
 	s := NewServer(p, Config{})
 	defer s.Close()
-	ts := httptest.NewServer(NewHandler(s, 3, 32, 32))
+	ts := httptest.NewServer(NewHandler(s, HandlerConfig{InputC: 3, InputH: 32, InputW: 32}))
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/healthz")

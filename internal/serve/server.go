@@ -68,14 +68,18 @@ var (
 )
 
 type request struct {
-	in   *tensor.Tensor
-	resp chan response
-	enq  time.Time
+	in *tensor.Tensor
+	// heads marks a detection request: the response carries every
+	// detection-head tensor instead of just the final output.
+	heads bool
+	resp  chan response
+	enq   time.Time
 }
 
 type response struct {
-	out *tensor.Tensor
-	err error
+	out   *tensor.Tensor
+	heads []*tensor.Tensor
+	err   error
 }
 
 // NewServer starts cfg.Workers batch executors over the shared Program
@@ -99,23 +103,43 @@ func NewServer(prog *engine.Program, cfg Config) *Server {
 // and blocks until its output is ready (or the server closes). When the
 // queue is full, Infer waits for a slot — use TryInfer to shed load.
 func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
-	return s.submit(in, true)
+	r, err := s.submit(in, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return r.out, nil
 }
 
 // TryInfer is Infer, except it returns ErrQueueFull instead of blocking
 // when the queue is saturated.
 func (s *Server) TryInfer(in *tensor.Tensor) (*tensor.Tensor, error) {
-	return s.submit(in, false)
+	r, err := s.submit(in, false, false)
+	if err != nil {
+		return nil, err
+	}
+	return r.out, nil
 }
 
-func (s *Server) submit(in *tensor.Tensor, wait bool) (*tensor.Tensor, error) {
-	req := &request{in: in, resp: make(chan response, 1), enq: time.Now()}
+// InferHeads runs one image through the service and returns every
+// detection-head tensor (in the model Detect sink's input order) — the
+// serving entry point of the detection pipeline. Heads requests ride
+// the same micro-batching queue as Infer and co-batch with it.
+func (s *Server) InferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	r, err := s.submit(in, true, true)
+	if err != nil {
+		return nil, err
+	}
+	return r.heads, nil
+}
+
+func (s *Server) submit(in *tensor.Tensor, wait, heads bool) (response, error) {
+	req := &request{in: in, heads: heads, resp: make(chan response, 1), enq: time.Now()}
 	// The read lock holds Close's channel close off until the send has
 	// completed, so submit never sends on a closed channel.
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		return nil, ErrClosed
+		return response{}, ErrClosed
 	}
 	if wait {
 		s.queue <- req
@@ -125,13 +149,13 @@ func (s *Server) submit(in *tensor.Tensor, wait bool) (*tensor.Tensor, error) {
 		default:
 			s.closeMu.RUnlock()
 			atomic.AddUint64(&s.stats.rejected, 1)
-			return nil, ErrQueueFull
+			return response{}, ErrQueueFull
 		}
 	}
 	atomic.AddUint64(&s.stats.requests, 1)
 	s.closeMu.RUnlock()
 	r := <-req.resp
-	return r.out, r.err
+	return r, r.err
 }
 
 // Close stops accepting requests, drains the queue, and waits for
@@ -188,18 +212,37 @@ func (s *Server) execute(batch []*request) {
 	// fails alone instead of poisoning whoever it was co-batched with.
 	for _, group := range groupByShape(batch) {
 		ins := make([]*tensor.Tensor, len(group))
+		anyHeads := false
 		for i, req := range group {
 			ins[i] = req.in
+			anyHeads = anyHeads || req.heads
 		}
-		outs, err := s.prog.ForwardBatch(ins)
+		// A group containing any detection request runs the heads path
+		// for the whole group: the final output is the first head (the
+		// Detect sink aliases it), so plain Infer co-batches for free.
+		var (
+			outs  []*tensor.Tensor
+			heads [][]*tensor.Tensor
+			err   error
+		)
+		if anyHeads {
+			heads, err = s.prog.HeadsBatch(ins)
+		} else {
+			outs, err = s.prog.ForwardBatch(ins)
+		}
 		now := time.Now()
 		s.stats.recordBatch(len(group))
 		for i, req := range group {
 			r := response{err: err}
-			if err == nil {
-				r.out = outs[i]
-			} else {
+			switch {
+			case err != nil:
 				atomic.AddUint64(&s.stats.errors, 1)
+			case req.heads:
+				r.heads = heads[i]
+			case anyHeads:
+				r.out = heads[i][0]
+			default:
+				r.out = outs[i]
 			}
 			s.stats.recordLatency(now.Sub(req.enq))
 			req.resp <- r

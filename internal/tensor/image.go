@@ -1,0 +1,213 @@
+package tensor
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+)
+
+// image.go is the detection pipeline's image front door: decoding
+// PPM/PGM (the dependency-free interchange formats) and PNG (via the
+// standard library) into [3, H, W] float32 tensors in [0, 1], and
+// encoding tensors back to PPM so pipelines can be round-tripped
+// without any external tooling.
+
+// DecodeImage sniffs the stream's magic bytes and decodes a PPM/PGM
+// (P2, P3, P5, P6) or PNG image into a [3, H, W] tensor with values in
+// [0, 1]. Grayscale sources are replicated across the three channels so
+// the result always matches the detectors' RGB input plane.
+func DecodeImage(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: reading image magic: %w", err)
+	}
+	switch {
+	case magic[0] == 'P' && magic[1] >= '2' && magic[1] <= '6':
+		return DecodePNM(br)
+	case magic[0] == 0x89 && magic[1] == 'P':
+		return DecodePNG(br)
+	}
+	return nil, fmt.Errorf("tensor: unrecognised image format (magic %q); want PPM/PGM (P2/P3/P5/P6) or PNG", magic)
+}
+
+// DecodePNM decodes a netpbm image — PGM (P2 ascii, P5 binary) or PPM
+// (P3 ascii, P6 binary) with maxval <= 255 — into a [3, H, W] tensor in
+// [0, 1]. PGM gray values are replicated to all three channels.
+func DecodePNM(r io.Reader) (*Tensor, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: reading PNM header: %w", err)
+	}
+	var channels int
+	switch magic {
+	case "P2", "P5":
+		channels = 1
+	case "P3", "P6":
+		channels = 3
+	default:
+		return nil, fmt.Errorf("tensor: unsupported PNM magic %q (P2|P3|P5|P6)", magic)
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: PNM width: %w", err)
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: PNM height: %w", err)
+	}
+	maxval, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: PNM maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("tensor: unreasonable PNM dimensions %dx%d", w, h)
+	}
+	if maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("tensor: PNM maxval %d unsupported (want 1..255)", maxval)
+	}
+	n := w * h * channels
+	vals := make([]int, n)
+	switch magic {
+	case "P2", "P3": // ascii samples
+		for i := range vals {
+			v, err := pnmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: PNM sample %d/%d: %w", i, n, err)
+			}
+			vals[i] = v
+		}
+	case "P5", "P6": // binary samples follow the single header whitespace
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("tensor: PNM pixel data: %w", err)
+		}
+		for i, b := range raw {
+			vals[i] = int(b)
+		}
+	}
+	out := New(3, h, w)
+	scale := 1 / float32(maxval)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if channels == 1 {
+				v := float32(vals[y*w+x]) * scale
+				out.Data[0*h*w+y*w+x] = v
+				out.Data[1*h*w+y*w+x] = v
+				out.Data[2*h*w+y*w+x] = v
+				continue
+			}
+			base := (y*w + x) * 3
+			for c := 0; c < 3; c++ {
+				out.Data[c*h*w+y*w+x] = float32(vals[base+c]) * scale
+			}
+		}
+	}
+	return out, nil
+}
+
+// pnmToken reads the next whitespace-delimited header token, skipping
+// '#' comments (which run to end of line).
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// pnmInt reads the next header token as a decimal integer.
+func pnmInt(br *bufio.Reader) (int, error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	v := 0
+	for _, c := range []byte(tok) {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad integer %q", tok)
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<30 {
+			return 0, fmt.Errorf("integer %q too large", tok)
+		}
+	}
+	return v, nil
+}
+
+// DecodePNG decodes a PNG stream into a [3, H, W] tensor in [0, 1]
+// using the standard library decoder (alpha is dropped).
+func DecodePNG(r io.Reader) (*Tensor, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: decoding PNG: %w", err)
+	}
+	return FromImage(img), nil
+}
+
+// FromImage converts any image.Image into a [3, H, W] tensor in [0, 1].
+func FromImage(img image.Image) *Tensor {
+	b := img.Bounds()
+	h, w := b.Dy(), b.Dx()
+	out := New(3, h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, bl, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA() // 16-bit
+			out.Data[0*h*w+y*w+x] = float32(r) / 65535
+			out.Data[1*h*w+y*w+x] = float32(g) / 65535
+			out.Data[2*h*w+y*w+x] = float32(bl) / 65535
+		}
+	}
+	return out
+}
+
+// EncodePPM writes a [3, H, W] (or [1, 3, H, W]) tensor as a binary
+// P6 PPM, clamping values to [0, 1].
+func EncodePPM(w io.Writer, t *Tensor) error {
+	img := t
+	if img.Rank() == 4 && img.Dim(0) == 1 {
+		img = img.Reshape(img.Dim(1), img.Dim(2), img.Dim(3))
+	}
+	if img.Rank() != 3 || img.Dim(0) != 3 {
+		return fmt.Errorf("tensor: EncodePPM wants a [3, H, W] image, got %v", t.Shape())
+	}
+	h, iw := img.Dim(1), img.Dim(2)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", iw, h)
+	plane := h * iw
+	for y := 0; y < h; y++ {
+		for x := 0; x < iw; x++ {
+			for c := 0; c < 3; c++ {
+				v := img.Data[c*plane+y*iw+x]
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				bw.WriteByte(byte(v*255 + 0.5))
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDecodePNMAsciiPPM(t *testing.T) {
+	// 2x2 P3 with a comment: red, green / blue, white.
+	src := "P3\n# test image\n2 2\n255\n255 0 0  0 255 0\n0 0 255  255 255 255\n"
+	img, err := DecodePNM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Shape(); got[0] != 3 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("shape = %v, want [3 2 2]", got)
+	}
+	checks := []struct {
+		c, y, x int
+		want    float32
+	}{
+		{0, 0, 0, 1}, {1, 0, 0, 0}, {2, 0, 0, 0}, // red
+		{0, 0, 1, 0}, {1, 0, 1, 1}, {2, 0, 1, 0}, // green
+		{0, 1, 0, 0}, {1, 1, 0, 0}, {2, 1, 0, 1}, // blue
+		{0, 1, 1, 1}, {1, 1, 1, 1}, {2, 1, 1, 1}, // white
+	}
+	for _, c := range checks {
+		if got := img.At(c.c, c.y, c.x); got != c.want {
+			t.Errorf("img[%d,%d,%d] = %v, want %v", c.c, c.y, c.x, got, c.want)
+		}
+	}
+}
+
+func TestDecodePNMGrayReplicates(t *testing.T) {
+	// P2 2x1: 0 and 200 (maxval 200 scales the latter to 1.0).
+	img, err := DecodePNM(strings.NewReader("P2\n2 1\n200\n0 200\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if got := img.At(c, 0, 0); got != 0 {
+			t.Errorf("channel %d pixel 0 = %v, want 0", c, got)
+		}
+		if got := img.At(c, 0, 1); got != 1 {
+			t.Errorf("channel %d pixel 1 = %v, want 1", c, got)
+		}
+	}
+}
+
+func TestDecodePNMErrors(t *testing.T) {
+	cases := []string{
+		"P7\n1 1\n255\n0",       // unsupported magic
+		"P3\n2 2\n255\n1 2 3",   // truncated samples
+		"P3\n1 1\n70000\n0 0 0", // maxval out of range
+		"P3\n-1 1\n255\n",       // bad integer
+	}
+	for _, src := range cases {
+		if _, err := DecodePNM(strings.NewReader(src)); err == nil {
+			t.Errorf("DecodePNM(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	img := New(3, 5, 7)
+	for i := range img.Data {
+		img.Data[i] = float32(i%255) / 255
+	}
+	var buf bytes.Buffer
+	if err := EncodePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(img) {
+		t.Fatalf("round-trip shape %v, want %v", back.Shape(), img.Shape())
+	}
+	// 8-bit quantisation bounds the round-trip error by 1/255.
+	if !back.Equal(img, 1.0/254) {
+		t.Fatal("PPM round-trip exceeded 8-bit quantisation error")
+	}
+}
+
+func TestDecodeImagePNG(t *testing.T) {
+	src := image.NewRGBA(image.Rect(0, 0, 2, 1))
+	src.Set(0, 0, color.RGBA{R: 255, A: 255})
+	src.Set(1, 0, color.RGBA{G: 255, B: 255, A: 255})
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	img, err := DecodeImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Shape(); got[0] != 3 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("shape = %v, want [3 1 2]", got)
+	}
+	if img.At(0, 0, 0) < 0.99 || img.At(1, 0, 0) > 0.01 {
+		t.Errorf("pixel 0 = (%v,%v,%v), want red", img.At(0, 0, 0), img.At(1, 0, 0), img.At(2, 0, 0))
+	}
+	if img.At(1, 0, 1) < 0.99 || img.At(2, 0, 1) < 0.99 || img.At(0, 0, 1) > 0.01 {
+		t.Errorf("pixel 1 = (%v,%v,%v), want cyan", img.At(0, 0, 1), img.At(1, 0, 1), img.At(2, 0, 1))
+	}
+}
+
+func TestResizeBilinearIdentityAndAverage(t *testing.T) {
+	src := FromSlice([]float32{0, 1, 2, 3}, 1, 2, 2)
+	same := ResizeBilinear(src, 2, 2)
+	if !same.Equal(src, 1e-6) {
+		t.Fatalf("identity resize changed data: %v", same.Data)
+	}
+	down := ResizeBilinear(src, 1, 1)
+	if math.Abs(float64(down.Data[0])-1.5) > 1e-6 {
+		t.Fatalf("1x1 downsample = %v, want 1.5 (average)", down.Data[0])
+	}
+}
+
+func TestLetterboxGeometry(t *testing.T) {
+	// A 100x50 (WxH) image onto a 64x64 canvas: scale 0.64, resized to
+	// 64x32, padded 16 rows top and bottom.
+	src := Full(1, 3, 50, 100)
+	out, meta := LetterboxImage(src, 64, 64, 0)
+	if got := out.Shape(); got[0] != 3 || got[1] != 64 || got[2] != 64 {
+		t.Fatalf("canvas shape %v, want [3 64 64]", got)
+	}
+	if meta.PadX != 0 || meta.PadY != 16 {
+		t.Fatalf("pad = (%d,%d), want (0,16)", meta.PadX, meta.PadY)
+	}
+	if meta.ScaleX != 0.64 || meta.ScaleY != 0.64 {
+		t.Fatalf("scale = (%v,%v), want (0.64,0.64)", meta.ScaleX, meta.ScaleY)
+	}
+	// Content rows are 1, pad rows are 0.
+	if out.At(0, 15, 32) != 0 || out.At(0, 48, 32) != 0 {
+		t.Error("expected pad value 0 outside the placed image")
+	}
+	if out.At(0, 16, 0) != 1 || out.At(0, 47, 63) != 1 {
+		t.Error("expected image value 1 inside the placed region")
+	}
+}
+
+func TestLetterboxRoundTrip(t *testing.T) {
+	_, meta := LetterboxImage(Full(0.5, 3, 375, 1242), 128, 128, LetterboxFill)
+	pts := [][2]float64{{0, 0}, {1242, 375}, {621, 187.5}, {100.25, 300.75}}
+	for _, p := range pts {
+		mx, my := meta.ToModel(p[0], p[1])
+		bx, by := meta.ToSource(mx, my)
+		if math.Abs(bx-p[0]) > 1e-9 || math.Abs(by-p[1]) > 1e-9 {
+			t.Errorf("round trip (%v,%v) -> (%v,%v) -> (%v,%v)", p[0], p[1], mx, my, bx, by)
+		}
+	}
+	// Model coordinates of the image corners stay on the canvas.
+	x0, y0 := meta.ToModel(0, 0)
+	x1, y1 := meta.ToModel(1242, 375)
+	if x0 < 0 || y0 < 0 || x1 > 128 || y1 > 128 {
+		t.Errorf("image corners map off-canvas: (%v,%v)-(%v,%v)", x0, y0, x1, y1)
+	}
+}

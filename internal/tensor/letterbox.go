@@ -1,0 +1,158 @@
+package tensor
+
+import "fmt"
+
+// letterbox.go implements the detector input transform: aspect-ratio
+// preserving resize onto a fixed model resolution with symmetric gray
+// padding ("letterboxing"), plus the metadata needed to map detections
+// back into source-image pixel coordinates.
+
+// LetterboxFill is the canonical pad value (YOLOv5's 114/255 gray).
+const LetterboxFill = float32(114.0 / 255.0)
+
+// LetterboxMeta records how a source image was placed on the model
+// canvas, so model-space coordinates can be mapped back to source
+// pixels (and vice versa) exactly.
+type LetterboxMeta struct {
+	// SrcW, SrcH are the source image dimensions in pixels.
+	SrcW, SrcH int
+	// DstW, DstH are the model canvas dimensions.
+	DstW, DstH int
+	// ScaleX, ScaleY are the per-axis effective scales (resized/src).
+	// They differ slightly from each other only through rounding of the
+	// resized extent; aspect ratio is preserved up to one pixel.
+	ScaleX, ScaleY float64
+	// PadX, PadY are the left/top padding in model pixels.
+	PadX, PadY int
+}
+
+// ToSource maps a model-canvas coordinate back to source pixels.
+func (m LetterboxMeta) ToSource(x, y float64) (float64, float64) {
+	return (x - float64(m.PadX)) / m.ScaleX, (y - float64(m.PadY)) / m.ScaleY
+}
+
+// ToModel maps a source-pixel coordinate onto the model canvas.
+func (m LetterboxMeta) ToModel(x, y float64) (float64, float64) {
+	return x*m.ScaleX + float64(m.PadX), y*m.ScaleY + float64(m.PadY)
+}
+
+// LetterboxImage scales a [C, H, W] (or [1, C, H, W]) image to fit a
+// dstH x dstW canvas preserving aspect ratio (bilinear), centres it,
+// and fills the border with fill (use LetterboxFill for the canonical
+// gray). It returns the [C, dstH, dstW] canvas and the mapping
+// metadata.
+func LetterboxImage(src *Tensor, dstH, dstW int, fill float32) (*Tensor, LetterboxMeta) {
+	img := src
+	if img.Rank() == 4 && img.Dim(0) == 1 {
+		img = img.Reshape(img.Dim(1), img.Dim(2), img.Dim(3))
+	}
+	if img.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: LetterboxImage wants a [C, H, W] image, got %v", src.Shape()))
+	}
+	if dstH <= 0 || dstW <= 0 {
+		panic(fmt.Sprintf("tensor: LetterboxImage target %dx%d must be positive", dstH, dstW))
+	}
+	c, srcH, srcW := img.Dim(0), img.Dim(1), img.Dim(2)
+	scale := float64(dstW) / float64(srcW)
+	if s := float64(dstH) / float64(srcH); s < scale {
+		scale = s
+	}
+	newW := int(float64(srcW)*scale + 0.5)
+	newH := int(float64(srcH)*scale + 0.5)
+	if newW < 1 {
+		newW = 1
+	}
+	if newH < 1 {
+		newH = 1
+	}
+	if newW > dstW {
+		newW = dstW
+	}
+	if newH > dstH {
+		newH = dstH
+	}
+	resized := img
+	if newW != srcW || newH != srcH {
+		resized = ResizeBilinear(img, newH, newW)
+	}
+	meta := LetterboxMeta{
+		SrcW: srcW, SrcH: srcH,
+		DstW: dstW, DstH: dstH,
+		ScaleX: float64(newW) / float64(srcW),
+		ScaleY: float64(newH) / float64(srcH),
+		PadX:   (dstW - newW) / 2,
+		PadY:   (dstH - newH) / 2,
+	}
+	out := Full(fill, c, dstH, dstW)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < newH; y++ {
+			srcRow := resized.Data[(ch*newH+y)*newW : (ch*newH+y+1)*newW]
+			dstRow := out.Data[(ch*dstH+y+meta.PadY)*dstW+meta.PadX:]
+			copy(dstRow[:newW], srcRow)
+		}
+	}
+	return out, meta
+}
+
+// ResizeBilinear resamples a [C, H, W] image to [C, outH, outW] with
+// bilinear interpolation over half-pixel-centred sample points (the
+// OpenCV/torch "align_corners=false" convention).
+func ResizeBilinear(src *Tensor, outH, outW int) *Tensor {
+	if src.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: ResizeBilinear wants a [C, H, W] image, got %v", src.Shape()))
+	}
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: ResizeBilinear target %dx%d must be positive", outH, outW))
+	}
+	c, h, w := src.Dim(0), src.Dim(1), src.Dim(2)
+	out := New(c, outH, outW)
+	scaleY := float64(h) / float64(outH)
+	scaleX := float64(w) / float64(outW)
+	// Per-output-column sample positions are shared by every row/channel.
+	x0s := make([]int, outW)
+	x1s := make([]int, outW)
+	fxs := make([]float32, outW)
+	for x := 0; x < outW; x++ {
+		sx := (float64(x)+0.5)*scaleX - 0.5
+		if sx < 0 {
+			sx = 0
+		}
+		x0 := int(sx)
+		x1 := x0 + 1
+		if x1 > w-1 {
+			x1 = w - 1
+			if x0 > x1 {
+				x0 = x1
+			}
+		}
+		x0s[x], x1s[x], fxs[x] = x0, x1, float32(sx-float64(x0))
+	}
+	for ch := 0; ch < c; ch++ {
+		plane := src.Data[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < outH; y++ {
+			sy := (float64(y)+0.5)*scaleY - 0.5
+			if sy < 0 {
+				sy = 0
+			}
+			y0 := int(sy)
+			y1 := y0 + 1
+			if y1 > h-1 {
+				y1 = h - 1
+				if y0 > y1 {
+					y0 = y1
+				}
+			}
+			fy := float32(sy - float64(y0))
+			row0 := plane[y0*w : (y0+1)*w]
+			row1 := plane[y1*w : (y1+1)*w]
+			dst := out.Data[(ch*outH+y)*outW : (ch*outH+y+1)*outW]
+			for x := 0; x < outW; x++ {
+				fx := fxs[x]
+				top := row0[x0s[x]] + (row0[x1s[x]]-row0[x0s[x]])*fx
+				bot := row1[x0s[x]] + (row1[x1s[x]]-row1[x0s[x]])*fx
+				dst[x] = top + (bot-top)*fy
+			}
+		}
+	}
+	return out
+}

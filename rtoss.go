@@ -17,6 +17,9 @@
 //     synthetic-KITTI detection pipeline with a real mAP evaluator;
 //   - a sparsity-aware concurrent execution engine (NewEngine) that
 //     turns pattern sparsity into measured wall-clock speedups;
+//   - an end-to-end detection pipeline (NewDetector): image decoding
+//     (DecodeImage), letterbox preprocessing, head decoding and NMS,
+//     with per-stage latency reporting;
 //   - the experiment harness regenerating every table and figure of
 //     the paper (Table1..Table3, Fig4..Fig8).
 //
@@ -53,6 +56,15 @@
 // with bounded queueing and latency/throughput stats (see `rtoss serve`
 // and `rtoss bench`).
 //
+// # Detection pipeline
+//
+// Detector closes the loop from image to boxes: letterbox resize onto
+// the model canvas, forward pass to the detection heads
+// (Program.Heads), YOLO/RetinaNet head decode, class-aware NMS, and
+// un-letterboxing back to source pixels. The serving stack exposes the
+// same pipeline over HTTP as POST /detect (see `rtoss serve`), and
+// `rtoss detect` runs it from the command line.
+//
 // Quick start:
 //
 //	m := rtoss.NewYOLOv5s()
@@ -60,11 +72,18 @@
 //	fmt.Printf("compression %.2fx\n", res.CompressionRatio())
 //
 //	prog, _ := rtoss.CompileProgram(m, rtoss.EngineOptions{Mode: rtoss.EngineSparse})
-//	out, _ := prog.Output(rtoss.NewTensor(1, 3, 64, 64))
-//	fmt.Println(out.Shape())
+//	det, _ := rtoss.NewDetector(prog, 256, rtoss.DetectConfig{})
+//	out, _ := det.Detect(rtoss.KITTISampleImage(496, 160))
+//	for _, d := range out.Detections {
+//		fmt.Println(rtoss.KITTIClassNames()[d.Class], d.Score, d.Box)
+//	}
 package rtoss
 
 import (
+	"fmt"
+	"io"
+	"time"
+
 	"rtoss/internal/baselines"
 	"rtoss/internal/core"
 	"rtoss/internal/detect"
@@ -245,6 +264,121 @@ func RunServeBench(cfg BenchConfig) (*BenchReport, error) { return serve.RunBenc
 
 // ParseEngineMode parses "auto", "dense" or "sparse".
 func ParseEngineMode(s string) (EngineMode, error) { return engine.ParseMode(s) }
+
+// ---------------------------------------------------------------------
+// End-to-end detection pipeline (image in, boxes out).
+
+type (
+	// DetectConfig tunes the post-network pipeline (thresholds, caps).
+	DetectConfig = detect.Config
+	// DetectResult is one Detect call's boxes + per-stage timing.
+	DetectResult = detect.Result
+	// DetectTiming is the preprocess/forward/decode latency breakdown.
+	DetectTiming = detect.Timing
+	// HeadSpec is a model's head-decode metadata (strides, anchors).
+	HeadSpec = detect.HeadSpec
+	// LetterboxMeta maps model-canvas coordinates to source pixels.
+	LetterboxMeta = tensor.LetterboxMeta
+)
+
+// Detector runs the full image -> boxes pipeline over a compiled
+// Program: letterbox preprocess to the model resolution, forward pass
+// to the detection heads, head decode + class-aware NMS, and
+// un-letterboxing back to source-image pixels. A Detector is immutable
+// after NewDetector and safe for concurrent use (the Program pools
+// per-run state internally).
+type Detector struct {
+	prog     *Program
+	cfg      DetectConfig
+	inH, inW int
+}
+
+// NewDetector wraps a compiled Program into an end-to-end Detector.
+// res is the square model resolution images are letterboxed to (0 uses
+// the model's nominal resolution; must be a multiple of the coarsest
+// head stride). When cfg.Spec is unset it is looked up from the
+// program's model name (YOLOv5s or RetinaNet).
+func NewDetector(prog *Program, res int, cfg DetectConfig) (*Detector, error) {
+	m := prog.Model()
+	if len(cfg.Spec.Levels) == 0 {
+		spec, err := models.HeadByName(m.Name, m.NumClasses)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Spec = spec
+	}
+	cfg = cfg.WithDefaults()
+	if res == 0 {
+		res = m.InputH
+	}
+	if s := cfg.Spec.MaxStride(); res <= 0 || res%s != 0 {
+		return nil, fmt.Errorf("rtoss: detector resolution %d must be a positive multiple of the head stride %d", res, s)
+	}
+	return &Detector{prog: prog, cfg: cfg, inH: res, inW: res}, nil
+}
+
+// InputSize returns the model resolution images are letterboxed to.
+func (d *Detector) InputSize() (h, w int) { return d.inH, d.inW }
+
+// Config returns the detector's effective pipeline configuration.
+func (d *Detector) Config() DetectConfig { return d.cfg }
+
+// Preprocess letterboxes an image ([C, H, W] or [1, C, H, W], values
+// in [0, 1]) onto the detector's model canvas, returning the
+// [1, C, res, res] network input and the coordinate mapping.
+func (d *Detector) Preprocess(img *Tensor) (*Tensor, LetterboxMeta) {
+	canvas, meta := tensor.LetterboxImage(img, d.inH, d.inW, tensor.LetterboxFill)
+	return canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2)), meta
+}
+
+// Detect runs the full pipeline on one image and returns the boxes in
+// source-image pixel coordinates (descending score) with the per-stage
+// latency breakdown.
+func (d *Detector) Detect(img *Tensor) (*DetectResult, error) {
+	t0 := time.Now()
+	in, meta := d.Preprocess(img)
+	t1 := time.Now()
+	heads, err := d.prog.Heads(in)
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	dets, err := detect.Postprocess(heads, meta, d.cfg)
+	if err != nil {
+		return nil, err
+	}
+	t3 := time.Now()
+	return &DetectResult{
+		Detections: dets,
+		SrcW:       meta.SrcW,
+		SrcH:       meta.SrcH,
+		Timing: DetectTiming{
+			Preprocess: t1.Sub(t0),
+			Forward:    t2.Sub(t1),
+			Decode:     t3.Sub(t2),
+		},
+	}, nil
+}
+
+// HeadSpecFor returns the decode metadata for a zoo model by display
+// name ("YOLOv5s" or "RetinaNet").
+func HeadSpecFor(arch string, classes int) (HeadSpec, error) {
+	return models.HeadByName(arch, classes)
+}
+
+// DecodeImage decodes a PPM/PGM (P2/P3/P5/P6) or PNG stream into a
+// [3, H, W] tensor in [0, 1] — the Detector's input format.
+func DecodeImage(r io.Reader) (*Tensor, error) { return tensor.DecodeImage(r) }
+
+// EncodePPM writes a [3, H, W] tensor as a binary PPM image.
+func EncodePPM(w io.Writer, t *Tensor) error { return tensor.EncodePPM(w, t) }
+
+// KITTISampleImage renders the deterministic synthetic KITTI sample
+// scene at w x h (the bundled `rtoss detect` test image).
+func KITTISampleImage(w, h int) *Tensor { return kitti.SampleImage(w, h) }
+
+// KITTIClassNames maps KITTI class IDs to labels.
+func KITTIClassNames() []string { return kitti.ClassNames[:] }
 
 // Forward runs a real forward pass (auto engine mode) and returns the
 // final output tensor.
