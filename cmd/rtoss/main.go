@@ -9,6 +9,7 @@
 //	rtoss detect [flags]      end-to-end detection: image in, JSON boxes out
 //	rtoss serve [flags]       serve a compiled model over HTTP with micro-batching
 //	rtoss bench [flags]       single vs batched vs served throughput (optionally as JSON)
+//	rtoss eval [flags]        mAP + latency over the synthetic-KITTI set, via any backend
 //
 // Run any subcommand with -h for its flags.
 package main
@@ -56,6 +57,8 @@ func main() {
 		err = serveCmd(os.Args[2:])
 	case "bench":
 		err = benchCmd(os.Args[2:])
+	case "eval":
+		err = evalCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,7 +73,59 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval> [flags]")
+}
+
+// evalCmd scores the detection stack with the real mAP evaluator over
+// a deterministic synthetic-KITTI scene set. The accuracy section of
+// the report is bitwise-identical across backends and engine modes for
+// a fixed seed — `-backend=http -mode=sparse` must reproduce
+// `-backend=inprocess -mode=dense` exactly.
+func evalCmd(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to evaluate (yolov5s|retinanet)")
+	variant := fs.String("variant", "rtoss-3ep", "pruning variant (dense|rtoss-2ep..rtoss-5ep)")
+	engineMode := fs.String("mode", "sparse", "kernel dispatch: dense|sparse|auto")
+	fs.StringVar(engineMode, "engine", "sparse", "alias of -mode (matches forward/detect/serve)")
+	backend := fs.String("backend", "inprocess", "pipeline backend: inprocess|server|http|oracle")
+	urlFlag := fs.String("url", "", "score an externally running /detect server (http backend; empty = self-host)")
+	scenes := fs.Int("scenes", 8, "synthetic-KITTI scene count")
+	seed := fs.Uint64("seed", 1, "scene-set generation seed")
+	res := fs.Int("res", 256, "model input resolution (letterboxed; multiple of the head stride)")
+	conc := fs.Int("concurrency", 1, "images in flight at once")
+	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1]")
+	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1]")
+	evalIoU := fs.Float64("eval-iou", 0.5, "mAP matching IoU threshold")
+	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	arch, err := zooName(*modelName)
+	if err != nil {
+		return err
+	}
+	mode, err := rtoss.ParseEngineMode(*engineMode)
+	if err != nil {
+		return err
+	}
+	rep, err := rtoss.Eval(rtoss.EvalConfig{
+		Scenes: *scenes, Seed: *seed,
+		Arch: arch, Variant: *variant, Mode: mode, Res: *res,
+		Detect:  detect.Config{ScoreThreshold: *score, IoUThreshold: *iou},
+		Backend: *backend, URL: *urlFlag,
+		Concurrency: *conc, EvalIoU: *evalIoU,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
 }
 
 // zooName maps a CLI model flag to its zoo display name.
@@ -97,6 +152,7 @@ func serveCmd(args []string) error {
 	maxDelay := fs.Duration("max-delay", 2*time.Millisecond, "max wait for a fuller batch")
 	workers := fs.Int("workers", 2, "concurrent batch executors")
 	queue := fs.Int("queue", 64, "pending request queue bound")
+	shed := fs.Bool("shed", false, "reject with 503 when the queue is full instead of blocking")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,8 +194,9 @@ func serveCmd(args []string) error {
 	fmt.Printf("  GET  /stats, /healthz\n")
 	return http.ListenAndServe(*addr, serve.NewHandler(srv, serve.HandlerConfig{
 		InputC: inC, InputH: hw, InputW: hw,
-		Detect: &detect.Config{Spec: spec},
-		Labels: kitti.ClassNames[:],
+		Detect:   &detect.Config{Spec: spec},
+		Labels:   kitti.ClassNames[:],
+		ShedLoad: *shed,
 	}))
 }
 

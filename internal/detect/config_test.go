@@ -1,0 +1,73 @@
+package detect
+
+import "testing"
+
+// config_test.go pins Config.WithDefaults's substitution rules: zero
+// and negative values mean "unset" and take the documented defaults,
+// while any positive value — however unusual — is preserved verbatim.
+
+func TestConfigWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{
+			name: "zero config gets every default",
+			in:   Config{},
+			want: Config{ScoreThreshold: 0.25, IoUThreshold: 0.45, MaxCandidates: 1000, MaxDetections: 300},
+		},
+		{
+			name: "negative values are unset too",
+			in:   Config{ScoreThreshold: -1, IoUThreshold: -0.5, MaxCandidates: -7, MaxDetections: -300},
+			want: Config{ScoreThreshold: 0.25, IoUThreshold: 0.45, MaxCandidates: 1000, MaxDetections: 300},
+		},
+		{
+			name: "explicit values survive",
+			in:   Config{ScoreThreshold: 0.6, IoUThreshold: 0.9, MaxCandidates: 50, MaxDetections: 5},
+			want: Config{ScoreThreshold: 0.6, IoUThreshold: 0.9, MaxCandidates: 50, MaxDetections: 5},
+		},
+		{
+			name: "partial overrides fill only the gaps",
+			in:   Config{ScoreThreshold: 0.01},
+			want: Config{ScoreThreshold: 0.01, IoUThreshold: 0.45, MaxCandidates: 1000, MaxDetections: 300},
+		},
+		{
+			name: "tiny positive thresholds are preserved, not rounded to defaults",
+			in:   Config{ScoreThreshold: 1e-9, IoUThreshold: 1e-9},
+			want: Config{ScoreThreshold: 1e-9, IoUThreshold: 1e-9, MaxCandidates: 1000, MaxDetections: 300},
+		},
+		{
+			name: "thresholds at one are legal",
+			in:   Config{ScoreThreshold: 1, IoUThreshold: 1},
+			want: Config{ScoreThreshold: 1, IoUThreshold: 1, MaxCandidates: 1000, MaxDetections: 300},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.WithDefaults()
+			if got.ScoreThreshold != tc.want.ScoreThreshold {
+				t.Errorf("ScoreThreshold = %v, want %v", got.ScoreThreshold, tc.want.ScoreThreshold)
+			}
+			if got.IoUThreshold != tc.want.IoUThreshold {
+				t.Errorf("IoUThreshold = %v, want %v", got.IoUThreshold, tc.want.IoUThreshold)
+			}
+			if got.MaxCandidates != tc.want.MaxCandidates {
+				t.Errorf("MaxCandidates = %v, want %v", got.MaxCandidates, tc.want.MaxCandidates)
+			}
+			if got.MaxDetections != tc.want.MaxDetections {
+				t.Errorf("MaxDetections = %v, want %v", got.MaxDetections, tc.want.MaxDetections)
+			}
+		})
+	}
+}
+
+// TestConfigWithDefaultsKeepsSpec: the substitution must never touch
+// the head-decode metadata.
+func TestConfigWithDefaultsKeepsSpec(t *testing.T) {
+	spec := HeadSpec{Kind: HeadYOLOv5, Classes: 3, Levels: []HeadLevel{{Stride: 8, Anchors: [][2]float64{{4, 4}}}}}
+	got := Config{Spec: spec}.WithDefaults()
+	if got.Spec.Classes != 3 || len(got.Spec.Levels) != 1 || got.Spec.Levels[0].Stride != 8 {
+		t.Errorf("WithDefaults altered the spec: %+v", got.Spec)
+	}
+}

@@ -1,0 +1,259 @@
+// Package eval is the accuracy-regression harness: it scores the full
+// detection stack against the paper's evaluation methodology (mAP over
+// a KITTI-style scene set) instead of asserting box parity on a single
+// image. A deterministic synthetic-KITTI dataset is generated from a
+// seed, every image is driven through one of several interchangeable
+// backends — the in-process pipeline, direct serve.Server calls, or
+// real HTTP POSTs to /detect — and the results are scored with the
+// real AP evaluator in internal/metrics into a per-class AP + mAP +
+// latency-percentile report.
+//
+// Two properties make the harness a regression gate rather than a
+// benchmark:
+//
+//   - The dataset is defined as encoded PPM bytes. Every backend decodes
+//     the same 8-bit-quantised image, so the network inputs — and hence
+//     the mAP — are bit-identical whether the pipeline runs in process
+//     or across a socket. Engine modes share kernels whose surviving-tap
+//     summation order matches the dense order, so dense and sparse
+//     dispatch agree bitwise too.
+//   - The oracle backend bypasses the network: it synthesises head
+//     tensors that decode exactly to the ground truth and runs them
+//     through the standard decode -> NMS -> un-letterbox pipeline. Its
+//     mAP is therefore ~1.0 by construction, and any geometry regression
+//     (head decode, NMS, letterbox round-trip) collapses it loudly.
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/kitti"
+	"rtoss/internal/metrics"
+	"rtoss/internal/models"
+	"rtoss/internal/serve"
+	"rtoss/internal/tensor"
+)
+
+// Backend names accepted by Config.Backend.
+const (
+	// BackendInProcess runs the pipeline directly on the compiled
+	// Program — the library path rtoss.Detector takes.
+	BackendInProcess = "inprocess"
+	// BackendServer drives a micro-batching serve.Server in process
+	// (no sockets), exercising the batched heads path.
+	BackendServer = "server"
+	// BackendHTTP POSTs each image to a /detect endpoint and decodes
+	// the JSON — the full wire round trip. Without Config.URL the
+	// harness hosts its own server on a loopback port.
+	BackendHTTP = "http"
+	// BackendOracle synthesises ground-truth head tensors and runs
+	// only the post-network pipeline: the geometry-regression gate.
+	BackendOracle = "oracle"
+)
+
+// Backends lists the accepted Config.Backend values.
+func Backends() []string {
+	return []string{BackendInProcess, BackendServer, BackendHTTP, BackendOracle}
+}
+
+// Config parameterises one evaluation run. Zero values select the
+// documented defaults.
+type Config struct {
+	// Scenes is the synthetic-KITTI scene count (default 8).
+	Scenes int
+	// Seed drives scene generation; identical seeds yield identical
+	// datasets (default 1).
+	Seed uint64
+	// SceneW, SceneH are the rendered scene dimensions (default
+	// 640x384, KITTI's wide aspect).
+	SceneW, SceneH int
+
+	// Arch is the zoo architecture to evaluate: "YOLOv5s" or
+	// "RetinaNet" (default "YOLOv5s"). Ignored when Program is set.
+	Arch string
+	// Variant is the pruning variant: "dense" or "rtoss-<N>ep"
+	// (default "rtoss-3ep"). Ignored when Program is set.
+	Variant string
+	// Mode is the engine kernel-dispatch mode the Program is compiled
+	// with (default auto).
+	Mode engine.Mode
+	// Res is the square model resolution images are letterboxed to
+	// (default 256; must be a multiple of the head's coarsest stride).
+	Res int
+	// Detect tunes the post-network pipeline. Spec is resolved from
+	// Arch when unset.
+	Detect detect.Config
+
+	// Backend selects how images reach the pipeline (default
+	// "inprocess"; see the Backend* constants).
+	Backend string
+	// URL points the http backend at an externally running server
+	// ("" self-hosts one on a loopback port).
+	URL string
+	// Concurrency is how many images are in flight at once (default
+	// 1, which keeps server-side batches single-image and therefore
+	// bitwise comparable across backends).
+	Concurrency int
+	// EvalIoU is the mAP matching threshold (default 0.5).
+	EvalIoU float64
+
+	// Program short-circuits the registry build with a pre-compiled
+	// Program — the test hook that lets tiny models stand in for the
+	// zoo. Detect.Spec must be set when the program's model is not a
+	// zoo architecture.
+	Program *engine.Program
+}
+
+// withDefaults returns the config with zero values replaced.
+func (c Config) withDefaults() Config {
+	if c.Scenes <= 0 {
+		c.Scenes = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SceneW <= 0 {
+		c.SceneW = 640
+	}
+	if c.SceneH <= 0 {
+		c.SceneH = 384
+	}
+	if c.Arch == "" {
+		c.Arch = "YOLOv5s"
+	}
+	if c.Variant == "" {
+		c.Variant = "rtoss-3ep"
+	}
+	if c.Res <= 0 {
+		c.Res = 256
+	}
+	if c.Backend == "" {
+		c.Backend = BackendInProcess
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 1
+	}
+	if c.EvalIoU <= 0 {
+		c.EvalIoU = 0.5
+	}
+	c.Detect = c.Detect.WithDefaults()
+	return c
+}
+
+// item is one dataset element: the ground truth, the canonical encoded
+// bytes, and the image every in-process backend decodes from them.
+type item struct {
+	scene kitti.Scene
+	ppm   []byte
+	img   *tensor.Tensor
+}
+
+// backend turns one dataset item into detections in source-image
+// pixel coordinates.
+type backend interface {
+	// detect runs one image through the stack.
+	detect(it item) ([]detect.Detection, error)
+	// close releases servers/listeners the backend owns.
+	close()
+}
+
+// Run executes one evaluation: generate the scene set, drive every
+// image through the configured backend, and score the detections with
+// the real AP evaluator.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	spec, err := resolveSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s := spec.MaxStride(); cfg.Res%s != 0 {
+		return nil, fmt.Errorf("eval: resolution %d must be a multiple of the head stride %d", cfg.Res, s)
+	}
+	cfg.Detect.Spec = spec
+
+	items, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer b.close()
+
+	dets := make([][]detect.Detection, len(items))
+	lats := make([]time.Duration, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Concurrency)
+	for i := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			dets[i], errs[i] = b.detect(items[i])
+			lats[i] = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("eval: scene %d: %w", i, err)
+		}
+	}
+
+	samples := make([]metrics.Sample, len(items))
+	for i := range items {
+		samples[i] = metrics.Sample{Detections: dets[i], Truth: items[i].scene.Truth}
+	}
+	perClass, mAP := metrics.Evaluate(samples, kitti.NumClasses, cfg.EvalIoU)
+	return buildReport(cfg, perClass, mAP, samples, lats), nil
+}
+
+// resolveSpec returns the head-decode metadata for the run: the
+// explicit Detect.Spec when given, the zoo lookup otherwise.
+func resolveSpec(cfg Config) (detect.HeadSpec, error) {
+	if len(cfg.Detect.Spec.Levels) > 0 {
+		return cfg.Detect.Spec, nil
+	}
+	return models.HeadByName(cfg.Arch, models.KITTIClasses)
+}
+
+// dataset renders the scene set and fixes the canonical wire bytes:
+// each image is encoded to PPM once, and the tensor every in-process
+// backend consumes is decoded back from those bytes, so all backends
+// (including HTTP, which posts the bytes verbatim) see bit-identical
+// 8-bit-quantised inputs.
+func dataset(cfg Config) ([]item, error) {
+	rendered := kitti.RenderedDataset(cfg.Seed, cfg.Scenes, cfg.SceneW, cfg.SceneH)
+	items := make([]item, len(rendered))
+	for i, rs := range rendered {
+		var buf bytes.Buffer
+		if err := tensor.EncodePPM(&buf, rs.Image); err != nil {
+			return nil, fmt.Errorf("eval: encoding scene %d: %w", i, err)
+		}
+		img, err := tensor.DecodeImage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return nil, fmt.Errorf("eval: round-tripping scene %d: %w", i, err)
+		}
+		items[i] = item{scene: rs.Scene, ppm: buf.Bytes(), img: img}
+	}
+	return items, nil
+}
+
+// buildProgram compiles the model under evaluation: the explicit test
+// Program when given, otherwise the shared registry build for
+// (arch, variant, mode) — the exact code path `rtoss serve` runs.
+func buildProgram(cfg Config) (*engine.Program, error) {
+	if cfg.Program != nil {
+		return cfg.Program, nil
+	}
+	return serve.NewRegistry().Program(serve.Key{Arch: cfg.Arch, Variant: cfg.Variant, Mode: cfg.Mode})
+}

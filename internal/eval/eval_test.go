@@ -1,0 +1,260 @@
+package eval
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtoss/internal/core"
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/nn"
+)
+
+// tinyProgram compiles a small pruned 8-class detector so parity tests
+// don't pay for zoo-scale models. Head: 2 anchors x (5 + 8 classes) =
+// 26 channels at stride 4.
+func tinyProgram(t testing.TB, mode engine.Mode) *engine.Program {
+	t.Helper()
+	b := nn.NewBuilder("tinydet8", 3, 64, 64, 8)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 8, 3, 2, 1, nn.SiLU)
+	c3 := b.C3("c3", x, 8, 8, 1, true, nn.SiLU)
+	x = b.ConvBNAct("down", c3, 8, 16, 3, 2, 1, nn.SiLU)
+	head := b.Conv("head", x, 16, 26, 1, 1, 0, true)
+	b.Detect("detect", head)
+	m := b.MustBuild()
+	m.InitWeights(3)
+	if _, err := core.NewVariant(3).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	p, err := engine.Compile(m, engine.Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tinySpec8 matches tinyProgram's head layout.
+func tinySpec8() detect.HeadSpec {
+	return detect.HeadSpec{
+		Kind:    detect.HeadYOLOv5,
+		Classes: 8,
+		Levels:  []detect.HeadLevel{{Stride: 4, Anchors: [][2]float64{{8, 8}, {24, 24}}}},
+	}
+}
+
+// tinyConfig is the shared run configuration of the parity tests: a
+// low score threshold so the untrained network yields plenty of
+// detections (parity over an empty set would be vacuous).
+func tinyConfig() Config {
+	return Config{
+		Scenes: 4, Seed: 3, Res: 64,
+		Detect: detect.Config{Spec: tinySpec8(), ScoreThreshold: 0.05},
+	}
+}
+
+// runTiny evaluates the tiny model via one backend/mode combination.
+func runTiny(t *testing.T, backend string, mode engine.Mode) *Report {
+	t.Helper()
+	cfg := tinyConfig()
+	cfg.Program = tinyProgram(t, mode)
+	cfg.Backend = backend
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", backend, mode, err)
+	}
+	return rep
+}
+
+// TestBackendAndModeParity is the harness's central guarantee: the
+// same model evaluated (a) with dense vs sparse kernel dispatch and
+// (b) in process vs through a served HTTP round trip produces the
+// bitwise-identical report — same mAP, same per-class APs, same
+// detection count. The dataset is canonical PPM bytes, sparse kernels
+// preserve the dense summation order, and Go's JSON float64 encoding
+// round-trips exactly, so nothing in the stack may perturb a single
+// bit.
+func TestBackendAndModeParity(t *testing.T) {
+	ref := runTiny(t, BackendInProcess, engine.ModeDense)
+	if ref.Detections == 0 {
+		t.Fatal("reference run produced no detections; parity would be vacuous")
+	}
+	for _, tc := range []struct {
+		backend string
+		mode    engine.Mode
+	}{
+		{BackendInProcess, engine.ModeSparse},
+		{BackendServer, engine.ModeSparse},
+		{BackendHTTP, engine.ModeSparse},
+		{BackendHTTP, engine.ModeDense},
+	} {
+		got := runTiny(t, tc.backend, tc.mode)
+		if got.MAP != ref.MAP {
+			t.Errorf("%s/%v: mAP %v != reference %v", tc.backend, tc.mode, got.MAP, ref.MAP)
+		}
+		if got.Detections != ref.Detections {
+			t.Errorf("%s/%v: %d detections, reference %d", tc.backend, tc.mode, got.Detections, ref.Detections)
+		}
+		if len(got.PerClass) != len(ref.PerClass) {
+			t.Fatalf("%s/%v: %d per-class rows, reference %d", tc.backend, tc.mode, len(got.PerClass), len(ref.PerClass))
+		}
+		for i, c := range got.PerClass {
+			if c.AP != ref.PerClass[i].AP || c.Detections != ref.PerClass[i].Detections {
+				t.Errorf("%s/%v: class %s AP/dets (%v, %d) != reference (%v, %d)",
+					tc.backend, tc.mode, c.Name, c.AP, c.Detections, ref.PerClass[i].AP, ref.PerClass[i].Detections)
+			}
+		}
+	}
+}
+
+// TestConcurrencyDeterminism: driving the set with many images in
+// flight must not change the scores (results are index-keyed, and
+// co-batched sparse forwards preserve per-image math).
+func TestConcurrencyDeterminism(t *testing.T) {
+	ref := runTiny(t, BackendServer, engine.ModeSparse)
+	cfg := tinyConfig()
+	cfg.Program = tinyProgram(t, engine.ModeSparse)
+	cfg.Backend = BackendServer
+	cfg.Concurrency = 4
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MAP != ref.MAP || got.Detections != ref.Detections {
+		t.Errorf("concurrency 4: (mAP %v, %d dets) != sequential (%v, %d)",
+			got.MAP, got.Detections, ref.MAP, ref.Detections)
+	}
+}
+
+// TestOracleMAPFloor is the pipeline-geometry gate: ground truth
+// encoded into head tensors and pushed through the real decode -> NMS
+// -> un-letterbox pipeline must score near-perfect mAP. Any regression
+// in head decoding, NMS or the letterbox round trip collapses this.
+func TestOracleMAPFloor(t *testing.T) {
+	const floor = 0.95
+	for _, seed := range []uint64{1, 2, 42} {
+		rep, err := Run(Config{Backend: BackendOracle, Scenes: 8, Seed: seed, Res: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MAP < floor {
+			t.Errorf("seed %d: oracle mAP %.4f below floor %.2f — decode/NMS/letterbox geometry regressed", seed, rep.MAP, floor)
+		}
+		if rep.Objects == 0 || rep.Detections == 0 {
+			t.Errorf("seed %d: degenerate run (%d objects, %d detections)", seed, rep.Objects, rep.Detections)
+		}
+	}
+}
+
+// TestOracleResolutionInvariance: the oracle's score must survive a
+// resolution change (the letterbox mapping is exact at any legal res).
+func TestOracleResolutionInvariance(t *testing.T) {
+	for _, res := range []int{128, 256} {
+		rep, err := Run(Config{Backend: BackendOracle, Scenes: 6, Seed: 9, Res: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MAP < 0.95 {
+			t.Errorf("res %d: oracle mAP %.4f below 0.95", res, rep.MAP)
+		}
+	}
+}
+
+// TestReportShape checks the report carries a complete, serialisable
+// picture of the run.
+func TestReportShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Program = tinyProgram(t, engine.ModeSparse)
+	cfg.Backend = BackendInProcess
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != BackendInProcess || rep.Scenes != 4 || rep.Seed != 3 || rep.Res != 64 {
+		t.Errorf("config echo wrong: %+v", rep)
+	}
+	if rep.ScoreThreshold != 0.05 || rep.IoUThreshold != 0.45 || rep.EvalIoU != 0.5 {
+		t.Errorf("threshold echo wrong: score %v iou %v eval %v", rep.ScoreThreshold, rep.IoUThreshold, rep.EvalIoU)
+	}
+	lat := rep.Latency
+	if lat.MeanMS <= 0 || lat.P50MS <= 0 || lat.P90MS < lat.P50MS || lat.MaxMS < lat.P99MS {
+		t.Errorf("latency summary inconsistent: %+v", lat)
+	}
+	if rep.Render() == "" {
+		t.Error("empty render")
+	}
+
+	path := filepath.Join(t.TempDir(), "eval.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MAP != rep.MAP || back.Detections != rep.Detections || len(back.PerClass) != len(rep.PerClass) {
+		t.Errorf("JSON round trip lost data: %+v vs %+v", back, rep)
+	}
+}
+
+// TestConfigErrors pins the validation paths.
+func TestConfigErrors(t *testing.T) {
+	if _, err := Run(Config{Backend: "quantum"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, err := Run(Config{Backend: BackendOracle, Res: 100}); err == nil {
+		t.Error("resolution 100 (not a multiple of the 32 head stride) accepted")
+	}
+	// The oracle can only invert YOLO heads.
+	if _, err := Run(Config{Backend: BackendOracle, Arch: "RetinaNet", Res: 128, Scenes: 1}); err == nil {
+		t.Error("oracle over RetinaNet heads accepted")
+	}
+	// Unknown architectures surface the registry/spec error.
+	if _, err := Run(Config{Arch: "SSD"}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}
+
+// TestZooHTTPSparseVsInProcessDense is the acceptance gate on the real
+// zoo model: YOLOv5s pruned with R-TOSS 3EP, evaluated once over real
+// HTTP with sparse kernels and once in process with dense kernels,
+// must report the bitwise-identical mAP — the serving stack scored
+// against the paper's accuracy methodology.
+func TestZooHTTPSparseVsInProcessDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("zoo-scale eval prunes and compiles YOLOv5s twice; skipped in -short")
+	}
+	base := Config{Scenes: 3, Seed: 5, Res: 64}
+	http := base
+	http.Backend = BackendHTTP
+	http.Mode = engine.ModeSparse
+	httpRep, err := Run(http)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc := base
+	inproc.Backend = BackendInProcess
+	inproc.Mode = engine.ModeDense
+	inprocRep, err := Run(inproc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if httpRep.MAP != inprocRep.MAP {
+		t.Errorf("http/sparse mAP %v != inprocess/dense mAP %v", httpRep.MAP, inprocRep.MAP)
+	}
+	if httpRep.Detections != inprocRep.Detections {
+		t.Errorf("http/sparse %d detections != inprocess/dense %d", httpRep.Detections, inprocRep.Detections)
+	}
+	if httpRep.Detections == 0 {
+		t.Error("zoo eval produced no detections; parity is vacuous")
+	}
+	if httpRep.Variant != "rtoss-3ep" || httpRep.Arch != "YOLOv5s" {
+		t.Errorf("unexpected defaults: %s/%s", httpRep.Arch, httpRep.Variant)
+	}
+}

@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/kitti"
+	"rtoss/internal/tensor"
+)
+
+// oracle.go synthesises detection-head tensors straight from ground
+// truth: the exact inverse of the YOLOv5 decode. Running them through
+// the unmodified decode -> NMS -> un-letterbox pipeline must recover
+// the annotated boxes almost perfectly, so the oracle backend's mAP is
+// ~1.0 by construction — and any regression in head decoding, NMS or
+// the letterbox round trip drags it toward zero, failing the floor
+// test loudly. The network itself is deliberately out of the loop
+// (synthetic weights carry no trained signal to score).
+
+const (
+	// oracleObjLogit fills unoccupied objectness cells: sigmoid(-12)
+	// ~ 6e-6, below any sane score threshold.
+	oracleObjLogit = -12
+	// oracleConf is the encoded objectness of every ground-truth box.
+	oracleConf = 0.98
+	// oracleClassLogit marks the true class channel: sigmoid(9.2)
+	// ~ 0.9999, far above the 0.5 of the untouched channels.
+	oracleClassLogit = 9.2
+	// maxAnchorRatio bounds the encodable size ratio: the decode's
+	// (2*sigmoid)^2 parameterisation cannot express boxes >= 4x the
+	// anchor (3.96 leaves float32 headroom below the asymptote).
+	maxAnchorRatio = 3.96
+)
+
+// oracleBackend replaces the network with the ground-truth encoder and
+// runs only the post-network pipeline.
+type oracleBackend struct {
+	cfg detect.Config
+	res int
+}
+
+func (b *oracleBackend) detect(it item) ([]detect.Detection, error) {
+	// Letterboxing the real image (not just computing its metadata)
+	// keeps the exact transform under test in the loop.
+	_, meta := tensor.LetterboxImage(it.img, b.res, b.res, tensor.LetterboxFill)
+	heads, err := oracleHeads(it.scene, meta, b.cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	return detect.Postprocess(heads, meta, b.cfg)
+}
+
+func (b *oracleBackend) close() {}
+
+// oracleHeads encodes a scene's ground truth into YOLO head tensors on
+// the letterboxed canvas. Each object is mapped to model space, then
+// written into the best shape-matching free (level, anchor, cell) slot
+// by inverting the decode equations; objects that collide on every
+// candidate slot are skipped (a miss the mAP floor tolerates).
+func oracleHeads(scene kitti.Scene, meta tensor.LetterboxMeta, spec detect.HeadSpec) ([]*tensor.Tensor, error) {
+	if spec.Kind != detect.HeadYOLOv5 {
+		return nil, fmt.Errorf("eval: the oracle backend encodes YOLO heads only (got %v)", spec.Kind)
+	}
+	per := 5 + spec.Classes
+	heads := make([]*tensor.Tensor, len(spec.Levels))
+	used := make([]map[int]bool, len(spec.Levels))
+	for li, lv := range spec.Levels {
+		gh, gw := meta.DstH/lv.Stride, meta.DstW/lv.Stride
+		h := tensor.New(len(lv.Anchors)*per, gh, gw)
+		plane := gh * gw
+		for ai := range lv.Anchors {
+			obj := h.Data[ai*per*plane+4*plane:]
+			for c := 0; c < plane; c++ {
+				obj[c] = oracleObjLogit
+			}
+		}
+		heads[li] = h
+		used[li] = map[int]bool{}
+	}
+	for _, g := range scene.Truth {
+		x1, y1 := meta.ToModel(g.Box.X1, g.Box.Y1)
+		x2, y2 := meta.ToModel(g.Box.X2, g.Box.Y2)
+		cx, cy := (x1+x2)/2, (y1+y2)/2
+		w, h := x2-x1, y2-y1
+		if w <= 0 || h <= 0 {
+			continue
+		}
+		type slot struct {
+			li, ai int
+			fit    float64
+		}
+		var cands []slot
+		for li, lv := range spec.Levels {
+			for ai, a := range lv.Anchors {
+				if w >= maxAnchorRatio*a[0] || h >= maxAnchorRatio*a[1] {
+					continue
+				}
+				fit := math.Abs(math.Log(w/a[0])) + math.Abs(math.Log(h/a[1]))
+				cands = append(cands, slot{li, ai, fit})
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].fit < cands[j].fit })
+		for _, c := range cands {
+			lv := spec.Levels[c.li]
+			stride := float64(lv.Stride)
+			gh, gw := meta.DstH/lv.Stride, meta.DstW/lv.Stride
+			plane := gh * gw
+			gx, gy := clampGrid(cx/stride, gw), clampGrid(cy/stride, gh)
+			offX, offY := cx/stride-float64(gx), cy/stride-float64(gy)
+			// The decode's 2*sigmoid-0.5 offset only spans (-0.5, 1.5).
+			if offX <= -0.499 || offX >= 1.499 || offY <= -0.499 || offY >= 1.499 {
+				continue
+			}
+			cell := gy*gw + gx
+			if key := c.ai*plane + cell; used[c.li][key] {
+				continue
+			} else {
+				used[c.li][key] = true
+			}
+			data := heads[c.li].Data[c.ai*per*plane:]
+			data[0*plane+cell] = float32(logit((offX + 0.5) / 2))
+			data[1*plane+cell] = float32(logit((offY + 0.5) / 2))
+			data[2*plane+cell] = float32(logit(math.Sqrt(w/lv.Anchors[c.ai][0]) / 2))
+			data[3*plane+cell] = float32(logit(math.Sqrt(h/lv.Anchors[c.ai][1]) / 2))
+			data[4*plane+cell] = float32(logit(oracleConf))
+			data[(5+g.Class)*plane+cell] = oracleClassLogit
+			break
+		}
+	}
+	return heads, nil
+}
+
+// clampGrid floors a grid coordinate into [0, n-1].
+func clampGrid(v float64, n int) int {
+	g := int(math.Floor(v))
+	if g < 0 {
+		return 0
+	}
+	if g > n-1 {
+		return n - 1
+	}
+	return g
+}
+
+// logit is the sigmoid inverse on (0, 1).
+func logit(p float64) float64 { return math.Log(p / (1 - p)) }

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rtoss/internal/kitti"
+	"rtoss/internal/metrics"
+	"rtoss/internal/report"
+)
+
+// ClassAP is one class's evaluation outcome.
+type ClassAP struct {
+	Class      int     `json:"class"`
+	Name       string  `json:"name"`
+	AP         float64 `json:"ap"`
+	Truth      int     `json:"truth"`
+	Detections int     `json:"detections"`
+}
+
+// LatencySummary is the per-image end-to-end latency distribution of
+// an evaluation run, in milliseconds.
+type LatencySummary struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Report is one evaluation run's outcome: the configuration echo, the
+// accuracy section (per-class AP + mAP, which is deterministic for a
+// fixed config and bitwise-comparable across backends), and the
+// latency section (which is not — it measures this run's wall clock).
+type Report struct {
+	Arch    string `json:"arch"`
+	Variant string `json:"variant"`
+	Mode    string `json:"mode"`
+	Backend string `json:"backend"`
+
+	Scenes int    `json:"scenes"`
+	Seed   uint64 `json:"seed"`
+	SceneW int    `json:"scene_w"`
+	SceneH int    `json:"scene_h"`
+	Res    int    `json:"res"`
+
+	ScoreThreshold float64 `json:"score_threshold"`
+	IoUThreshold   float64 `json:"iou_threshold"`
+	EvalIoU        float64 `json:"eval_iou"`
+
+	Objects    int            `json:"objects"`
+	Detections int            `json:"detections"`
+	MAP        float64        `json:"map"`
+	PerClass   []ClassAP      `json:"per_class"`
+	Latency    LatencySummary `json:"latency"`
+}
+
+// buildReport assembles the report from one run's raw outcomes.
+func buildReport(cfg Config, perClass []metrics.APResult, mAP float64, samples []metrics.Sample, lats []time.Duration) *Report {
+	r := &Report{
+		Arch: cfg.Arch, Variant: cfg.Variant, Mode: cfg.Mode.String(), Backend: cfg.Backend,
+		Scenes: cfg.Scenes, Seed: cfg.Seed, SceneW: cfg.SceneW, SceneH: cfg.SceneH, Res: cfg.Res,
+		ScoreThreshold: cfg.Detect.ScoreThreshold,
+		IoUThreshold:   cfg.Detect.IoUThreshold,
+		EvalIoU:        cfg.EvalIoU,
+		MAP:            mAP,
+		Latency:        summarizeLatency(lats),
+	}
+	for _, s := range samples {
+		r.Detections += len(s.Detections)
+		for _, g := range s.Truth {
+			if !g.Difficult {
+				r.Objects++
+			}
+		}
+	}
+	for _, c := range perClass {
+		if c.NumTruth == 0 && c.NumDet == 0 {
+			continue // class absent from the set: nothing to report
+		}
+		r.PerClass = append(r.PerClass, ClassAP{
+			Class: c.Class, Name: kitti.ClassNames[c.Class],
+			AP: c.AP, Truth: c.NumTruth, Detections: c.NumDet,
+		})
+	}
+	return r
+}
+
+// summarizeLatency reduces per-image wall times to the report's
+// distribution summary (nearest-rank percentiles).
+func summarizeLatency(lats []time.Duration) LatencySummary {
+	if len(lats) == 0 {
+		return LatencySummary{}
+	}
+	ds := append([]time.Duration(nil), lats...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	q := func(p float64) float64 {
+		i := int(p*float64(len(ds))+0.999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(ds)-1 {
+			i = len(ds) - 1
+		}
+		return ms(ds[i])
+	}
+	return LatencySummary{
+		MeanMS: ms(sum) / float64(len(ds)),
+		P50MS:  q(0.50),
+		P90MS:  q(0.90),
+		P99MS:  q(0.99),
+		MaxMS:  ms(ds[len(ds)-1]),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Render formats the report for a terminal: the run header, the
+// per-class AP table, and the accuracy/latency summary lines.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "eval %s/%s/%s via %s: %d scenes (%dx%d, seed %d) at res %d\n",
+		r.Arch, r.Variant, r.Mode, r.Backend, r.Scenes, r.SceneW, r.SceneH, r.Seed, r.Res)
+	t := &report.Table{
+		Title:   fmt.Sprintf("Per-class AP @ IoU %.2f", r.EvalIoU),
+		Headers: []string{"Class", "AP", "Truth", "Detections"},
+	}
+	for _, c := range r.PerClass {
+		t.AddRow(c.Name, fmt.Sprintf("%.4f", c.AP), c.Truth, c.Detections)
+	}
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "mAP@%.2f = %.6f  (%d objects, %d detections, score>=%.2f, nms-iou %.2f)\n",
+		r.EvalIoU, r.MAP, r.Objects, r.Detections, r.ScoreThreshold, r.IoUThreshold)
+	fmt.Fprintf(&b, "latency/image: mean %.2f ms, p50 %.2f, p90 %.2f, p99 %.2f, max %.2f\n",
+		r.Latency.MeanMS, r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.MaxMS)
+	return b.String()
+}
+
+// WriteJSON writes the report to a file as indented JSON.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

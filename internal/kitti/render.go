@@ -113,6 +113,29 @@ func min1(v float32) float32 {
 	return v
 }
 
+// RenderedScene pairs one generated scene with its rasterised image —
+// the unit the evaluation harness drives through a detection backend.
+type RenderedScene struct {
+	// Scene holds the ground-truth boxes the image was rendered from.
+	Scene Scene
+	// Image is the [3, H, W] rasterisation of the scene in [0, 1].
+	Image *tensor.Tensor
+}
+
+// RenderedDataset generates n scenes deterministically from a seed and
+// rasterises each one: the synthetic-KITTI evaluation set. Identical
+// (seed, n, w, h) always yields byte-identical images and ground truth,
+// so mAP computed over the set is reproducible across runs, processes
+// and serving backends.
+func RenderedDataset(seed uint64, n, w, h int) []RenderedScene {
+	scenes := Dataset(seed, n, w, h)
+	out := make([]RenderedScene, len(scenes))
+	for i, s := range scenes {
+		out[i] = RenderedScene{Scene: s, Image: RenderScene(s)}
+	}
+	return out
+}
+
 // SampleImageSeed seeds the bundled sample scene
 // (examples/data/kitti_sample.ppm is RenderScene of this scene).
 const SampleImageSeed = 2023

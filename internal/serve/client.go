@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"rtoss/internal/tensor"
+)
+
+// client.go is the consumer side of the /detect wire protocol: a small
+// HTTP client that encodes an image tensor, posts it, and decodes the
+// DetectResponse the handler produced. The evaluation harness drives
+// mAP runs through it, so a served stack is scored over the exact
+// bytes a real caller would exchange.
+
+// Client calls a running detection server's /detect endpoint.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient overrides the default client (60 s timeout) when
+	// set. The default is deliberately finite so an evaluation run
+	// against a dead host fails instead of hanging forever.
+	HTTPClient *http.Client
+	// Score and IoU are optional threshold overrides sent as query
+	// parameters; zero leaves the server's configured defaults.
+	Score, IoU float64
+}
+
+// defaultHTTPClient bounds request lifetimes when the caller does not
+// supply a client. 60 s accommodates a cold zoo-scale forward pass at
+// high resolution while still surfacing dead hosts.
+var defaultHTTPClient = &http.Client{Timeout: 60 * time.Second}
+
+// httpClient returns the effective underlying client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return defaultHTTPClient
+}
+
+// detectURL assembles the /detect request URL with threshold overrides.
+func (c *Client) detectURL() (string, error) {
+	u, err := url.Parse(c.BaseURL)
+	if err != nil {
+		return "", fmt.Errorf("serve: client base URL %q: %w", c.BaseURL, err)
+	}
+	u = u.JoinPath("detect")
+	q := u.Query()
+	if c.Score > 0 {
+		q.Set("score", strconv.FormatFloat(c.Score, 'g', -1, 64))
+	}
+	if c.IoU > 0 {
+		q.Set("iou", strconv.FormatFloat(c.IoU, 'g', -1, 64))
+	}
+	u.RawQuery = q.Encode()
+	return u.String(), nil
+}
+
+// DetectBytes posts an already-encoded image (PPM/PGM/PNG bytes) to
+// /detect and decodes the response. Non-2xx statuses become errors
+// carrying the server's message.
+func (c *Client) DetectBytes(img []byte) (*DetectResponse, error) {
+	u, err := c.detectURL()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(u, "application/octet-stream", bytes.NewReader(img))
+	if err != nil {
+		return nil, fmt.Errorf("serve: POST /detect: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("serve: /detect returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var out DetectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding /detect response: %w", err)
+	}
+	return &out, nil
+}
+
+// Detect encodes a [3, H, W] image tensor as PPM and posts it to
+// /detect. Note PPM is 8 bits per channel: callers comparing against an
+// in-process pipeline must quantise their reference image the same way
+// (encode + decode once) or the network inputs will differ.
+func (c *Client) Detect(img *tensor.Tensor) (*DetectResponse, error) {
+	var buf bytes.Buffer
+	if err := tensor.EncodePPM(&buf, img); err != nil {
+		return nil, err
+	}
+	return c.DetectBytes(buf.Bytes())
+}

@@ -43,6 +43,61 @@ type HandlerConfig struct {
 	// Labels maps class IDs to display names in /detect responses
 	// (optional; class indices are always included).
 	Labels []string
+	// ShedLoad makes /infer and /detect reject with 503 when the
+	// server's queue is full instead of blocking the connection —
+	// the right choice when a load balancer can retry elsewhere.
+	ShedLoad bool
+}
+
+// DetectionJSON is one detection on the /detect wire (and in `rtoss
+// detect` output): box corners in source-image pixels, class index,
+// optional label, confidence.
+type DetectionJSON struct {
+	Box   [4]float64 `json:"box"`
+	Class int        `json:"class"`
+	Label string     `json:"label,omitempty"`
+	Score float64    `json:"score"`
+}
+
+// ImageSizeJSON is the decoded source-image dimensions on the wire.
+type ImageSizeJSON struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+// TimingJSON is the /detect per-stage latency breakdown, milliseconds.
+type TimingJSON struct {
+	Preprocess float64 `json:"preprocess"`
+	Forward    float64 `json:"forward"`
+	Decode     float64 `json:"decode"`
+	Total      float64 `json:"total"`
+}
+
+// DetectResponse is the POST /detect response body. The same struct is
+// produced by the handler and consumed by Client, so the two cannot
+// drift apart.
+type DetectResponse struct {
+	Detections []DetectionJSON `json:"detections"`
+	Count      int             `json:"count"`
+	Image      ImageSizeJSON   `json:"image"`
+	TimingMS   TimingJSON      `json:"timing_ms"`
+}
+
+// Boxes converts the wire detections back into pipeline detections, in
+// response order. The conversion is exact: box corners and scores are
+// float64 on both sides and Go's JSON encoding round-trips float64
+// bitwise, so evaluation over HTTP scores the very numbers the server
+// computed.
+func (r *DetectResponse) Boxes() []detect.Detection {
+	out := make([]detect.Detection, len(r.Detections))
+	for i, d := range r.Detections {
+		out[i] = detect.Detection{
+			Box:   detect.Box{X1: d.Box[0], Y1: d.Box[1], X2: d.Box[2], Y2: d.Box[3]},
+			Class: d.Class,
+			Score: d.Score,
+		}
+	}
+	return out
 }
 
 // NewHandler serves one model Server over HTTP.
@@ -61,7 +116,11 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 			return
 		}
 		start := time.Now()
-		out, err := s.Infer(in)
+		infer := s.Infer
+		if cfg.ShedLoad {
+			infer = s.TryInfer
+		}
+		out, err := infer(in)
 		if err != nil {
 			http.Error(w, err.Error(), serveErrCode(err))
 			return
@@ -104,7 +163,11 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 	canvas, meta := tensor.LetterboxImage(img, cfg.InputH, cfg.InputW, tensor.LetterboxFill)
 	in := canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2))
 	t1 := time.Now()
-	heads, err := s.InferHeads(in)
+	inferHeads := s.InferHeads
+	if cfg.ShedLoad {
+		inferHeads = s.TryInferHeads
+	}
+	heads, err := inferHeads(in)
 	if err != nil {
 		http.Error(w, err.Error(), serveErrCode(err))
 		return
@@ -116,15 +179,15 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 		return
 	}
 	t3 := time.Now()
-	writeJSON(w, map[string]any{
-		"detections": detectionsJSON(dets, cfg.Labels),
-		"count":      len(dets),
-		"image":      map[string]int{"width": meta.SrcW, "height": meta.SrcH},
-		"timing_ms": map[string]float64{
-			"preprocess": ms(t1.Sub(t0)),
-			"forward":    ms(t2.Sub(t1)),
-			"decode":     ms(t3.Sub(t2)),
-			"total":      ms(t3.Sub(t0)),
+	writeJSON(w, DetectResponse{
+		Detections: detectionsJSON(dets, cfg.Labels),
+		Count:      len(dets),
+		Image:      ImageSizeJSON{Width: meta.SrcW, Height: meta.SrcH},
+		TimingMS: TimingJSON{
+			Preprocess: ms(t1.Sub(t0)),
+			Forward:    ms(t2.Sub(t1)),
+			Decode:     ms(t3.Sub(t2)),
+			Total:      ms(t3.Sub(t0)),
 		},
 	})
 }
@@ -154,18 +217,17 @@ func queryFloat(r *http.Request, key string, def float64) (float64, error) {
 	return v, nil
 }
 
-func detectionsJSON(dets []detect.Detection, labels []string) []map[string]any {
-	out := make([]map[string]any, len(dets))
+func detectionsJSON(dets []detect.Detection, labels []string) []DetectionJSON {
+	out := make([]DetectionJSON, len(dets))
 	for i, d := range dets {
-		m := map[string]any{
-			"box":   []float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
-			"class": d.Class,
-			"score": d.Score,
+		out[i] = DetectionJSON{
+			Box:   [4]float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
+			Class: d.Class,
+			Score: d.Score,
 		}
 		if d.Class >= 0 && d.Class < len(labels) {
-			m["label"] = labels[d.Class]
+			out[i].Label = labels[d.Class]
 		}
-		out[i] = m
 	}
 	return out
 }

@@ -132,6 +132,17 @@ func (s *Server) InferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
 	return r.heads, nil
 }
 
+// TryInferHeads is InferHeads, except it returns ErrQueueFull instead
+// of blocking when the queue is saturated — the load-shedding entry
+// point the HTTP front end uses for /detect when ShedLoad is on.
+func (s *Server) TryInferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
+	r, err := s.submit(in, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return r.heads, nil
+}
+
 func (s *Server) submit(in *tensor.Tensor, wait, heads bool) (response, error) {
 	req := &request{in: in, heads: heads, resp: make(chan response, 1), enq: time.Now()}
 	// The read lock holds Close's channel close off until the send has

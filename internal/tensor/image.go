@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"image"
 	"image/png"
@@ -63,51 +64,69 @@ func DecodePNM(r io.Reader) (*Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tensor: PNM maxval: %w", err)
 	}
-	if w <= 0 || h <= 0 || w*h > 1<<26 {
+	// The guard runs before any pixel-sized allocation, so a malicious
+	// header cannot make the decoder balloon memory (division avoids
+	// the w*h overflow a 32-bit int would allow).
+	if w <= 0 || h <= 0 || w > maxImagePixels/h {
 		return nil, fmt.Errorf("tensor: unreasonable PNM dimensions %dx%d", w, h)
 	}
 	if maxval <= 0 || maxval > 255 {
 		return nil, fmt.Errorf("tensor: PNM maxval %d unsupported (want 1..255)", maxval)
 	}
-	n := w * h * channels
-	vals := make([]int, n)
-	switch magic {
-	case "P2", "P3": // ascii samples
-		for i := range vals {
-			v, err := pnmInt(br)
-			if err != nil {
-				return nil, fmt.Errorf("tensor: PNM sample %d/%d: %w", i, n, err)
-			}
-			vals[i] = v
-		}
-	case "P5", "P6": // binary samples follow the single header whitespace
-		raw := make([]byte, n)
-		if _, err := io.ReadFull(br, raw); err != nil {
-			return nil, fmt.Errorf("tensor: PNM pixel data: %w", err)
-		}
-		for i, b := range raw {
-			vals[i] = int(b)
-		}
-	}
 	out := New(3, h, w)
 	scale := 1 / float32(maxval)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			if channels == 1 {
-				v := float32(vals[y*w+x]) * scale
-				out.Data[0*h*w+y*w+x] = v
-				out.Data[1*h*w+y*w+x] = v
-				out.Data[2*h*w+y*w+x] = v
-				continue
+	plane := h * w
+	set := func(x, y, c, v int) error {
+		if v > maxval {
+			return fmt.Errorf("tensor: PNM sample %d at (%d,%d) exceeds maxval %d", v, x, y, maxval)
+		}
+		fv := float32(v) * scale
+		if channels == 1 {
+			out.Data[0*plane+y*w+x] = fv
+			out.Data[1*plane+y*w+x] = fv
+			out.Data[2*plane+y*w+x] = fv
+		} else {
+			out.Data[c*plane+y*w+x] = fv
+		}
+		return nil
+	}
+	switch magic {
+	case "P2", "P3": // ascii samples
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				for c := 0; c < channels; c++ {
+					v, err := pnmInt(br)
+					if err != nil {
+						return nil, fmt.Errorf("tensor: PNM sample at (%d,%d): %w", x, y, err)
+					}
+					if err := set(x, y, c, v); err != nil {
+						return nil, err
+					}
+				}
 			}
-			base := (y*w + x) * 3
-			for c := 0; c < 3; c++ {
-				out.Data[c*h*w+y*w+x] = float32(vals[base+c]) * scale
+		}
+	case "P5", "P6": // binary samples follow the single header whitespace
+		row := make([]byte, w*channels)
+		for y := 0; y < h; y++ {
+			if _, err := io.ReadFull(br, row); err != nil {
+				return nil, fmt.Errorf("tensor: PNM pixel data row %d: %w", y, err)
+			}
+			for x := 0; x < w; x++ {
+				for c := 0; c < channels; c++ {
+					if err := set(x, y, c, int(row[x*channels+c])); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 	}
 	return out, nil
 }
+
+// maxImagePixels caps header-declared image sizes across every decode
+// family (64 Mpx covers modern camera output with headroom; anything
+// larger is a hostile or corrupt header, rejected before allocation).
+const maxImagePixels = 1 << 26
 
 // pnmToken reads the next whitespace-delimited header token, skipping
 // '#' comments (which run to end of line).
@@ -155,10 +174,30 @@ func pnmInt(br *bufio.Reader) (int, error) {
 	return v, nil
 }
 
+// pngHeaderLen covers the PNG signature (8 bytes) plus the IHDR chunk
+// (4 length + 4 type + 13 data + 4 CRC) — everything DecodeConfig
+// needs to report the image dimensions.
+const pngHeaderLen = 33
+
 // DecodePNG decodes a PNG stream into a [3, H, W] tensor in [0, 1]
-// using the standard library decoder (alpha is dropped).
+// using the standard library decoder (alpha is dropped). The header
+// dimensions are validated from a peek at the IHDR chunk before any
+// pixel data is read or buffered, so a hostile header cannot force a
+// huge allocation.
 func DecodePNG(r io.Reader) (*Tensor, error) {
-	img, err := png.Decode(r)
+	br := bufio.NewReaderSize(r, pngHeaderLen)
+	head, err := br.Peek(pngHeaderLen)
+	if err != nil && len(head) == 0 {
+		return nil, fmt.Errorf("tensor: reading PNG header: %w", err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(head))
+	if err != nil {
+		return nil, fmt.Errorf("tensor: decoding PNG header: %w", err)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width > maxImagePixels/cfg.Height {
+		return nil, fmt.Errorf("tensor: unreasonable PNG dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	img, err := png.Decode(br)
 	if err != nil {
 		return nil, fmt.Errorf("tensor: decoding PNG: %w", err)
 	}

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"bytes"
+	"image"
+	"image/png"
+	"testing"
+)
+
+// fuzzSeeds is the in-code half of the FuzzDecodeImage seed corpus
+// (the other half is checked in under testdata/fuzz/FuzzDecodeImage):
+// one well-formed input per decode family plus the malformed shapes
+// the decoder must reject without panicking.
+func fuzzSeeds() [][]byte {
+	seeds := [][]byte{
+		[]byte("P6\n2 2\n255\nRRGGBBrrggbb"),       // valid binary PPM
+		[]byte("P5\n2 2\n255\nabcd"),               // valid binary PGM
+		[]byte("P3\n1 1\n255\n10 20 30\n"),         // valid ascii PPM
+		[]byte("P2\n2 1\n15\n0 15\n"),              // valid ascii PGM, non-255 maxval
+		[]byte("P6\n# comment\n2 1\n255\nRGBrgb"),  // header comment
+		[]byte("P6\n2 2\n255\nRR"),                 // truncated payload
+		[]byte("P3\n2 2\n255\n1 2 3"),              // truncated ascii samples
+		[]byte("P6\n999999999 999999999\n255\n"),   // overflow-sized dims
+		[]byte("P6\n1073741824 1073741824\n255\n"), // w*h overflows 32-bit
+		[]byte("P6\n-2 2\n255\n"),                  // negative width
+		[]byte("P6\n2 2\n70000\nRRGGBBrrggbb"),     // maxval out of range
+		[]byte("P2\n1 1\n15\n99\n"),                // sample above maxval
+		[]byte("P4\n2 2\n"),                        // unsupported PNM magic
+		[]byte("P"),                                // bare magic byte
+		[]byte("\x89PNG\r\n\x1a\n"),                // PNG magic, no chunks
+		[]byte("not an image at all"),              // unrecognised format
+		{},                                         // empty input
+	}
+	var buf bytes.Buffer
+	img := image.NewNRGBA(image.Rect(0, 0, 2, 2))
+	for i := range img.Pix {
+		img.Pix[i] = byte(37 * i)
+	}
+	if err := png.Encode(&buf, img); err == nil {
+		seeds = append(seeds, buf.Bytes()) // valid 2x2 PNG
+	}
+	return seeds
+}
+
+// FuzzDecodeImage hammers the image front door (the bytes a /detect
+// request body delivers) with malformed headers, truncated payloads
+// and oversized dimensions: the decoder must either error or return a
+// well-formed [3, H, W] tensor in [0, 1] — never panic, never return
+// out-of-range pixels, never allocate from a hostile header.
+func FuzzDecodeImage(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodeImage(bytes.NewReader(data))
+		if err != nil {
+			if img != nil {
+				t.Fatalf("error %v alongside a non-nil image", err)
+			}
+			return
+		}
+		if img.Rank() != 3 || img.Dim(0) != 3 {
+			t.Fatalf("decoded shape %v, want [3, H, W]", img.Shape())
+		}
+		h, w := img.Dim(1), img.Dim(2)
+		if h <= 0 || w <= 0 || h*w > maxImagePixels {
+			t.Fatalf("decoded dimensions %dx%d out of bounds", w, h)
+		}
+		if len(img.Data) != 3*h*w {
+			t.Fatalf("data length %d for shape %v", len(img.Data), img.Shape())
+		}
+		for i, v := range img.Data {
+			if !(v >= 0 && v <= 1) { // also catches NaN
+				t.Fatalf("pixel %d = %v outside [0, 1]", i, v)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsExerciseBothOutcomes pins the seed corpus itself: the
+// valid seeds must decode and the malformed ones must error (so the
+// corpus keeps covering both halves of the fuzz invariant as the
+// decoder evolves).
+func TestFuzzSeedsExerciseBothOutcomes(t *testing.T) {
+	ok, bad := 0, 0
+	for _, s := range fuzzSeeds() {
+		if _, err := DecodeImage(bytes.NewReader(s)); err != nil {
+			bad++
+		} else {
+			ok++
+		}
+	}
+	if ok < 5 {
+		t.Errorf("only %d seeds decode successfully; corpus lost its valid inputs", ok)
+	}
+	if bad < 10 {
+		t.Errorf("only %d seeds error; corpus lost its malformed inputs", bad)
+	}
+}

@@ -20,6 +20,9 @@
 //   - an end-to-end detection pipeline (NewDetector): image decoding
 //     (DecodeImage), letterbox preprocessing, head decoding and NMS,
 //     with per-stage latency reporting;
+//   - an accuracy-evaluation harness (Eval) scoring the full stack —
+//     including the live HTTP serving path — with the real mAP
+//     evaluator over a deterministic synthetic-KITTI scene set;
 //   - the experiment harness regenerating every table and figure of
 //     the paper (Table1..Table3, Fig4..Fig8).
 //
@@ -88,6 +91,7 @@ import (
 	"rtoss/internal/core"
 	"rtoss/internal/detect"
 	"rtoss/internal/engine"
+	"rtoss/internal/eval"
 	"rtoss/internal/experiments"
 	"rtoss/internal/hw"
 	"rtoss/internal/kitti"
@@ -359,6 +363,47 @@ func (d *Detector) Detect(img *Tensor) (*DetectResult, error) {
 		},
 	}, nil
 }
+
+// ---------------------------------------------------------------------
+// Evaluation harness (mAP over the synthetic-KITTI set, any backend).
+
+type (
+	// EvalConfig parameterises one accuracy-evaluation run.
+	EvalConfig = eval.Config
+	// EvalReport is one evaluation run's scored outcome.
+	EvalReport = eval.Report
+	// EvalClassAP is one class's AP row in an EvalReport.
+	EvalClassAP = eval.ClassAP
+	// EvalLatency is an EvalReport's latency distribution summary.
+	EvalLatency = eval.LatencySummary
+)
+
+// Evaluation backends (EvalConfig.Backend).
+const (
+	// EvalInProcess runs the pipeline directly on the compiled Program.
+	EvalInProcess = eval.BackendInProcess
+	// EvalServer drives a micro-batching Server in process.
+	EvalServer = eval.BackendServer
+	// EvalHTTP POSTs every image to a /detect endpoint (self-hosted on
+	// a loopback port unless EvalConfig.URL names a running server).
+	EvalHTTP = eval.BackendHTTP
+	// EvalOracle scores ground-truth-encoded heads through the
+	// post-network pipeline: the geometry-regression gate.
+	EvalOracle = eval.BackendOracle
+)
+
+// Eval scores the detection stack against the paper's accuracy
+// methodology: generate a deterministic synthetic-KITTI scene set,
+// drive every image through the configured backend (in-process
+// pipeline, micro-batching server, or real HTTP /detect round trips),
+// and evaluate the detections with the real AP evaluator into a
+// per-class AP + mAP + latency report. For a fixed config the accuracy
+// section is deterministic and bitwise-identical across backends and
+// engine modes (see `rtoss eval`).
+func Eval(cfg EvalConfig) (*EvalReport, error) { return eval.Run(cfg) }
+
+// EvalBackends lists the accepted EvalConfig.Backend values.
+func EvalBackends() []string { return eval.Backends() }
 
 // HeadSpecFor returns the decode metadata for a zoo model by display
 // name ("YOLOv5s" or "RetinaNet").
