@@ -12,7 +12,21 @@ import (
 // artefact. Each iteration rebuilds its models and re-runs the complete
 // pipeline (prune → estimate → assess → render).
 
+// skipHarnessBench exempts the paper-harness benchmarks from -short
+// runs: CI's benchmark-compile gate executes every benchmark once
+// (-short -run=NONE -bench=. -benchtime=1x) to keep them from rotting,
+// and regenerating whole tables/figures there would dwarf the suite.
+// The engine and detection hot-path benchmarks below stay live — they
+// are the numbers the gate exists to protect.
+func skipHarnessBench(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-harness benchmark; skipped in -short")
+	}
+}
+
 func BenchmarkTable1DetectorComparison(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Table1(); err != nil {
 			b.Fatal(err)
@@ -21,6 +35,7 @@ func BenchmarkTable1DetectorComparison(b *testing.B) {
 }
 
 func BenchmarkTable2ModelSizeVsTime(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Table2(); err != nil {
 			b.Fatal(err)
@@ -29,6 +44,7 @@ func BenchmarkTable2ModelSizeVsTime(b *testing.B) {
 }
 
 func BenchmarkTable3Sensitivity(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Table3(); err != nil {
 			b.Fatal(err)
@@ -37,6 +53,7 @@ func BenchmarkTable3Sensitivity(b *testing.B) {
 }
 
 func BenchmarkFig4Sparsity(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig4(); err != nil {
 			b.Fatal(err)
@@ -45,6 +62,7 @@ func BenchmarkFig4Sparsity(b *testing.B) {
 }
 
 func BenchmarkFig5MAP(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig5(); err != nil {
 			b.Fatal(err)
@@ -53,6 +71,7 @@ func BenchmarkFig5MAP(b *testing.B) {
 }
 
 func BenchmarkFig6Speedup(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig6(); err != nil {
 			b.Fatal(err)
@@ -61,6 +80,7 @@ func BenchmarkFig6Speedup(b *testing.B) {
 }
 
 func BenchmarkFig7Energy(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig7(); err != nil {
 			b.Fatal(err)
@@ -69,6 +89,7 @@ func BenchmarkFig7Energy(b *testing.B) {
 }
 
 func BenchmarkFig8Qualitative(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Fig8(70); err != nil {
 			b.Fatal(err)
@@ -77,6 +98,7 @@ func BenchmarkFig8Qualitative(b *testing.B) {
 }
 
 func BenchmarkAblationDFSGrouping(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationDFS("YOLOv5s"); err != nil {
 			b.Fatal(err)
@@ -85,6 +107,7 @@ func BenchmarkAblationDFSGrouping(b *testing.B) {
 }
 
 func BenchmarkAblationConnectivity(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationConnectivity("YOLOv5s"); err != nil {
 			b.Fatal(err)
@@ -93,6 +116,7 @@ func BenchmarkAblationConnectivity(b *testing.B) {
 }
 
 func BenchmarkAblation1x1(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		if _, err := Ablation1x1("YOLOv5s"); err != nil {
 			b.Fatal(err)
@@ -104,6 +128,7 @@ func BenchmarkAblation1x1(b *testing.B) {
 // (what the paper's Algorithm 1 optimisation is about).
 
 func BenchmarkRTOSS3EPYOLOv5s(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		m := NewYOLOv5s()
@@ -115,6 +140,7 @@ func BenchmarkRTOSS3EPYOLOv5s(b *testing.B) {
 }
 
 func BenchmarkRTOSS2EPRetinaNet(b *testing.B) {
+	skipHarnessBench(b)
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		m := NewRetinaNet()
@@ -126,6 +152,7 @@ func BenchmarkRTOSS2EPRetinaNet(b *testing.B) {
 }
 
 func BenchmarkSceneMAPEvaluation(b *testing.B) {
+	skipHarnessBench(b)
 	scenes := KITTIScenes(1, 50)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

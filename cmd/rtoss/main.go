@@ -96,6 +96,7 @@ func evalCmd(args []string) error {
 	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1]")
 	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1]")
 	evalIoU := fs.Float64("eval-iou", 0.5, "mAP matching IoU threshold")
+	exact := fs.Bool("exact", false, "decode with exact float64 math instead of the fast float32 path")
 	jsonPath := fs.String("json", "", "also write the report to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,7 +112,7 @@ func evalCmd(args []string) error {
 	rep, err := rtoss.Eval(rtoss.EvalConfig{
 		Scenes: *scenes, Seed: *seed,
 		Arch: arch, Variant: *variant, Mode: mode, Res: *res,
-		Detect:  detect.Config{ScoreThreshold: *score, IoUThreshold: *iou},
+		Detect:  detect.Config{ScoreThreshold: *score, IoUThreshold: *iou, ExactMath: *exact},
 		Backend: *backend, URL: *urlFlag,
 		Concurrency: *conc, EvalIoU: *evalIoU,
 	})
@@ -153,6 +154,7 @@ func serveCmd(args []string) error {
 	workers := fs.Int("workers", 2, "concurrent batch executors")
 	queue := fs.Int("queue", 64, "pending request queue bound")
 	shed := fs.Bool("shed", false, "reject with 503 when the queue is full instead of blocking")
+	exact := fs.Bool("exact", false, "/detect decodes with exact float64 math instead of the fast float32 path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,14 +196,18 @@ func serveCmd(args []string) error {
 	fmt.Printf("  GET  /stats, /healthz\n")
 	return http.ListenAndServe(*addr, serve.NewHandler(srv, serve.HandlerConfig{
 		InputC: inC, InputH: hw, InputW: hw,
-		Detect:   &detect.Config{Spec: spec},
+		Detect:   &detect.Config{Spec: spec, ExactMath: *exact},
 		Labels:   kitti.ClassNames[:],
 		ShedLoad: *shed,
 	}))
 }
 
-// benchCmd measures single-stream vs batched vs served throughput and
-// optionally writes the report as JSON (the CI artifact format).
+// benchCmd measures single-stream vs batched vs served throughput,
+// then the detection pipeline (postprocess alone, end-to-end image ->
+// boxes dense vs sparse, and the served batched-detect path), and
+// optionally writes either report as JSON (the CI artifact formats:
+// -json emits the PR2 forward bench, -detect-json the PR5 detect
+// bench).
 func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	modelName := fs.String("model", "yolov5s", "model to bench (yolov5s|retinanet)")
@@ -210,7 +216,10 @@ func benchCmd(args []string) error {
 	batch := fs.Int("batch", 8, "images per batched forward")
 	streams := fs.Int("streams", 8, "concurrent client streams")
 	images := fs.Int("images", 0, "images per scenario (0 = 2*streams)")
-	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	jsonPath := fs.String("json", "", "also write the forward report to this JSON file")
+	detectStage := fs.Bool("detect", true, "also run the detection-pipeline stage")
+	detectRes := fs.Int("detect-res", 256, "letterbox resolution for the detect stage")
+	detectJSON := fs.String("detect-json", "", "also write the detect report to this JSON file (BENCH_PR5 format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,6 +240,23 @@ func benchCmd(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if !*detectStage {
+		return nil
+	}
+	drep, err := serve.RunDetectBench(serve.DetectBenchConfig{
+		Arch: arch, Entries: *entries, Res: *detectRes,
+		Streams: *streams, Images: *images,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(drep.Render())
+	if *detectJSON != "" {
+		if err := drep.WriteJSON(*detectJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *detectJSON)
 	}
 	return nil
 }
@@ -331,6 +357,7 @@ func detectCmd(args []string) error {
 	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1] (0 = default)")
 	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1] (0 = default)")
 	maxDet := fs.Int("max", 100, "max detections in the output")
+	exact := fs.Bool("exact", false, "decode with exact float64 math instead of the fast float32 path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -361,6 +388,7 @@ func detectCmd(args []string) error {
 	}
 	det, err := rtoss.NewDetector(prog, *res, rtoss.DetectConfig{
 		ScoreThreshold: *score, IoUThreshold: *iou, MaxDetections: *maxDet,
+		ExactMath: *exact,
 	})
 	if err != nil {
 		return err

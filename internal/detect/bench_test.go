@@ -1,0 +1,163 @@
+package detect
+
+import (
+	"testing"
+
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// bench_test.go measures the post-network hot path: head decoding and
+// the full Postprocess stage on realistic zoo-shaped head tensors. All
+// benchmarks report allocations and run under -short (they are the
+// benchmark-compile gate's workload), so `go test -short -run=NONE
+// -bench=. -benchtime=1x` keeps them from rotting.
+//
+// The headline number is BenchmarkPostprocess: 640x640 YOLOv5s heads
+// (strides 8/16/32, 3 anchors, 8 classes — 25200 candidate slots)
+// through decode -> TopK -> class-bucketed NMS -> un-letterbox. The
+// PR5 acceptance bar is >= 2x over the pre-PR5 scalar float64 pipeline
+// with 0 allocs/op in steady state.
+
+// benchYOLOSpec mirrors models.YOLOv5sHead(8) without importing models
+// (which would cycle: models -> detect).
+func benchYOLOSpec() HeadSpec {
+	anchors := [3][3][2]float64{
+		{{10, 13}, {16, 30}, {33, 23}},
+		{{30, 61}, {62, 45}, {59, 119}},
+		{{116, 90}, {156, 198}, {373, 326}},
+	}
+	spec := HeadSpec{Kind: HeadYOLOv5, Classes: 8}
+	for i, stride := range []int{8, 16, 32} {
+		spec.Levels = append(spec.Levels, HeadLevel{Stride: stride, Anchors: anchors[i][:]})
+	}
+	return spec
+}
+
+// benchRetinaSpec mirrors models.RetinaNetHead(8)'s single stride-8
+// level with a 9-anchor set (sizes only matter for box math, not cost).
+func benchRetinaSpec() HeadSpec {
+	lv := HeadLevel{Stride: 8}
+	for _, s := range []float64{32, 40, 51} {
+		for _, r := range []float64{0.5, 1, 2} {
+			lv.Anchors = append(lv.Anchors, [2]float64{s / r, s * r})
+		}
+	}
+	return HeadSpec{Kind: HeadRetinaNet, Classes: 8, Levels: []HeadLevel{lv}}
+}
+
+// benchYOLOHeads builds 640x640 YOLOv5s-shaped head tensors with a
+// realistic activation mix: objectness logits mostly deep below the
+// default 0.25 threshold (logit -1.1) so the pre-gate has something to
+// skip, with enough survivors to exercise TopK and NMS.
+func benchYOLOHeads(spec HeadSpec, res int) []*tensor.Tensor {
+	r := rng.New(0xdec0de)
+	heads := make([]*tensor.Tensor, len(spec.Levels))
+	per := 5 + spec.Classes
+	for li, lv := range spec.Levels {
+		g := res / lv.Stride
+		h := tensor.New(len(lv.Anchors)*per, g, g)
+		plane := g * g
+		for i := range h.Data {
+			h.Data[i] = float32(r.Range(-3, 3))
+		}
+		// Overwrite the objectness planes with a skewed distribution:
+		// ~14% of cells pass the default-threshold raw-logit gate.
+		for ai := 0; ai < len(lv.Anchors); ai++ {
+			obj := h.Data[ai*per*plane+4*plane : ai*per*plane+5*plane]
+			for i := range obj {
+				obj[i] = float32(r.Range(-7, 0))
+			}
+		}
+		heads[li] = h
+	}
+	return heads
+}
+
+// benchRetinaHeads builds 640x640 RetinaNet-shaped [cls, reg] maps with
+// class logits skewed the same way as the YOLO objectness planes.
+func benchRetinaHeads(spec HeadSpec, res int) []*tensor.Tensor {
+	r := rng.New(0x4e71a)
+	g := res / spec.Levels[0].Stride
+	a := len(spec.Levels[0].Anchors)
+	cls := tensor.New(a*spec.Classes, g, g)
+	reg := tensor.New(a*4, g, g)
+	for i := range cls.Data {
+		cls.Data[i] = float32(r.Range(-7, 0))
+	}
+	for i := range reg.Data {
+		reg.Data[i] = float32(r.Range(-1, 1))
+	}
+	return []*tensor.Tensor{cls, reg}
+}
+
+// benchDecode measures DecodeInto in the steady-state serving pattern:
+// a capacity-retaining destination buffer reused across calls.
+func benchDecode(b *testing.B, spec HeadSpec, heads []*tensor.Tensor, exact bool) {
+	b.Helper()
+	var dst []Detection
+	var err error
+	if dst, err = DecodeInto(dst, heads, spec, 0.25, exact); err != nil {
+		b.Fatal(err) // warm-up: grow dst and the pooled scratch off the clock
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = DecodeInto(dst[:0], heads, spec, 0.25, exact); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeYOLOv5(b *testing.B) {
+	spec := benchYOLOSpec()
+	benchDecode(b, spec, benchYOLOHeads(spec, 640), false)
+}
+
+func BenchmarkDecodeYOLOv5Exact(b *testing.B) {
+	spec := benchYOLOSpec()
+	benchDecode(b, spec, benchYOLOHeads(spec, 640), true)
+}
+
+func BenchmarkDecodeRetinaNet(b *testing.B) {
+	spec := benchRetinaSpec()
+	benchDecode(b, spec, benchRetinaHeads(spec, 640), false)
+}
+
+func BenchmarkDecodeRetinaNetExact(b *testing.B) {
+	spec := benchRetinaSpec()
+	benchDecode(b, spec, benchRetinaHeads(spec, 640), true)
+}
+
+// benchPostprocess measures the full post-network stage on 640x640
+// YOLOv5s heads with a non-trivial letterbox mapping (1242x375
+// KITTI-aspect source), reusing the output buffer across iterations —
+// the exact pattern the serving executors run.
+func benchPostprocess(b *testing.B, exact bool) {
+	b.Helper()
+	spec := benchYOLOSpec()
+	heads := benchYOLOHeads(spec, 640)
+	_, meta := tensor.LetterboxImage(tensor.New(3, 375, 1242), 640, 640, tensor.LetterboxFill)
+	cfg := Config{Spec: spec, ExactMath: exact}
+	var dst []Detection
+	var err error
+	if dst, err = PostprocessInto(dst, heads, meta, cfg); err != nil {
+		b.Fatal(err) // warm-up: grow dst and the pooled scratch off the clock
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if dst, err = PostprocessInto(dst[:0], heads, meta, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPostprocess is the PR5 acceptance benchmark: >= 2x over the
+// pre-PR5 scalar float64 pipeline with 0 allocs/op in steady state.
+func BenchmarkPostprocess(b *testing.B) { benchPostprocess(b, false) }
+
+// BenchmarkPostprocessExact is the same workload through the float64
+// reference decoders (Config.ExactMath) — the pre-PR5 math, kept as
+// the comparison point and the bitwise-reproducibility escape hatch.
+func BenchmarkPostprocessExact(b *testing.B) { benchPostprocess(b, true) }

@@ -134,6 +134,11 @@ func headData(t *tensor.Tensor) []float32 { return t.Data }
 // reaches scoreThresh. Scores are objectness x best-class probability
 // for YOLO and best-class probability for RetinaNet; each location/
 // anchor emits at most its best class.
+//
+// Decode is the exact float64 reference implementation (golden tests
+// pin it to math.Exp precision). The serving hot path is DecodeInto
+// with exact=false — the float32 rewrite in fast.go — which Postprocess
+// uses unless Config.ExactMath is set.
 func Decode(heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) ([]Detection, error) {
 	if err := spec.Validate(heads); err != nil {
 		return nil, err

@@ -7,10 +7,16 @@
 // internal/models.
 //
 // Postprocess chains decode -> score filter -> NMS -> un-letterbox for
-// one image. The package is deliberately engine-free (so the model zoo
-// can export HeadSpecs without import cycles); the image -> boxes
-// Detector that feeds Postprocess from a compiled engine.Program lives
-// in the root rtoss package, and the served variant in internal/serve.
+// one image, and runs an allocation-free float32 hot path by default:
+// polynomial sigmoid within FastSigmoidTolerance, raw-logit
+// pre-gating, pooled candidate scratch, quickselect TopK and
+// class-bucketed NMS (see fast.go; Config.ExactMath pins the float64
+// reference decoders instead). The package is deliberately engine-free
+// (so the model zoo can export HeadSpecs without import cycles); the
+// image -> boxes Detector that feeds Postprocess from a compiled
+// engine.Program lives in the root rtoss package, and the served
+// variant in internal/serve (Server.Detect, the batched postprocess
+// path).
 package detect
 
 import (

@@ -1,0 +1,334 @@
+package detect
+
+import (
+	"math"
+	"sync"
+
+	"rtoss/internal/tensor"
+)
+
+// fast.go is the allocation-free float32 hot path of the post-network
+// pipeline. It reimplements head decoding with a polynomial sigmoid
+// (tolerance documented by FastSigmoidTolerance), an objectness
+// pre-gate on raw logits (cells that cannot reach the score threshold
+// never pay a sigmoid), raw-logit class argmax (sigmoid is monotonic,
+// so the best class is decided before any transcendental), pooled
+// candidate scratch, quickselect TopK and class-bucketed NMS. The
+// float64 math.Exp decoders in decode.go remain the exact reference —
+// Config.ExactMath routes Postprocess through them, and the
+// TestFastSigmoid* property tests bound the divergence.
+
+// FastSigmoidTolerance is the documented accuracy contract of the fast
+// sigmoid: |fastSigmoid(x) - 1/(1+exp(-x))| stays below this bound for
+// every float32 input (the property test sweeps the logit range and
+// asserts it). Pipelines that need bitwise float64 math instead set
+// Config.ExactMath.
+const FastSigmoidTolerance = 1e-5
+
+const (
+	log2e = 1.4426950408889634 // 1/ln(2)
+	ln2   = 0.6931471805599453
+)
+
+// fastExp approximates e^x in float32: x is split as x/ln2 = k + f with
+// f in [-0.5, 0.5], 2^f is a degree-6 Taylor polynomial (relative error
+// < 2e-7) and 2^k is assembled directly into the float32 exponent bits.
+// Out-of-range inputs saturate (underflow to 0, overflow clamps at
+// e^88 ~ 1.7e38) instead of producing Inf/NaN.
+func fastExp(x float32) float32 {
+	if x < -87 {
+		return 0
+	}
+	if x > 88 {
+		x = 88
+	}
+	z := x * log2e
+	kf := float32(math.Floor(float64(z) + 0.5))
+	g := (z - kf) * ln2 // in [-ln2/2, ln2/2]
+	// e^g via Horner; coefficients are 1/n! (Taylor about 0).
+	p := 1 + g*(1+g*(0.5+g*(1.0/6+g*(1.0/24+g*(1.0/120+g*(1.0/720))))))
+	return p * math.Float32frombits(uint32(int32(kf)+127)<<23)
+}
+
+// fastSigmoid approximates 1/(1+e^-x) within FastSigmoidTolerance.
+func fastSigmoid(x float32) float32 {
+	return 1 / (1 + fastExp(-x))
+}
+
+// rawLogitGate converts a score threshold into its raw-logit preimage:
+// sigmoid(t) < thresh iff t < logit(thresh), so candidates are rejected
+// on the raw tensor value with zero transcendental work. Thresholds
+// outside (0, 1) map to -Inf/+Inf (gate everything in / everything out,
+// matching the sigmoid comparison they replace).
+func rawLogitGate(thresh float64) float32 {
+	if thresh <= 0 {
+		return float32(math.Inf(-1))
+	}
+	if thresh >= 1 {
+		return float32(math.Inf(1))
+	}
+	return float32(math.Log(thresh / (1 - thresh)))
+}
+
+// DecodeInto appends the candidates of one image's head tensors to dst
+// and returns the extended slice, keeping only candidates whose score
+// reaches scoreThresh (same contract as Decode). With exact=false it
+// runs the fast float32 path; with exact=true the float64 reference
+// decoders. Passing a capacity-retaining dst makes repeated decoding
+// allocation-free.
+func DecodeInto(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64, exact bool) ([]Detection, error) {
+	if err := spec.Validate(heads); err != nil {
+		return dst, err
+	}
+	if exact {
+		switch spec.Kind {
+		case HeadYOLOv5:
+			return append(dst, decodeYOLOv5(heads, spec, scoreThresh)...), nil
+		default:
+			return append(dst, decodeRetinaNet(heads, spec, scoreThresh)...), nil
+		}
+	}
+	switch spec.Kind {
+	case HeadYOLOv5:
+		return decodeYOLOv5Fast(dst, heads, spec, scoreThresh), nil
+	default:
+		return decodeRetinaNetFast(dst, heads, spec, scoreThresh), nil
+	}
+}
+
+// decodeYOLOv5Fast is the float32 rewrite of decodeYOLOv5: per-plane
+// slices instead of a per-cell closure, the raw-logit objectness gate,
+// and the class argmax on raw logits so each surviving cell pays
+// exactly four sigmoids (obj, best class, tx..th share two more pairs).
+func decodeYOLOv5Fast(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
+	gate := rawLogitGate(scoreThresh)
+	thresh := float32(scoreThresh)
+	per := 5 + spec.Classes
+	for li, head := range heads {
+		lv := spec.Levels[li]
+		stride := float32(lv.Stride)
+		_, gh, gw := headDims(head)
+		data := headData(head)
+		plane := gh * gw
+		for ai, anchor := range lv.Anchors {
+			aw, ah := float32(anchor[0]), float32(anchor[1])
+			base := ai * per * plane
+			tx := data[base : base+plane]
+			ty := data[base+plane : base+2*plane]
+			tw := data[base+2*plane : base+3*plane]
+			th := data[base+3*plane : base+4*plane]
+			to := data[base+4*plane : base+5*plane]
+			cls := data[base+5*plane : base+per*plane]
+			for cell := 0; cell < plane; cell++ {
+				rawObj := to[cell]
+				if rawObj < gate {
+					continue // score = obj * cls <= obj < thresh
+				}
+				bestC, bestV := 0, cls[cell]
+				for c := 1; c < spec.Classes; c++ {
+					if v := cls[c*plane+cell]; v > bestV {
+						bestC, bestV = c, v
+					}
+				}
+				score := fastSigmoid(rawObj) * fastSigmoid(bestV)
+				if score < thresh {
+					continue
+				}
+				gy := cell / gw
+				gx := cell - gy*gw
+				bx := (2*fastSigmoid(tx[cell]) - 0.5 + float32(gx)) * stride
+				by := (2*fastSigmoid(ty[cell]) - 0.5 + float32(gy)) * stride
+				w := 2 * fastSigmoid(tw[cell])
+				h := 2 * fastSigmoid(th[cell])
+				bw := w * w * aw
+				bh := h * h * ah
+				dst = append(dst, Detection{
+					Box:   Box{float64(bx - bw/2), float64(by - bh/2), float64(bx + bw/2), float64(by + bh/2)},
+					Class: bestC,
+					Score: float64(score),
+				})
+			}
+		}
+	}
+	return dst
+}
+
+// decodeRetinaNetFast is the float32 rewrite of decodeRetinaNet: the
+// class argmax runs on raw logits (one sigmoid per surviving anchor
+// instead of Classes sigmoids per anchor) and the raw-logit gate skips
+// the argmax losers' box math entirely.
+func decodeRetinaNetFast(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
+	gate := rawLogitGate(scoreThresh)
+	lv := spec.Levels[0]
+	stride := float32(lv.Stride)
+	cls, reg := heads[0], heads[1]
+	_, gh, gw := headDims(cls)
+	cdata, rdata := headData(cls), headData(reg)
+	plane := gh * gw
+	for ai, anchor := range lv.Anchors {
+		aw, ah := float32(anchor[0]), float32(anchor[1])
+		cbase := ai * spec.Classes * plane
+		rbase := ai * 4 * plane
+		for cell := 0; cell < plane; cell++ {
+			bestC, bestV := 0, cdata[cbase+cell]
+			for c := 1; c < spec.Classes; c++ {
+				if v := cdata[cbase+c*plane+cell]; v > bestV {
+					bestC, bestV = c, v
+				}
+			}
+			if bestV < gate {
+				continue
+			}
+			gy := cell / gw
+			gx := cell - gy*gw
+			dx := rdata[rbase+cell]
+			dy := rdata[rbase+plane+cell]
+			dw := rdata[rbase+2*plane+cell]
+			dh := rdata[rbase+3*plane+cell]
+			if dw > maxLogDelta {
+				dw = maxLogDelta
+			}
+			if dh > maxLogDelta {
+				dh = maxLogDelta
+			}
+			cx := (float32(gx)+0.5)*stride + dx*aw
+			cy := (float32(gy)+0.5)*stride + dy*ah
+			w := aw * fastExp(dw)
+			h := ah * fastExp(dh)
+			dst = append(dst, Detection{
+				Box:   Box{float64(cx - w/2), float64(cy - h/2), float64(cx + w/2), float64(cy + h/2)},
+				Class: bestC,
+				Score: float64(fastSigmoid(bestV)),
+			})
+		}
+	}
+	return dst
+}
+
+// ppScratch is the pooled per-call state of PostprocessInto: the
+// candidate buffer plus the NMS bucketing arrays. sync.Pool keeps one
+// warm scratch per worker in steady state, so serving traffic decodes
+// without touching the allocator.
+type ppScratch struct {
+	cands []Detection
+	keep  []bool  // per-candidate NMS survival flags
+	idx   []int32 // candidate indices, counting-sorted by class
+	off   []int32 // class bucket offsets into idx (len classes+1)
+	cur   []int32 // per-class fill cursors (len classes)
+}
+
+var ppPool = sync.Pool{New: func() any { return new(ppScratch) }}
+
+// sort.Interface over s.cands: descending score, stable.
+func (s *ppScratch) Len() int           { return len(s.cands) }
+func (s *ppScratch) Less(i, j int) bool { return s.cands[i].Score > s.cands[j].Score }
+func (s *ppScratch) Swap(i, j int)      { s.cands[i], s.cands[j] = s.cands[j], s.cands[i] }
+
+// selectTopK partially sorts d so d[:k] holds the k highest-scoring
+// detections (in arbitrary order) without allocating: iterative
+// quickselect with median-of-three pivots. Ties at the cut are broken
+// deterministically by position.
+func selectTopK(d []Detection, k int) {
+	lo, hi := 0, len(d)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to d[lo].
+		mid := lo + (hi-lo)/2
+		if d[mid].Score > d[lo].Score {
+			d[mid], d[lo] = d[lo], d[mid]
+		}
+		if d[hi].Score > d[lo].Score {
+			d[hi], d[lo] = d[lo], d[hi]
+		}
+		if d[hi].Score > d[mid].Score {
+			d[hi], d[mid] = d[mid], d[hi]
+		}
+		d[lo], d[mid] = d[mid], d[lo]
+		pivot := d[lo].Score
+		i, j := lo, hi+1
+		for {
+			for i++; i <= hi && d[i].Score > pivot; i++ {
+			}
+			for j--; d[j].Score < pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			d[i], d[j] = d[j], d[i]
+		}
+		d[lo], d[j] = d[j], d[lo]
+		switch {
+		case j == k || j == k-1:
+			return
+		case j > k:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
+}
+
+// nmsBucketed runs class-aware NMS over score-sorted candidates using
+// per-class buckets, so the quadratic scan only ever compares same-class
+// pairs. Survival is recorded in s.keep; candidate order is untouched.
+func (s *ppScratch) nmsBucketed(classes int, iouThresh float64) {
+	n := len(s.cands)
+	if cap(s.keep) < n {
+		s.keep = make([]bool, n)
+		s.idx = make([]int32, n)
+	}
+	s.keep = s.keep[:n]
+	s.idx = s.idx[:n]
+	for i := range s.keep {
+		s.keep[i] = true
+	}
+	if cap(s.off) < classes+1 {
+		s.off = make([]int32, classes+1)
+		s.cur = make([]int32, classes)
+	}
+	s.off = s.off[:classes+1]
+	s.cur = s.cur[:classes]
+	for i := range s.off {
+		s.off[i] = 0
+	}
+	// Counting sort by class, preserving the descending-score order
+	// within each bucket.
+	for i := range s.cands {
+		s.off[s.cands[i].Class+1]++
+	}
+	for c := 0; c < classes; c++ {
+		s.off[c+1] += s.off[c]
+		s.cur[c] = s.off[c]
+	}
+	for i := range s.cands {
+		c := s.cands[i].Class
+		s.idx[s.cur[c]] = int32(i)
+		s.cur[c]++
+	}
+	for c := 0; c < classes; c++ {
+		bucket := s.idx[s.off[c]:s.off[c+1]]
+		for a := 0; a < len(bucket); a++ {
+			i := bucket[a]
+			if !s.keep[i] {
+				continue
+			}
+			bi := s.cands[i].Box
+			for b := a + 1; b < len(bucket); b++ {
+				j := bucket[b]
+				if s.keep[j] && IoU(bi, s.cands[j].Box) > iouThresh {
+					s.keep[j] = false
+				}
+			}
+		}
+	}
+}
+
+// sortedDescending reports whether d is already in descending score
+// order — the structural invariant the hot path maintains for free.
+func sortedDescending(d []Detection) bool {
+	for i := 1; i < len(d); i++ {
+		if d[i].Score > d[i-1].Score {
+			return false
+		}
+	}
+	return true
+}

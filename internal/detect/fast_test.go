@@ -1,0 +1,290 @@
+package detect
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// fast_test.go covers the float32 hot path's contracts: the fast
+// sigmoid's documented tolerance, fast-vs-exact decode agreement,
+// quickselect correctness, and the descending-score ordering guarantee
+// of Postprocess for every candidate count.
+
+// exactSigmoid is the float64 reference the tolerance is defined
+// against.
+func exactSigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// TestFastSigmoidTolerance is the property test behind
+// FastSigmoidTolerance: sweep the logit range densely plus a random
+// float32 sample, and bound the max abs error against math.Exp.
+func TestFastSigmoidTolerance(t *testing.T) {
+	check := func(x float32) float64 {
+		return math.Abs(float64(fastSigmoid(x)) - exactSigmoid(float64(x)))
+	}
+	var worst float64
+	var worstAt float32
+	// Dense sweep over the range where sigmoid is not saturated.
+	for x := float32(-40); x <= 40; x += 1e-3 {
+		if d := check(x); d > worst {
+			worst, worstAt = d, x
+		}
+	}
+	// Random sample across the full finite float32 range (saturation
+	// must also stay within tolerance, not produce Inf/NaN).
+	r := rng.New(0x51617)
+	for i := 0; i < 200000; i++ {
+		x := float32(r.Range(-3e38, 3e38))
+		y := fastSigmoid(x)
+		if math.IsNaN(float64(y)) || math.IsInf(float64(y), 0) {
+			t.Fatalf("fastSigmoid(%g) = %g", x, y)
+		}
+		if d := check(x); d > worst {
+			worst, worstAt = d, x
+		}
+	}
+	if worst > FastSigmoidTolerance {
+		t.Errorf("max abs error %.3g at x=%g exceeds FastSigmoidTolerance %.0e", worst, worstAt, FastSigmoidTolerance)
+	}
+}
+
+// TestFastSigmoidMonotonic: the raw-logit gate and argmax substitutions
+// are only exact if the approximation never inverts an ordering the
+// decode depends on at the gate boundary; spot-check monotonicity on a
+// fine grid.
+func TestFastSigmoidMonotonic(t *testing.T) {
+	prev := fastSigmoid(-30)
+	for x := float32(-30); x <= 30; x += 1e-2 {
+		y := fastSigmoid(x)
+		if y < prev {
+			t.Fatalf("fastSigmoid not monotone at x=%g: %g < %g", x, y, prev)
+		}
+		prev = y
+	}
+}
+
+// TestFastExpAgainstMathExp bounds the relative error of the
+// polynomial exponential on the range the RetinaNet decode feeds it.
+func TestFastExpAgainstMathExp(t *testing.T) {
+	// The polynomial's truncation error is ~1.2e-7; float32 rounding in
+	// the Horner chain adds a few ulp on top, so 2e-6 is a safe bound
+	// (and still 5x tighter than FastSigmoidTolerance needs).
+	for x := float32(-20); x <= 4; x += 1e-3 {
+		want := math.Exp(float64(x))
+		got := float64(fastExp(x))
+		if rel := math.Abs(got-want) / want; rel > 2e-6 {
+			t.Fatalf("fastExp(%g) relative error %.3g", x, rel)
+		}
+	}
+}
+
+// TestDecodeFastMatchesExact: on random heads, the fast path must
+// produce the same candidate set as the reference decoders (same
+// classes, boxes within the sigmoid tolerance amplified by the box
+// parameterisation), for both head families.
+func TestDecodeFastMatchesExact(t *testing.T) {
+	specs := map[string]HeadSpec{
+		"yolo": {
+			Kind:    HeadYOLOv5,
+			Classes: 4,
+			Levels: []HeadLevel{
+				{Stride: 8, Anchors: [][2]float64{{10, 13}, {33, 23}}},
+				{Stride: 16, Anchors: [][2]float64{{30, 61}, {59, 119}}},
+			},
+		},
+		"retina": retinaSpec1(),
+	}
+	build := func(spec HeadSpec, seed uint64) []*tensor.Tensor {
+		r := rng.New(seed)
+		if spec.Kind == HeadYOLOv5 {
+			heads := make([]*tensor.Tensor, len(spec.Levels))
+			for li, lv := range spec.Levels {
+				g := 64 / lv.Stride
+				h := tensor.New(len(lv.Anchors)*(5+spec.Classes), g, g)
+				for i := range h.Data {
+					h.Data[i] = float32(r.Range(-4, 4))
+				}
+				heads[li] = h
+			}
+			return heads
+		}
+		g := 64 / spec.Levels[0].Stride
+		a := len(spec.Levels[0].Anchors)
+		cls := tensor.New(a*spec.Classes, g, g)
+		reg := tensor.New(a*4, g, g)
+		for i := range cls.Data {
+			cls.Data[i] = float32(r.Range(-4, 4))
+		}
+		for i := range reg.Data {
+			reg.Data[i] = float32(r.Range(-2, 5)) // exercises the exp clamp
+		}
+		return []*tensor.Tensor{cls, reg}
+	}
+	for name, spec := range specs {
+		heads := build(spec, 0xfa57)
+		exact, err := DecodeInto(nil, heads, spec, 0.3, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := DecodeInto(nil, heads, spec, 0.3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(exact) == 0 {
+			t.Fatalf("%s: exact decode produced no candidates; comparison is vacuous", name)
+		}
+		if len(exact) != len(fast) {
+			t.Fatalf("%s: exact %d candidates, fast %d", name, len(exact), len(fast))
+		}
+		for i := range exact {
+			e, f := exact[i], fast[i]
+			if e.Class != f.Class {
+				t.Errorf("%s cand %d: class %d vs %d", name, i, e.Class, f.Class)
+			}
+			if d := math.Abs(e.Score - f.Score); d > 2*FastSigmoidTolerance {
+				t.Errorf("%s cand %d: score diff %g", name, i, d)
+			}
+			for j, delta := range []float64{
+				e.Box.X1 - f.Box.X1, e.Box.Y1 - f.Box.Y1,
+				e.Box.X2 - f.Box.X2, e.Box.Y2 - f.Box.Y2,
+			} {
+				// Box coordinates amplify the sigmoid error by the
+				// stride / anchor scale; 1e-2 px is far below anything
+				// an IoU threshold can see.
+				if math.Abs(delta) > 1e-2 {
+					t.Errorf("%s cand %d: box coord %d differs by %g", name, i, j, delta)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectTopK: quickselect must put the k highest scores in the
+// front partition for assorted sizes and duplicate distributions.
+func TestSelectTopK(t *testing.T) {
+	r := rng.New(0x70b5)
+	for _, n := range []int{2, 3, 17, 100, 1000} {
+		for _, k := range []int{1, n / 2, n - 1} {
+			if k < 1 {
+				continue
+			}
+			d := make([]Detection, n)
+			for i := range d {
+				d[i].Score = math.Round(r.Range(0, 20)) / 20 // heavy ties
+			}
+			ref := append([]Detection(nil), d...)
+			sort.SliceStable(ref, func(i, j int) bool { return ref[i].Score > ref[j].Score })
+			selectTopK(d, k)
+			got := append([]Detection(nil), d[:k]...)
+			sort.SliceStable(got, func(i, j int) bool { return got[i].Score > got[j].Score })
+			for i := 0; i < k; i++ {
+				if got[i].Score != ref[i].Score {
+					t.Fatalf("n=%d k=%d: top-k score %d = %v, want %v", n, k, i, got[i].Score, ref[i].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestPostprocessOrderingAllCounts is the ordering satellite: the
+// documented descending-score order must hold whether the candidate
+// count is below, at, or above MaxCandidates — it may not silently
+// depend on NMS internals.
+func TestPostprocessOrderingAllCounts(t *testing.T) {
+	spec := HeadSpec{
+		Kind:    HeadYOLOv5,
+		Classes: 3,
+		Levels:  []HeadLevel{{Stride: 8, Anchors: [][2]float64{{12, 12}, {40, 40}}}},
+	}
+	r := rng.New(0x04de4)
+	head := tensor.New(2*(5+3), 16, 16)
+	for i := range head.Data {
+		head.Data[i] = float32(r.Range(-2, 4))
+	}
+	heads := []*tensor.Tensor{head}
+	_, meta := tensor.LetterboxImage(tensor.New(3, 100, 200), 128, 128, 0)
+	for _, exact := range []bool{false, true} {
+		for _, maxCand := range []int{0 /* default 1000 > n */, 64, 7, 1} {
+			cfg := Config{Spec: spec, ScoreThreshold: 0.05, MaxCandidates: maxCand, ExactMath: exact}
+			dets, err := Postprocess(heads, meta, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if maxCand == 0 && len(dets) < 2 {
+				t.Fatalf("exact=%v: only %d detections; ordering check is vacuous", exact, len(dets))
+			}
+			for i := 1; i < len(dets); i++ {
+				if dets[i].Score > dets[i-1].Score {
+					t.Errorf("exact=%v maxCand=%d: dets[%d].Score %v > dets[%d].Score %v — descending order broken",
+						exact, maxCand, i, dets[i].Score, i-1, dets[i-1].Score)
+				}
+			}
+		}
+	}
+}
+
+// TestPostprocessFastVsExactSameBoxes: the full pipeline (TopK + NMS +
+// un-letterbox) must keep the same detections under fast and exact
+// math on a dense random head — the end-to-end version of
+// TestDecodeFastMatchesExact.
+func TestPostprocessFastVsExactSameBoxes(t *testing.T) {
+	spec := yoloSpec1()
+	r := rng.New(0xba5e)
+	head := tensor.New(6, 8, 8)
+	for i := range head.Data {
+		head.Data[i] = float32(r.Range(-3, 3))
+	}
+	heads := []*tensor.Tensor{head}
+	_, meta := tensor.LetterboxImage(tensor.New(3, 48, 64), 64, 64, 0)
+	fast, err := Postprocess(heads, meta, Config{Spec: spec, ScoreThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Postprocess(heads, meta, Config{Spec: spec, ScoreThreshold: 0.1, ExactMath: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) == 0 || len(fast) != len(exact) {
+		t.Fatalf("fast %d detections, exact %d (want equal, nonzero)", len(fast), len(exact))
+	}
+	for i := range fast {
+		if fast[i].Class != exact[i].Class {
+			t.Errorf("det %d: class %d vs %d", i, fast[i].Class, exact[i].Class)
+		}
+		if d := math.Abs(fast[i].Score - exact[i].Score); d > 2*FastSigmoidTolerance {
+			t.Errorf("det %d: score diff %g", i, d)
+		}
+	}
+}
+
+// TestPostprocessIntoAppends: PostprocessInto must append after dst's
+// existing elements and leave them untouched.
+func TestPostprocessIntoAppends(t *testing.T) {
+	head := tensor.New(1, 6, 1, 1)
+	head.Data[4], head.Data[5] = 4, 4
+	_, meta := tensor.LetterboxImage(tensor.New(3, 16, 16), 16, 16, 0)
+	sentinel := Detection{Class: 99, Score: 123}
+	out, err := PostprocessInto([]Detection{sentinel}, []*tensor.Tensor{head}, meta, Config{Spec: yoloSpec1(), ScoreThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != sentinel {
+		t.Fatalf("PostprocessInto clobbered dst: %+v", out)
+	}
+}
+
+// TestRawLogitGateBoundaries pins the gate's degenerate thresholds.
+func TestRawLogitGateBoundaries(t *testing.T) {
+	if g := rawLogitGate(0); !math.IsInf(float64(g), -1) {
+		t.Errorf("gate(0) = %v, want -Inf (keep everything)", g)
+	}
+	if g := rawLogitGate(1); !math.IsInf(float64(g), 1) {
+		t.Errorf("gate(1) = %v, want +Inf (drop everything)", g)
+	}
+	if g := rawLogitGate(0.5); math.Abs(float64(g)) > 1e-7 {
+		t.Errorf("gate(0.5) = %v, want 0", g)
+	}
+}

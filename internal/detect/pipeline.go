@@ -27,10 +27,16 @@ type Config struct {
 	// (default 0.45; must be > 0, see above).
 	IoUThreshold float64
 	// MaxCandidates bounds the boxes entering NMS, keeping the
-	// highest-scoring ones (default 1000; NMS is quadratic).
+	// highest-scoring ones (default 1000; NMS is quadratic per class).
 	MaxCandidates int
 	// MaxDetections bounds the final detection count (default 300).
 	MaxDetections int
+	// ExactMath routes decoding through the float64 math.Exp reference
+	// decoders instead of the default fast float32 path (polynomial
+	// sigmoid within FastSigmoidTolerance, raw-logit gating, pooled
+	// scratch). The fast path is the serving default; pin ExactMath
+	// when bitwise float64 reproducibility matters more than speed.
+	ExactMath bool
 }
 
 // WithDefaults returns the config with zero values replaced by the
@@ -66,28 +72,88 @@ func TopK(dets []Detection, k int) []Detection {
 // tensors: decode to model-space candidates, keep the best
 // MaxCandidates, class-aware NMS, map boxes back to source-image
 // pixels via the letterbox metadata, and clip to the source bounds.
+// The result is in descending score order for every candidate count.
 func Postprocess(heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, error) {
+	return PostprocessInto(nil, heads, meta, cfg)
+}
+
+// PostStats is the work accounting of one Postprocess call — the
+// per-stage counters the serving layer aggregates into its Stats.
+type PostStats struct {
+	// Candidates is how many decoded boxes entered TopK/NMS.
+	Candidates int
+	// Kept is how many boxes were emitted after NMS and clipping.
+	Kept int
+	// Decode covers head decoding plus TopK selection and sorting.
+	Decode time.Duration
+	// NMS covers class-bucketed suppression and un-letterboxing.
+	NMS time.Duration
+}
+
+// PostprocessInto is Postprocess appending into dst (which may be nil):
+// passing a capacity-retaining buffer makes the whole post-network
+// stage allocation-free in steady state — candidates, TopK selection
+// and NMS bookkeeping all live in pooled scratch. The appended region
+// is guaranteed to be in descending score order regardless of how many
+// candidates the decode produced.
+func PostprocessInto(dst []Detection, heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, error) {
+	dst, _, err := PostprocessStats(dst, heads, meta, cfg)
+	return dst, err
+}
+
+// PostprocessStats is PostprocessInto returning the per-stage work
+// counters alongside the detections.
+func PostprocessStats(dst []Detection, heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, PostStats, error) {
+	var st PostStats
 	cfg = cfg.WithDefaults()
-	cands, err := Decode(heads, cfg.Spec, cfg.ScoreThreshold)
+	t0 := time.Now()
+	s := ppPool.Get().(*ppScratch)
+	defer ppPool.Put(s)
+	var err error
+	s.cands, err = DecodeInto(s.cands[:0], heads, cfg.Spec, cfg.ScoreThreshold, cfg.ExactMath)
 	if err != nil {
-		return nil, err
+		return dst, st, err
 	}
-	cands = TopK(cands, cfg.MaxCandidates)
-	kept := NMS(cands, cfg.IoUThreshold)
-	if len(kept) > cfg.MaxDetections {
-		kept = kept[:cfg.MaxDetections]
+	st.Candidates = len(s.cands)
+	if len(s.cands) > cfg.MaxCandidates {
+		selectTopK(s.cands, cfg.MaxCandidates)
+		s.cands = s.cands[:cfg.MaxCandidates]
 	}
+	// Sorting before NMS both drives the greedy suppression and makes
+	// the emitted order descending by construction — the ordering
+	// contract no longer depends on NMS internals.
+	sort.Stable(s)
+	t1 := time.Now()
+	st.Decode = t1.Sub(t0)
+	s.nmsBucketed(cfg.Spec.Classes, cfg.IoUThreshold)
+	base := len(dst)
 	srcW, srcH := float64(meta.SrcW), float64(meta.SrcH)
-	out := kept[:0]
-	for _, d := range kept {
+	emitted := 0
+	for i := range s.cands {
+		if !s.keep[i] {
+			continue
+		}
+		if emitted == cfg.MaxDetections {
+			break
+		}
+		emitted++
+		d := s.cands[i]
 		x1, y1 := meta.ToSource(d.Box.X1, d.Box.Y1)
 		x2, y2 := meta.ToSource(d.Box.X2, d.Box.Y2)
 		d.Box = NewBox(x1, y1, x2, y2).Clip(srcW, srcH)
 		if d.Box.Area() > 0 { // drop boxes clipped away entirely
-			out = append(out, d)
+			dst = append(dst, d)
 		}
 	}
-	return out, nil
+	// Structural backstop for the ordering guarantee: the emit loop
+	// walks a sorted buffer, so this never fires in practice, but the
+	// contract survives future refactors of the stages above.
+	if out := dst[base:]; !sortedDescending(out) {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	}
+	st.Kept = len(dst) - base
+	st.NMS = time.Since(t1)
+	return dst, st, nil
 }
 
 // Timing is the per-stage wall-clock breakdown of one Detect call.

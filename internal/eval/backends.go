@@ -12,10 +12,13 @@ import (
 	"rtoss/internal/tensor"
 )
 
-// backends.go implements the interchangeable evaluation paths. All
-// real backends share forwardPipeline (letterbox -> heads ->
-// Postprocess) so a mAP difference between them isolates the transport
-// layer, not the math.
+// backends.go implements the interchangeable evaluation paths. The
+// in-process backend runs forwardPipeline (letterbox -> heads ->
+// Postprocess) directly; the server and http backends push the
+// canonical image bytes through Server.Detect — the batched
+// postprocess path — which decodes the same bytes and runs the same
+// Postprocess, so a mAP difference between any two backends isolates
+// the transport layer, not the math.
 
 // newBackend constructs the configured backend.
 func newBackend(cfg Config) (backend, error) {
@@ -66,8 +69,13 @@ func (b *inprocessBackend) detect(it item) ([]detect.Detection, error) {
 
 func (b *inprocessBackend) close() {}
 
-// serverBackend routes forwards through a micro-batching serve.Server
-// (direct method calls, no sockets).
+// serverBackend routes whole detection requests through a
+// micro-batching serve.Server (direct method calls, no sockets): the
+// canonical PPM bytes enter Server.Detect, so preprocess, the
+// co-batched forward and the pooled decode+NMS all run on the batch
+// executors — the same path POST /detect takes. Parity with the
+// in-process backend holds bitwise because the executor decodes the
+// identical bytes and runs the identical Postprocess.
 type serverBackend struct {
 	srv *serve.Server
 	cfg detect.Config
@@ -75,7 +83,11 @@ type serverBackend struct {
 }
 
 func (b *serverBackend) detect(it item) ([]detect.Detection, error) {
-	return forwardPipeline(it.img, b.res, b.srv.InferHeads, b.cfg)
+	res, err := b.srv.Detect(it.ppm, b.cfg, b.res, b.res)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detections, nil
 }
 
 func (b *serverBackend) close() { b.srv.Close() }

@@ -258,3 +258,55 @@ func TestZooHTTPSparseVsInProcessDense(t *testing.T) {
 		t.Errorf("unexpected defaults: %s/%s", httpRep.Arch, httpRep.Variant)
 	}
 }
+
+// TestFastVsExactMathMAP is the accuracy gate on the fast float32
+// decode path: at the pipeline's default thresholds, evaluating with
+// detect.Config.ExactMath (float64 math.Exp reference decoders) and
+// without it (polynomial sigmoid within detect.FastSigmoidTolerance)
+// must score the identical mAP — the approximation may not move a
+// single AP matching decision.
+func TestFastVsExactMathMAP(t *testing.T) {
+	// Oracle backend: real geometry through decode -> NMS ->
+	// un-letterbox at the default score/IoU thresholds.
+	for _, seed := range []uint64{1, 9} {
+		base := Config{Backend: BackendOracle, Scenes: 6, Seed: seed, Res: 128}
+		fast, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := base
+		exact.Detect.ExactMath = true
+		ref, err := Run(exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Detections == 0 {
+			t.Fatalf("seed %d: no detections; comparison is vacuous", seed)
+		}
+		if fast.MAP != ref.MAP || fast.Detections != ref.Detections {
+			t.Errorf("seed %d: fast (mAP %v, %d dets) != exact (mAP %v, %d dets)",
+				seed, fast.MAP, fast.Detections, ref.MAP, ref.Detections)
+		}
+	}
+	// Tiny live network: the same gate through a real forward pass.
+	fastCfg := tinyConfig()
+	fastCfg.Program = tinyProgram(t, engine.ModeSparse)
+	fast, err := Run(fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactCfg := tinyConfig()
+	exactCfg.Detect.ExactMath = true
+	exactCfg.Program = tinyProgram(t, engine.ModeSparse)
+	ref, err := Run(exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Detections == 0 {
+		t.Fatal("tiny net produced no detections; comparison is vacuous")
+	}
+	if fast.MAP != ref.MAP || fast.Detections != ref.Detections {
+		t.Errorf("tiny net: fast (mAP %v, %d dets) != exact (mAP %v, %d dets)",
+			fast.MAP, fast.Detections, ref.MAP, ref.Detections)
+	}
+}

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/kitti"
+	"rtoss/internal/models"
+	"rtoss/internal/tensor"
+)
+
+// benchdetect.go measures the detection pipeline end to end: the
+// rewritten postprocess stage in isolation (decode -> TopK -> NMS ->
+// un-letterbox on precomputed heads), the full image -> boxes pipeline
+// under dense vs sparse kernels, and the served batched-detect path
+// (encoded bytes through Server.Detect). The same harness backs
+// `rtoss bench` and the CI JSON artifact (BENCH_PR5.json) — the perf
+// trajectory record for the post-network stage, alongside the PR2
+// forward-pass bench.
+
+// DetectBenchConfig parameterises RunDetectBench. Zero values select
+// the defaults.
+type DetectBenchConfig struct {
+	Arch    string // "YOLOv5s" (default) or "RetinaNet"
+	Entries int    // R-TOSS entry patterns for the sparse variant (default 3)
+	Res     int    // square letterbox resolution (default 256)
+	Streams int    // concurrent client streams for the served scenario (default 8)
+	Images  int    // images per scenario (default 2*Streams)
+}
+
+func (c DetectBenchConfig) withDefaults() DetectBenchConfig {
+	if c.Arch == "" {
+		c.Arch = "YOLOv5s"
+	}
+	if c.Entries == 0 {
+		c.Entries = 3
+	}
+	if c.Res <= 0 {
+		c.Res = 256
+	}
+	if c.Streams <= 0 {
+		c.Streams = 8
+	}
+	if c.Images <= 0 {
+		c.Images = 2 * c.Streams
+	}
+	return c
+}
+
+// DetectBenchResult is one detection scenario's measurement.
+type DetectBenchResult struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"`
+	Images       int     `json:"images"`
+	Seconds      float64 `json:"seconds"`
+	ImagesPerSec float64 `json:"images_per_sec"`
+	// SpeedupVsDense is relative to the dense end-to-end scenario of
+	// the same run (end-to-end scenarios only).
+	SpeedupVsDense float64 `json:"speedup_vs_dense,omitempty"`
+	AvgBatch       float64 `json:"avg_batch,omitempty"` // served scenario only
+}
+
+// DetectServeStats echoes the served scenario's per-stage postprocess
+// counters from Server.Stats into the artifact.
+type DetectServeStats struct {
+	AvgBatch        float64 `json:"avg_batch"`
+	AvgPreprocessMS float64 `json:"avg_preprocess_ms"`
+	AvgDecodeMS     float64 `json:"avg_decode_ms"`
+	AvgNMSMS        float64 `json:"avg_nms_ms"`
+	Candidates      uint64  `json:"candidates"`
+	Boxes           uint64  `json:"boxes"`
+}
+
+// DetectBenchReport is the full output of one RunDetectBench call — the
+// BENCH_PR5.json artifact format.
+type DetectBenchReport struct {
+	Model      string              `json:"model"`
+	Variant    string              `json:"variant"`
+	Res        int                 `json:"res"`
+	Streams    int                 `json:"streams"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Results    []DetectBenchResult `json:"results"`
+	Server     *DetectServeStats   `json:"server,omitempty"`
+}
+
+// RunDetectBench builds the dense and pruned Programs through a
+// Registry and measures four detection scenarios: the postprocess
+// stage alone on precomputed sparse heads, the end-to-end image ->
+// boxes pipeline under dense and sparse kernels, and concurrent
+// streams of encoded images through the micro-batching Server.Detect
+// path.
+func RunDetectBench(cfg DetectBenchConfig) (*DetectBenchReport, error) {
+	cfg = cfg.withDefaults()
+	reg := NewRegistry()
+	dense, err := reg.Program(Key{Arch: cfg.Arch, Variant: "dense", Mode: engine.ModeDense})
+	if err != nil {
+		return nil, err
+	}
+	variant := fmt.Sprintf("rtoss-%dep", cfg.Entries)
+	sparse, err := reg.Program(Key{Arch: cfg.Arch, Variant: variant, Mode: engine.ModeSparse})
+	if err != nil {
+		return nil, err
+	}
+	spec, err := models.HeadByName(cfg.Arch, models.KITTIClasses)
+	if err != nil {
+		return nil, err
+	}
+	pipe := detect.Config{Spec: spec}
+	if cfg.Res%spec.MaxStride() != 0 {
+		return nil, fmt.Errorf("serve: detect bench resolution %d must be a multiple of the head stride %d", cfg.Res, spec.MaxStride())
+	}
+
+	// Deterministic KITTI-aspect scenes: the raw tensors feed the
+	// in-process scenarios, the encoded PPM bytes the served one.
+	rendered := kitti.RenderedDataset(0xb0c5, cfg.Images, 2*cfg.Res, cfg.Res)
+	imgs := make([]*tensor.Tensor, len(rendered))
+	ppms := make([][]byte, len(rendered))
+	for i, rs := range rendered {
+		imgs[i] = rs.Image
+		var buf bytes.Buffer
+		if err := tensor.EncodePPM(&buf, rs.Image); err != nil {
+			return nil, err
+		}
+		ppms[i] = buf.Bytes()
+	}
+
+	rep := &DetectBenchReport{
+		Model: cfg.Arch, Variant: variant,
+		Res: cfg.Res, Streams: cfg.Streams,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// End-to-end pipeline: letterbox -> heads -> pooled postprocess.
+	e2e := func(p *engine.Program) (float64, error) {
+		var dst []detect.Detection
+		start := time.Now()
+		for _, img := range imgs {
+			canvas, meta := tensor.LetterboxImage(img, cfg.Res, cfg.Res, tensor.LetterboxFill)
+			heads, err := p.Heads(canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2)))
+			if err != nil {
+				return 0, err
+			}
+			if dst, err = detect.PostprocessInto(dst[:0], heads, meta, pipe); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	// Warm up both programs (and the postprocess pools) off the clock.
+	if _, err := e2e(dense); err != nil {
+		return nil, err
+	}
+	if _, err := e2e(sparse); err != nil {
+		return nil, err
+	}
+
+	// Postprocess stage alone, on precomputed sparse heads.
+	headsPer := make([][]*tensor.Tensor, len(imgs))
+	metas := make([]tensor.LetterboxMeta, len(imgs))
+	for i, img := range imgs {
+		canvas, meta := tensor.LetterboxImage(img, cfg.Res, cfg.Res, tensor.LetterboxFill)
+		hs, err := sparse.Heads(canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2)))
+		if err != nil {
+			return nil, err
+		}
+		headsPer[i], metas[i] = hs, meta
+	}
+	var dst []detect.Detection
+	start := time.Now()
+	for i := range headsPer {
+		if dst, err = detect.PostprocessInto(dst[:0], headsPer[i], metas[i], pipe); err != nil {
+			return nil, err
+		}
+	}
+	rep.add("postprocess", "sparse", cfg.Images, time.Since(start).Seconds(), 0)
+
+	denseSec, err := e2e(dense)
+	if err != nil {
+		return nil, err
+	}
+	rep.add("e2e-inprocess", "dense", cfg.Images, denseSec, denseSec)
+
+	sparseSec, err := e2e(sparse)
+	if err != nil {
+		return nil, err
+	}
+	rep.add("e2e-inprocess", "sparse", cfg.Images, sparseSec, denseSec)
+
+	// Served batched detection: concurrent streams of encoded bytes
+	// through Server.Detect.
+	srv := NewServer(sparse, Config{})
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start = time.Now()
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(ppms); i += cfg.Streams {
+				if _, err := srv.Detect(ppms[i], pipe, cfg.Res, cfg.Res); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	servedSec := time.Since(start).Seconds()
+	st := srv.Stats()
+	srv.Close()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	i := rep.add("served-detect", "sparse", cfg.Images, servedSec, denseSec)
+	rep.Results[i].AvgBatch = st.AvgBatch
+	rep.Server = &DetectServeStats{
+		AvgBatch:        st.AvgBatch,
+		AvgPreprocessMS: ms(st.AvgPreprocess),
+		AvgDecodeMS:     ms(st.AvgDecode),
+		AvgNMSMS:        ms(st.AvgNMS),
+		Candidates:      st.Candidates,
+		Boxes:           st.Boxes,
+	}
+	return rep, nil
+}
+
+// add appends one scenario row and returns its index.
+func (r *DetectBenchReport) add(name, mode string, images int, sec, denseSec float64) int {
+	res := DetectBenchResult{Name: name, Mode: mode, Images: images, Seconds: sec}
+	if sec > 0 {
+		res.ImagesPerSec = float64(images) / sec
+		if denseSec > 0 {
+			res.SpeedupVsDense = denseSec / sec
+		}
+	}
+	r.Results = append(r.Results, res)
+	return len(r.Results) - 1
+}
+
+// WriteJSON writes the report to path as indented JSON.
+func (r *DetectBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render returns the report as an aligned text table.
+func (r *DetectBenchReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "detection benchmark: %s %s, %dx%d letterbox, %d streams, GOMAXPROCS %d\n",
+		r.Model, r.Variant, r.Res, r.Res, r.Streams, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-16s %-7s %7s %9s %11s %9s\n",
+		"scenario", "mode", "images", "img/s", "vs dense", "avg batch")
+	for _, res := range r.Results {
+		speedup, avgBatch := "", ""
+		if res.SpeedupVsDense > 0 {
+			speedup = fmt.Sprintf("%.2fx", res.SpeedupVsDense)
+		}
+		if res.AvgBatch > 0 {
+			avgBatch = fmt.Sprintf("%.2f", res.AvgBatch)
+		}
+		fmt.Fprintf(&b, "%-16s %-7s %7d %9.2f %11s %9s\n",
+			res.Name, res.Mode, res.Images, res.ImagesPerSec, speedup, avgBatch)
+	}
+	if r.Server != nil {
+		fmt.Fprintf(&b, "served postprocess: preprocess %.3f ms, decode %.3f ms, nms %.3f ms per image; %d candidates -> %d boxes\n",
+			r.Server.AvgPreprocessMS, r.Server.AvgDecodeMS, r.Server.AvgNMSMS, r.Server.Candidates, r.Server.Boxes)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRunDetectBench smoke-tests the detection benchmark harness on the
+// smallest possible workload (it powers `rtoss bench` and the
+// BENCH_PR5.json CI artifact).
+func TestRunDetectBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detect bench harness runs zoo-scale models; skipped in -short")
+	}
+	rep, err := RunDetectBench(DetectBenchConfig{Images: 4, Streams: 2, Res: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("expected 4 scenarios, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.ImagesPerSec <= 0 {
+			t.Errorf("%s/%s throughput %.2f", r.Name, r.Mode, r.ImagesPerSec)
+		}
+	}
+	if rep.Server == nil || rep.Server.AvgDecodeMS <= 0 {
+		t.Errorf("served postprocess counters missing: %+v", rep.Server)
+	}
+	if rep.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestEmitDetectBenchJSON writes the BENCH_PR5.json CI artifact when
+// RTOSS_DETECT_BENCH_JSON names the output path. CI invokes exactly
+// this test (go test -run TestEmitDetectBenchJSON ./internal/serve/) so
+// the artifact is produced with the library's own methodology.
+func TestEmitDetectBenchJSON(t *testing.T) {
+	path := os.Getenv("RTOSS_DETECT_BENCH_JSON")
+	if path == "" {
+		t.Skip("set RTOSS_DETECT_BENCH_JSON=<path> to emit the benchmark artifact")
+	}
+	rep, err := RunDetectBench(DetectBenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Render())
+}

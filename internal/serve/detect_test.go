@@ -3,9 +3,12 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"rtoss/internal/detect"
 	"rtoss/internal/tensor"
@@ -191,5 +194,164 @@ func TestHTTPDetectDisabled(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("disabled /detect: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDetectMatchesPipeline checks the batched detection path —
+// encoded bytes through Server.Detect, preprocess+forward+postprocess
+// on the executors — returns exactly what the library pipeline
+// computes, and that the per-stage stats counters advance.
+func TestServerDetectMatchesPipeline(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+	pipe := detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05}
+
+	img := tensor.New(3, 24, 48)
+	for i := range img.Data {
+		img.Data[i] = float32(i%13) / 13
+	}
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, img); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.Detect(ppm.Bytes(), pipe, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SrcW != 48 || res.SrcH != 24 {
+		t.Errorf("source dims = %dx%d, want 48x24", res.SrcW, res.SrcH)
+	}
+	if res.Timing.Preprocess <= 0 || res.Timing.Forward <= 0 || res.Timing.Decode <= 0 {
+		t.Errorf("incomplete timing breakdown: %+v", res.Timing)
+	}
+
+	// The library pipeline on the decoded bytes must agree bitwise.
+	decoded, err := tensor.DecodeImage(bytes.NewReader(ppm.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canvas, meta := tensor.LetterboxImage(decoded, 32, 32, tensor.LetterboxFill)
+	heads, err := p.Heads(canvas.Reshape(1, 3, 32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := detect.Postprocess(heads, meta, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != len(want) {
+		t.Fatalf("served %d detections, library %d", len(res.Detections), len(want))
+	}
+	for i := range want {
+		if res.Detections[i] != want[i] {
+			t.Errorf("det %d: served %+v != library %+v", i, res.Detections[i], want[i])
+		}
+	}
+	for i := 1; i < len(res.Detections); i++ {
+		if res.Detections[i].Score > res.Detections[i-1].Score {
+			t.Errorf("det %d breaks the descending-score contract", i)
+		}
+	}
+
+	st := s.Stats()
+	if st.Detects != 1 {
+		t.Errorf("stats detects = %d, want 1", st.Detects)
+	}
+	if st.Candidates == 0 || st.Boxes != uint64(len(res.Detections)) {
+		t.Errorf("stats candidates=%d boxes=%d, want >0 and %d", st.Candidates, st.Boxes, len(res.Detections))
+	}
+	if st.AvgPreprocess <= 0 || st.AvgDecode <= 0 || st.AvgNMS <= 0 {
+		t.Errorf("per-stage averages missing: %+v", st)
+	}
+}
+
+// TestServerDetectValidation pins the request-validation and bad-image
+// error paths of the batched detection entry points.
+func TestServerDetectValidation(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+
+	if _, err := s.Detect([]byte("x"), detect.Config{}, 32, 32); err == nil {
+		t.Error("Detect without a head spec accepted")
+	}
+	pipe := detect.Config{Spec: tinySpec()}
+	if _, err := s.Detect([]byte("x"), pipe, 30, 32); err == nil {
+		t.Error("resolution 30 (not a multiple of the stride-4 head) accepted")
+	}
+	if _, err := s.Detect([]byte("not an image"), pipe, 32, 32); !errors.Is(err, ErrBadImage) {
+		t.Errorf("garbage bytes: err = %v, want ErrBadImage", err)
+	}
+	// A bad image in a batch must not fail its neighbours: mix one
+	// garbage request with valid ones under a single slow worker.
+	srv := NewServer(p, Config{MaxBatch: 8, MaxDelay: 50 * time.Millisecond, Workers: 1})
+	defer srv.Close()
+	img := tensor.New(3, 16, 16)
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, img); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := ppm.Bytes()
+			if i == 2 {
+				body = []byte("garbage")
+			}
+			_, errs[i] = srv.Detect(body, pipe, 32, 32)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if i == 2 {
+			if !errors.Is(err, ErrBadImage) {
+				t.Errorf("garbage request: err = %v, want ErrBadImage", err)
+			}
+		} else if err != nil {
+			t.Errorf("valid request %d failed alongside a garbage one: %v", i, err)
+		}
+	}
+	// After Close, Detect and TryDetect reject like the other verbs.
+	srv2 := NewServer(p, Config{})
+	srv2.Close()
+	if _, err := srv2.Detect(ppm.Bytes(), pipe, 32, 32); !errors.Is(err, ErrClosed) {
+		t.Errorf("Detect after Close = %v, want ErrClosed", err)
+	}
+	if _, err := srv2.TryDetect(ppm.Bytes(), pipe, 32, 32); !errors.Is(err, ErrClosed) {
+		t.Errorf("TryDetect after Close = %v, want ErrClosed", err)
+	}
+}
+
+// BenchmarkServerDetect measures the batched detection path end to end
+// on the tiny detector: encoded PPM bytes in, boxes out, through the
+// micro-batching queue.
+func BenchmarkServerDetect(b *testing.B) {
+	p := tinyProgram(b)
+	s := NewServer(p, Config{})
+	defer s.Close()
+	pipe := detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05}
+	img := tensor.New(3, 24, 48)
+	for i := range img.Data {
+		img.Data[i] = float32(i%13) / 13
+	}
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, img); err != nil {
+		b.Fatal(err)
+	}
+	body := ppm.Bytes()
+	if _, err := s.Detect(body, pipe, 32, 32); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Detect(body, pipe, 32, 32); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -143,6 +144,11 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	return mux
 }
 
+// handleDetect is a thin shim over Server.Detect: parse the threshold
+// overrides, read the body, enqueue. Preprocess (image decode +
+// letterbox), the co-batched forward and the pooled decode+NMS all run
+// on the server's batch executors, so detection throughput scales with
+// the worker pool instead of with handler goroutines.
 func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg HandlerConfig) {
 	pipe := *cfg.Detect
 	var err error
@@ -154,49 +160,42 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	t0 := time.Now()
-	img, err := tensor.DecodeImage(io.LimitReader(r.Body, maxImageBody))
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxImageBody))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("serve: reading image body: %v", err), http.StatusBadRequest)
 		return
 	}
-	canvas, meta := tensor.LetterboxImage(img, cfg.InputH, cfg.InputW, tensor.LetterboxFill)
-	in := canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2))
-	t1 := time.Now()
-	inferHeads := s.InferHeads
+	doDetect := s.Detect
 	if cfg.ShedLoad {
-		inferHeads = s.TryInferHeads
+		doDetect = s.TryDetect
 	}
-	heads, err := inferHeads(in)
+	res, err := doDetect(body, pipe, cfg.InputH, cfg.InputW)
 	if err != nil {
 		http.Error(w, err.Error(), serveErrCode(err))
 		return
 	}
-	t2 := time.Now()
-	dets, err := detect.Postprocess(heads, meta, pipe)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	t3 := time.Now()
 	writeJSON(w, DetectResponse{
-		Detections: detectionsJSON(dets, cfg.Labels),
-		Count:      len(dets),
-		Image:      ImageSizeJSON{Width: meta.SrcW, Height: meta.SrcH},
+		Detections: detectionsJSON(res.Detections, cfg.Labels),
+		Count:      len(res.Detections),
+		Image:      ImageSizeJSON{Width: res.SrcW, Height: res.SrcH},
 		TimingMS: TimingJSON{
-			Preprocess: ms(t1.Sub(t0)),
-			Forward:    ms(t2.Sub(t1)),
-			Decode:     ms(t3.Sub(t2)),
-			Total:      ms(t3.Sub(t0)),
+			Preprocess: ms(res.Timing.Preprocess),
+			Forward:    ms(res.Timing.Forward),
+			Decode:     ms(res.Timing.Decode),
+			Total:      ms(res.Timing.Total()),
 		},
 	})
 }
 
 // serveErrCode maps server errors to HTTP statuses: 503 when closed or
-// shedding load, 500 otherwise.
+// shedding load, 400 when the request body was not a decodable image,
+// 500 otherwise.
 func serveErrCode(err error) int {
-	if err == ErrClosed || err == ErrQueueFull {
+	switch {
+	case errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadImage):
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -267,6 +266,13 @@ func statsJSON(st Stats) map[string]any {
 		"avg_latency_ms": ms(st.AvgLatency),
 		"max_latency_ms": ms(st.MaxLatency),
 		"queue_depth":    st.QueueDepth,
+		// Batched detection-path counters (Detect/TryDetect requests).
+		"detects":           st.Detects,
+		"candidates":        st.Candidates,
+		"boxes":             st.Boxes,
+		"avg_preprocess_ms": ms(st.AvgPreprocess),
+		"avg_decode_ms":     ms(st.AvgDecode),
+		"avg_nms_ms":        ms(st.AvgNMS),
 	}
 }
 

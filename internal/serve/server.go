@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rtoss/internal/detect"
 	"rtoss/internal/engine"
 	"rtoss/internal/tensor"
 )
@@ -47,7 +50,13 @@ func (c Config) withDefaults() Config {
 // requests enter a bounded queue, workers coalesce them into batches of
 // up to MaxBatch images (waiting at most MaxDelay for stragglers), run
 // one batched forward per batch, and fan the outputs back out to the
-// callers. All methods are safe for concurrent use.
+// callers. Detection requests (Detect/TryDetect) carry encoded image
+// bytes through the same queue: the batch executor decodes and
+// letterboxes them, co-batches the forwards with Infer traffic, and
+// runs the pooled decode+NMS postprocess before replying — so
+// detection-heavy traffic amortises its whole pipeline on the
+// executors instead of burning a handler goroutine per request. All
+// methods are safe for concurrent use.
 type Server struct {
 	prog  *engine.Program
 	cfg   Config
@@ -65,20 +74,47 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrQueueFull is returned by TryInfer when the queue is saturated.
 	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrBadImage wraps image-decode failures of Detect requests: the
+	// request was accepted but its body is not a decodable image. The
+	// HTTP front end maps it to 400.
+	ErrBadImage = errors.New("serve: undecodable image")
+)
+
+// reqKind selects what a queued request wants back.
+type reqKind uint8
+
+const (
+	// kindInfer wants the model's final output tensor.
+	kindInfer reqKind = iota
+	// kindHeads wants every detection-head tensor.
+	kindHeads
+	// kindDetect carries encoded image bytes and wants decoded boxes:
+	// the executor preprocesses, forwards and postprocesses.
+	kindDetect
 )
 
 type request struct {
+	kind reqKind
+	// in is the network input: caller-provided for infer/heads
+	// requests, filled by the executor's preprocess for detect.
 	in *tensor.Tensor
-	// heads marks a detection request: the response carries every
-	// detection-head tensor instead of just the final output.
-	heads bool
-	resp  chan response
-	enq   time.Time
+	// img/pipe/resH/resW describe a detect request: encoded image
+	// bytes, the resolved postprocess config, and the letterbox canvas.
+	img        []byte
+	pipe       detect.Config
+	resH, resW int
+	// meta and pp are filled by the executor's preprocess stage.
+	meta tensor.LetterboxMeta
+	pp   time.Duration
+
+	resp chan response
+	enq  time.Time
 }
 
 type response struct {
 	out   *tensor.Tensor
 	heads []*tensor.Tensor
+	det   *detect.Result
 	err   error
 }
 
@@ -103,7 +139,7 @@ func NewServer(prog *engine.Program, cfg Config) *Server {
 // and blocks until its output is ready (or the server closes). When the
 // queue is full, Infer waits for a slot — use TryInfer to shed load.
 func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
-	r, err := s.submit(in, true, false)
+	r, err := s.submit(&request{kind: kindInfer, in: in}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +149,7 @@ func (s *Server) Infer(in *tensor.Tensor) (*tensor.Tensor, error) {
 // TryInfer is Infer, except it returns ErrQueueFull instead of blocking
 // when the queue is saturated.
 func (s *Server) TryInfer(in *tensor.Tensor) (*tensor.Tensor, error) {
-	r, err := s.submit(in, false, false)
+	r, err := s.submit(&request{kind: kindInfer, in: in}, false)
 	if err != nil {
 		return nil, err
 	}
@@ -121,11 +157,11 @@ func (s *Server) TryInfer(in *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 // InferHeads runs one image through the service and returns every
-// detection-head tensor (in the model Detect sink's input order) — the
-// serving entry point of the detection pipeline. Heads requests ride
-// the same micro-batching queue as Infer and co-batch with it.
+// detection-head tensor (in the model Detect sink's input order). Heads
+// requests ride the same micro-batching queue as Infer and co-batch
+// with it.
 func (s *Server) InferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
-	r, err := s.submit(in, true, true)
+	r, err := s.submit(&request{kind: kindHeads, in: in}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -133,18 +169,53 @@ func (s *Server) InferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
 }
 
 // TryInferHeads is InferHeads, except it returns ErrQueueFull instead
-// of blocking when the queue is saturated — the load-shedding entry
-// point the HTTP front end uses for /detect when ShedLoad is on.
+// of blocking when the queue is saturated.
 func (s *Server) TryInferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
-	r, err := s.submit(in, false, true)
+	r, err := s.submit(&request{kind: kindHeads, in: in}, false)
 	if err != nil {
 		return nil, err
 	}
 	return r.heads, nil
 }
 
-func (s *Server) submit(in *tensor.Tensor, wait, heads bool) (response, error) {
-	req := &request{in: in, heads: heads, resp: make(chan response, 1), enq: time.Now()}
+// Detect runs the full image -> boxes pipeline on the batch executors:
+// img is an encoded image (PPM/PGM/PNG), pipe the postprocess config
+// (Spec required), resH x resW the letterbox canvas resolution.
+// Preprocess, the co-batched forward, and the pooled decode+NMS all
+// execute on the worker that picked the request up, so a
+// detection-heavy load scales with Workers rather than with handler
+// goroutines. The returned Result carries boxes in source-image pixels
+// (descending score) and the per-stage timing (Forward is the whole
+// co-batched forward pass).
+func (s *Server) Detect(img []byte, pipe detect.Config, resH, resW int) (*detect.Result, error) {
+	return s.detect(img, pipe, resH, resW, true)
+}
+
+// TryDetect is Detect, except it returns ErrQueueFull instead of
+// blocking when the queue is saturated — the load-shedding entry point
+// the HTTP front end uses for /detect when ShedLoad is on.
+func (s *Server) TryDetect(img []byte, pipe detect.Config, resH, resW int) (*detect.Result, error) {
+	return s.detect(img, pipe, resH, resW, false)
+}
+
+func (s *Server) detect(img []byte, pipe detect.Config, resH, resW int, wait bool) (*detect.Result, error) {
+	if len(pipe.Spec.Levels) == 0 {
+		return nil, fmt.Errorf("serve: Detect needs a head spec in pipe.Spec")
+	}
+	pipe = pipe.WithDefaults()
+	if st := pipe.Spec.MaxStride(); resH <= 0 || resH%st != 0 || resW <= 0 || resW%st != 0 {
+		return nil, fmt.Errorf("serve: detect resolution %dx%d must be positive multiples of the head stride %d", resH, resW, st)
+	}
+	r, err := s.submit(&request{kind: kindDetect, img: img, pipe: pipe, resH: resH, resW: resW}, wait)
+	if err != nil {
+		return nil, err
+	}
+	return r.det, nil
+}
+
+func (s *Server) submit(req *request, wait bool) (response, error) {
+	req.resp = make(chan response, 1)
+	req.enq = time.Now()
 	// The read lock holds Close's channel close off until the send has
 	// completed, so submit never sends on a closed channel.
 	s.closeMu.RLock()
@@ -215,18 +286,47 @@ func (s *Server) gather(first *request) []*request {
 	return batch
 }
 
+// preprocess decodes and letterboxes a detect request's image bytes on
+// the executor. It reports whether the request survives; a decode
+// failure is answered immediately (wrapped in ErrBadImage) so it never
+// poisons the batch it was coalesced with.
+func (s *Server) preprocess(req *request) bool {
+	t0 := time.Now()
+	img, err := tensor.DecodeImage(bytes.NewReader(req.img))
+	if err != nil {
+		atomic.AddUint64(&s.stats.errors, 1)
+		req.resp <- response{err: fmt.Errorf("%w: %v", ErrBadImage, err)}
+		return false
+	}
+	canvas, meta := tensor.LetterboxImage(img, req.resH, req.resW, tensor.LetterboxFill)
+	req.in = canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2))
+	req.meta = meta
+	req.pp = time.Since(t0)
+	s.stats.recordPreprocess(req.pp)
+	return true
+}
+
 func (s *Server) execute(batch []*request) {
+	// Detect requests arrive as encoded bytes: preprocess them here so
+	// the forward below can co-batch them with raw-tensor traffic.
+	// Reusing batch's backing array keeps the executor allocation-lean.
+	ready := batch[:0]
+	for _, req := range batch {
+		if req.kind != kindDetect || s.preprocess(req) {
+			ready = append(ready, req)
+		}
+	}
 	// Clients may legitimately submit different image sizes (Programs
 	// accept any resolution the model supports), and images can only be
 	// stacked with identical shapes — so partition the batch by shape
 	// and forward each group separately. One malformed request then
 	// fails alone instead of poisoning whoever it was co-batched with.
-	for _, group := range groupByShape(batch) {
+	for _, group := range groupByShape(ready) {
 		ins := make([]*tensor.Tensor, len(group))
 		anyHeads := false
 		for i, req := range group {
 			ins[i] = req.in
-			anyHeads = anyHeads || req.heads
+			anyHeads = anyHeads || req.kind != kindInfer
 		}
 		// A group containing any detection request runs the heads path
 		// for the whole group: the final output is the first head (the
@@ -236,26 +336,47 @@ func (s *Server) execute(batch []*request) {
 			heads [][]*tensor.Tensor
 			err   error
 		)
+		fstart := time.Now()
 		if anyHeads {
 			heads, err = s.prog.HeadsBatch(ins)
 		} else {
 			outs, err = s.prog.ForwardBatch(ins)
 		}
-		now := time.Now()
+		fwd := time.Since(fstart)
 		s.stats.recordBatch(len(group))
 		for i, req := range group {
 			r := response{err: err}
 			switch {
 			case err != nil:
 				atomic.AddUint64(&s.stats.errors, 1)
-			case req.heads:
+			case req.kind == kindDetect:
+				// The postprocess scratch is pooled inside detect, so
+				// each executor reuses a warm per-worker buffer set.
+				dets, pst, derr := detect.PostprocessStats(nil, heads[i], req.meta, req.pipe)
+				if derr != nil {
+					r.err = derr
+					atomic.AddUint64(&s.stats.errors, 1)
+					break
+				}
+				s.stats.recordDetect(pst)
+				r.det = &detect.Result{
+					Detections: dets,
+					SrcW:       req.meta.SrcW,
+					SrcH:       req.meta.SrcH,
+					Timing: detect.Timing{
+						Preprocess: req.pp,
+						Forward:    fwd,
+						Decode:     pst.Decode + pst.NMS,
+					},
+				}
+			case req.kind == kindHeads:
 				r.heads = heads[i]
 			case anyHeads:
 				r.out = heads[i][0]
 			default:
 				r.out = outs[i]
 			}
-			s.stats.recordLatency(now.Sub(req.enq))
+			s.stats.recordLatency(time.Since(req.enq))
 			req.resp <- r
 		}
 	}
@@ -310,6 +431,15 @@ type serverStats struct {
 	batches, batchedImages     uint64
 	maxBatch                   int64
 	latencyNS, maxLatencyNS    int64
+
+	// Detection pipeline counters (Detect/TryDetect requests).
+	// preprocesses counts separately from detects: a request that
+	// preprocessed but failed its forward/postprocess must not skew
+	// the other's average.
+	detects, preprocesses uint64
+	candidates, boxes     uint64
+	preprocessNS          int64
+	decodeNS, nmsNS       int64
 }
 
 func (st *serverStats) recordBatch(size int) {
@@ -323,6 +453,19 @@ func (st *serverStats) recordLatency(d time.Duration) {
 	atomicMax(&st.maxLatencyNS, int64(d))
 }
 
+func (st *serverStats) recordPreprocess(d time.Duration) {
+	atomic.AddUint64(&st.preprocesses, 1)
+	atomic.AddInt64(&st.preprocessNS, int64(d))
+}
+
+func (st *serverStats) recordDetect(pst detect.PostStats) {
+	atomic.AddUint64(&st.detects, 1)
+	atomic.AddUint64(&st.candidates, uint64(pst.Candidates))
+	atomic.AddUint64(&st.boxes, uint64(pst.Kept))
+	atomic.AddInt64(&st.decodeNS, int64(pst.Decode))
+	atomic.AddInt64(&st.nmsNS, int64(pst.NMS))
+}
+
 func atomicMax(p *int64, v int64) {
 	for {
 		cur := atomic.LoadInt64(p)
@@ -333,11 +476,12 @@ func atomicMax(p *int64, v int64) {
 }
 
 // Stats is one snapshot of a server's accounting: how much traffic it
-// has seen, how well micro-batching is coalescing it, and what the
-// callers' end-to-end latency (queue wait + batch execution) looks like.
+// has seen, how well micro-batching is coalescing it, what the callers'
+// end-to-end latency (queue wait + batch execution) looks like, and —
+// for the batched detection path — the per-stage postprocess counters.
 type Stats struct {
 	Requests               uint64 // accepted requests
-	Rejected               uint64 // TryInfer load-shed rejections
+	Rejected               uint64 // TryInfer/TryDetect load-shed rejections
 	Errors                 uint64 // requests that returned an error
 	Completed              uint64 // images that went through a forward pass
 	Batches                uint64 // batched forward passes executed
@@ -345,6 +489,18 @@ type Stats struct {
 	MaxBatch               int
 	AvgLatency, MaxLatency time.Duration
 	QueueDepth             int
+
+	// Detection-path counters: Detects counts completed Detect
+	// requests; Candidates/Boxes the decoded candidates entering NMS
+	// and the boxes that survived it; the Avg* durations the per-image
+	// preprocess (image decode + letterbox), head decode (+ TopK) and
+	// NMS (+ un-letterbox) stages on the batch executors.
+	Detects       uint64
+	Candidates    uint64
+	Boxes         uint64
+	AvgPreprocess time.Duration
+	AvgDecode     time.Duration
+	AvgNMS        time.Duration
 }
 
 func (st *serverStats) snapshot() Stats {
@@ -356,12 +512,23 @@ func (st *serverStats) snapshot() Stats {
 		Batches:    atomic.LoadUint64(&st.batches),
 		MaxBatch:   int(atomic.LoadInt64(&st.maxBatch)),
 		MaxLatency: time.Duration(atomic.LoadInt64(&st.maxLatencyNS)),
+		Detects:    atomic.LoadUint64(&st.detects),
+		Candidates: atomic.LoadUint64(&st.candidates),
+		Boxes:      atomic.LoadUint64(&st.boxes),
 	}
 	if out.Batches > 0 {
 		out.AvgBatch = float64(out.Completed) / float64(out.Batches)
 	}
 	if out.Completed > 0 {
 		out.AvgLatency = time.Duration(atomic.LoadInt64(&st.latencyNS) / int64(out.Completed))
+	}
+	if pp := atomic.LoadUint64(&st.preprocesses); pp > 0 {
+		out.AvgPreprocess = time.Duration(atomic.LoadInt64(&st.preprocessNS) / int64(pp))
+	}
+	if out.Detects > 0 {
+		n := int64(out.Detects)
+		out.AvgDecode = time.Duration(atomic.LoadInt64(&st.decodeNS) / n)
+		out.AvgNMS = time.Duration(atomic.LoadInt64(&st.nmsNS) / n)
 	}
 	return out
 }

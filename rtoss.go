@@ -64,9 +64,15 @@
 // Detector closes the loop from image to boxes: letterbox resize onto
 // the model canvas, forward pass to the detection heads
 // (Program.Heads), YOLO/RetinaNet head decode, class-aware NMS, and
-// un-letterboxing back to source pixels. The serving stack exposes the
-// same pipeline over HTTP as POST /detect (see `rtoss serve`), and
-// `rtoss detect` runs it from the command line.
+// un-letterboxing back to source pixels. Decoding runs a fast float32
+// hot path — polynomial sigmoid (within FastSigmoidTolerance),
+// raw-logit gating, pooled scratch, quickselect TopK, class-bucketed
+// NMS — with exact float64 math available via DetectConfig.ExactMath.
+// The serving stack exposes the same pipeline over HTTP as POST
+// /detect (see `rtoss serve`): Server.Detect carries encoded image
+// bytes through the micro-batch queue, so preprocess, the co-batched
+// forward and the postprocess all amortize on the batch executors.
+// `rtoss detect` runs the pipeline from the command line.
 //
 // Quick start:
 //
@@ -253,6 +259,11 @@ type (
 	BenchConfig = serve.BenchConfig
 	// BenchReport is a serving benchmark report (the BENCH JSON format).
 	BenchReport = serve.BenchReport
+	// DetectBenchConfig parameterises RunDetectBench.
+	DetectBenchConfig = serve.DetectBenchConfig
+	// DetectBenchReport is a detection benchmark report (the BENCH_PR5
+	// JSON format).
+	DetectBenchReport = serve.DetectBenchReport
 )
 
 // NewServeRegistry returns an empty Program registry.
@@ -265,6 +276,15 @@ func NewServer(prog *Program, cfg ServeConfig) *Server { return serve.NewServer(
 // RunServeBench measures single-stream vs batched vs served throughput
 // with the same harness as `rtoss bench` and the CI artifact.
 func RunServeBench(cfg BenchConfig) (*BenchReport, error) { return serve.RunBench(cfg) }
+
+// RunDetectBench measures the detection pipeline: the allocation-free
+// postprocess stage alone, end-to-end image -> boxes under dense vs
+// sparse kernels, and concurrent encoded-image streams through the
+// batched Server.Detect path — the same harness as `rtoss bench`'s
+// detect stage and the BENCH_PR5.json CI artifact.
+func RunDetectBench(cfg DetectBenchConfig) (*DetectBenchReport, error) {
+	return serve.RunDetectBench(cfg)
+}
 
 // ParseEngineMode parses "auto", "dense" or "sparse".
 func ParseEngineMode(s string) (EngineMode, error) { return engine.ParseMode(s) }
@@ -285,12 +305,19 @@ type (
 	LetterboxMeta = tensor.LetterboxMeta
 )
 
+// FastSigmoidTolerance is the documented accuracy bound of the fast
+// float32 sigmoid the default decode path uses; set
+// DetectConfig.ExactMath for bitwise float64 reference math instead.
+const FastSigmoidTolerance = detect.FastSigmoidTolerance
+
 // Detector runs the full image -> boxes pipeline over a compiled
 // Program: letterbox preprocess to the model resolution, forward pass
-// to the detection heads, head decode + class-aware NMS, and
-// un-letterboxing back to source-image pixels. A Detector is immutable
-// after NewDetector and safe for concurrent use (the Program pools
-// per-run state internally).
+// to the detection heads, head decode + class-aware NMS (the fast
+// float32 path with pooled scratch; DetectConfig.ExactMath pins the
+// float64 reference decoders), and un-letterboxing back to
+// source-image pixels. A Detector is immutable after NewDetector and
+// safe for concurrent use (the Program and the postprocess scratch
+// pool per-run state internally).
 type Detector struct {
 	prog     *Program
 	cfg      DetectConfig
