@@ -1,0 +1,35 @@
+// Command rtoss-vet is the project's static-analysis gate: a
+// multichecker over the analyzers that enforce the serving stack's
+// hot-path invariants (zero-allocation regions, float32 fast-math
+// purity, arena buffer containment, lock/atomic discipline).
+//
+// Standalone:
+//
+//	go build -o rtoss-vet ./cmd/rtoss-vet && ./rtoss-vet ./...
+//
+// Or as a cached vet tool (incremental across runs, like go vet):
+//
+//	go vet -vettool=$PWD/rtoss-vet ./...
+//
+// See internal/analysis for the annotation vocabulary
+// (//rtoss:noalloc, //rtoss:f32, //rtoss:arena-owner, //rtoss:allow).
+package main
+
+import (
+	"os"
+
+	"rtoss/internal/analysis/arenaescape"
+	"rtoss/internal/analysis/driver"
+	"rtoss/internal/analysis/float32purity"
+	"rtoss/internal/analysis/lockdiscipline"
+	"rtoss/internal/analysis/noalloc"
+)
+
+func main() {
+	os.Exit(driver.Main(
+		noalloc.Analyzer,
+		float32purity.Analyzer,
+		arenaescape.Analyzer,
+		lockdiscipline.Analyzer,
+	))
+}

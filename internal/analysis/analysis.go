@@ -1,0 +1,171 @@
+// Package analysis is the project's static-analysis framework: a
+// deliberately small, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API (Analyzer, Pass, Diagnostic) that
+// the rtoss-vet analyzer suite is written against. The build
+// environment is offline and the module has no external dependencies,
+// so instead of importing x/tools this package reimplements the thin
+// slice of it the suite needs on top of the standard library's go/ast
+// and go/types; because the API shape matches, the analyzers can be
+// ported to the real framework by changing only import paths.
+//
+// The suite enforces the performance contract the serving stack's
+// real-time claim depends on, via source annotations:
+//
+//	//rtoss:noalloc      the function must not contain allocating
+//	                     constructs (checked by the noalloc analyzer)
+//	//rtoss:f32          the function is a float32 fast-math region:
+//	                     no float64 round-trips or float64 math.* calls
+//	                     (checked by the float32purity analyzer)
+//	//rtoss:arena-owner  the function is part of the arena plumbing and
+//	                     may retain/return tensor.Arena buffers
+//	                     (exempts it from the arenaescape analyzer)
+//	//rtoss:allow <name> on (or immediately above) an offending line:
+//	                     suppress that analyzer's diagnostics for the
+//	                     line, for deliberate exceptions such as
+//	                     amortized pool growth
+//
+// Analyzers live in the subpackages noalloc, float32purity,
+// arenaescape and lockdiscipline; the multichecker binary is
+// cmd/rtoss-vet (standalone `rtoss-vet ./...` or
+// `go vet -vettool=$(which rtoss-vet) ./...`).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass: a name (used in
+// diagnostics and //rtoss:allow suppressions), documentation, and the
+// function applying it to one package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions. It
+	// must be a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation, shown by rtoss-vet -help.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Report / pass.Reportf. The returned value is unused (kept
+	// for x/tools API compatibility).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver wires it up and
+	// applies //rtoss:allow suppression before surfacing the finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// HasDirective reports whether the comment group contains the
+// //rtoss:<name> directive. Directive comments (no space after //) are
+// stripped from doc.Text() by the parser but retained in the group's
+// comment list, which is what this inspects.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//rtoss:" + name
+	for _, c := range doc.List {
+		text := strings.TrimRight(c.Text, " \t")
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedFuncs returns every function declaration in files whose doc
+// comment carries the //rtoss:<name> directive.
+func MarkedFuncs(files []*ast.File, name string) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && HasDirective(fn.Doc, name) {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed by a "//rtoss:allow <name>" comment on the same line or
+// the line immediately above. file must be the *ast.File containing
+// pos.
+func Allowed(fset *token.FileSet, file *ast.File, name string, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "rtoss:allow ") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "rtoss:allow "))
+			ok := false
+			for _, f := range strings.Fields(rest) {
+				if f == name {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FileFor returns the *ast.File among files containing pos, or nil.
+func FileFor(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// WalkStack traverses the subtree rooted at n in depth-first order,
+// calling fn with each node and the stack of its ancestors (outermost
+// first, not including the node itself). Returning false from fn
+// prunes the node's subtree. It is the framework's stand-in for
+// x/tools' inspector.WithStack.
+func WalkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

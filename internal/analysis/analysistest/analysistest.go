@@ -1,0 +1,146 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures —
+// the same workflow as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented on the project's dependency-free framework.
+//
+// Fixtures live in GOPATH-style layout under the test's
+// testdata/src/<path>/ directory. A line expecting a diagnostic ends
+// with a comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every reported diagnostic must match a want pattern on its line and
+// every want pattern must be matched, so fixtures pin both that
+// violations are caught and that clean idioms stay clean.
+// //rtoss:allow suppression comments are honoured, which lets a
+// fixture also pin the escape hatch's behaviour.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rtoss/internal/analysis"
+	"rtoss/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory (the conventional fixture root).
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return abs
+}
+
+// Run loads each named package from testdata/src, applies the analyzer
+// and compares its findings against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	pkgs, err := load.Tree(filepath.Join(testdata, "src"), paths)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// want is one expectation: a position and the pattern a diagnostic on
+// that line must match.
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\b(.*)$`)
+
+func checkWants(t *testing.T, pkg *load.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.rx.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// splitQuoted extracts the patterns of a want comment tail: a
+// sequence of double-quoted (escapes honoured) or backquoted (raw)
+// strings.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexAny(s, "\"`")
+		if i < 0 {
+			return out
+		}
+		quote := s[i]
+		s = s[i+1:]
+		j := -1
+		for k := 0; k < len(s); k++ {
+			if quote == '"' && s[k] == '\\' {
+				k++
+				continue
+			}
+			if s[k] == quote {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return out
+		}
+		pat := s[:j]
+		if quote == '"' {
+			if unq, err := strconv.Unquote(`"` + pat + `"`); err == nil {
+				pat = unq
+			}
+		}
+		out = append(out, pat)
+		s = s[j+1:]
+	}
+}

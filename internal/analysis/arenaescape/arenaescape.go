@@ -1,0 +1,178 @@
+// Package arenaescape implements the rtoss-vet analyzer enforcing the
+// arena containment rule from the execution engine: tensors obtained
+// from a tensor.Arena (Arena.Get) are owned by the current run and
+// must be returned to the arena, not retained. Within any function, a
+// value traced to an Arena.Get call must not be returned, stored into
+// a struct field, or stored into a package-level variable — those are
+// the shapes that let a recycled buffer outlive the run that borrowed
+// it, which is a use-after-Put data race the type system cannot
+// express. The engine's Heads keep-list is the sanctioned way for a
+// buffer to survive a run; the few plumbing functions that hand arena
+// buffers around on purpose (e.g. the engine's per-layer allocator)
+// are annotated //rtoss:arena-owner, which exempts the whole function.
+//
+// The analysis is function-local taint tracking: Arena.Get results and
+// their direct aliases are tainted; passing a tainted value to another
+// function is not flagged (the callee is analyzed in its own right if
+// annotated). That keeps the check conservative in the direction that
+// matters — it cannot prove safety, but every flag it raises is a
+// retention the keep-list rule requires a human decision on.
+package arenaescape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rtoss/internal/analysis"
+)
+
+// Analyzer is the arena containment pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenaescape",
+	Doc:  "flags tensor.Arena buffers escaping via returns, struct fields or globals",
+	Run:  run,
+}
+
+// arenaPkgSuffix identifies the package defining the Arena type. A
+// suffix match (rather than the literal "rtoss/internal/tensor") lets
+// the analysistest fixtures provide a stand-in package under the same
+// tail path.
+const arenaPkgSuffix = "internal/tensor"
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || analysis.HasDirective(fn.Doc, "arena-owner") {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// Fixpoint taint collection: objects bound to Arena.Get results or
+	// to already-tainted identifiers.
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if !isTaintedExpr(info, rhs, tainted) {
+					continue
+				}
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+					if obj := lhsObj(info, id); obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isTaintedExpr(info, res, tainted) {
+					pass.Reportf(res.Pos(), "tensor.Arena buffer returned from %s escapes its run (route it through the engine keep-list or annotate //rtoss:arena-owner)", fn.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isTaintedExpr(info, rhs, tainted) {
+					continue
+				}
+				switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(n.Pos(), "tensor.Arena buffer stored into struct field %s escapes its run", types.ExprString(lhs))
+					}
+				case *ast.Ident:
+					if obj := info.Uses[lhs]; obj != nil && isGlobal(obj) {
+						pass.Reportf(n.Pos(), "tensor.Arena buffer stored into package-level variable %s escapes its run", lhs.Name)
+					}
+				case *ast.IndexExpr:
+					if base, ok := ast.Unparen(lhs.X).(*ast.SelectorExpr); ok {
+						if sel, ok := info.Selections[base]; ok && sel.Kind() == types.FieldVal {
+							pass.Reportf(n.Pos(), "tensor.Arena buffer stored into struct field %s escapes its run", types.ExprString(base))
+						}
+					} else if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && isGlobal(obj) {
+							pass.Reportf(n.Pos(), "tensor.Arena buffer stored into package-level variable %s escapes its run", id.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isTaintedExpr reports whether expr is a direct Arena.Get call or an
+// identifier already known to hold one.
+func isTaintedExpr(info *types.Info, expr ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		return isArenaGet(info, e)
+	}
+	return false
+}
+
+// isArenaGet reports whether call is (*Arena).Get on the tensor
+// package's Arena type.
+func isArenaGet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	t := typeOf(info, sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Arena" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), arenaPkgSuffix)
+}
+
+func lhsObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isGlobal(obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Parent() == obj.Pkg().Scope()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

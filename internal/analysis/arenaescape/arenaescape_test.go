@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"rtoss/internal/analysis/analysistest"
+	"rtoss/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaescape.Analyzer, "a")
+}

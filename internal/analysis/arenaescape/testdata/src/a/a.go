@@ -1,0 +1,61 @@
+// Package a exercises the arenaescape analyzer: Arena.Get results must
+// not outlive the run via returns, struct fields or globals, while
+// contained borrow/compute/Put usage and //rtoss:arena-owner plumbing
+// stay unflagged.
+package a
+
+import "internal/tensor"
+
+type holder struct {
+	buf   []float32
+	slots [][]float32
+}
+
+var global []float32
+
+func escapeReturn(a *tensor.Arena) []float32 {
+	buf := a.Get(8)
+	return buf // want `returned from escapeReturn escapes its run`
+}
+
+func escapeDirect(a *tensor.Arena) []float32 {
+	return a.Get(8) // want `returned from escapeDirect escapes its run`
+}
+
+func escapeAlias(a *tensor.Arena) []float32 {
+	buf := a.Get(8)
+	alias := buf
+	return alias // want `returned from escapeAlias escapes its run`
+}
+
+func fieldStore(h *holder, a *tensor.Arena) {
+	h.buf = a.Get(8) // want `stored into struct field h\.buf`
+}
+
+func globalStore(a *tensor.Arena) {
+	global = a.Get(8) // want `stored into package-level variable global`
+}
+
+func indexStore(h *holder, a *tensor.Arena) {
+	h.slots[0] = a.Get(8) // want `stored into struct field h\.slots`
+}
+
+// contained is the sanctioned lifecycle: borrow, compute, return to
+// the arena, hand back only derived scalars.
+func contained(a *tensor.Arena, xs []float32) float32 {
+	buf := a.Get(len(xs))
+	var sum float32
+	for i, x := range xs {
+		buf[i] = x * x
+		sum += buf[i]
+	}
+	a.Put(buf)
+	return sum
+}
+
+// owner is sanctioned plumbing: the annotation exempts the function.
+//
+//rtoss:arena-owner
+func owner(a *tensor.Arena, n int) []float32 {
+	return a.Get(n)
+}

@@ -1,0 +1,13 @@
+// Package tensor is a stand-in for rtoss/internal/tensor: the
+// arenaescape analyzer matches the Arena type by package-path suffix,
+// so this fixture copy exercises the same detection.
+package tensor
+
+// Arena mimics the real pooled-buffer arena.
+type Arena struct{ free [][]float32 }
+
+// Get borrows a buffer from the arena.
+func (a *Arena) Get(n int) []float32 { return make([]float32, n) }
+
+// Put returns a buffer to the arena.
+func (a *Arena) Put(buf []float32) { a.free = append(a.free, buf) }

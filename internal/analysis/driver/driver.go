@@ -1,0 +1,109 @@
+// Package driver is the multichecker executable logic behind
+// cmd/rtoss-vet. It supports two invocation modes:
+//
+//   - standalone: `rtoss-vet [packages]` loads the pattern-matched
+//     packages of the enclosing module (default "./...") and reports
+//     findings, exiting 1 if there are any;
+//   - vettool: `go vet -vettool=/path/to/rtoss-vet ./...` — the driver
+//     speaks cmd/go's vet tool protocol (-V=full version fingerprint
+//     for the build cache, -flags discovery, and per-package .cfg
+//     analysis units), so runs are incremental: go vet re-analyzes
+//     only packages whose inputs changed, exactly like the built-in
+//     vet suite.
+package driver
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rtoss/internal/analysis"
+	"rtoss/internal/analysis/load"
+)
+
+// Main runs the multichecker over the given analyzers and returns the
+// process exit code: 0 clean, 1 findings or usage error (standalone),
+// 2 findings (vettool protocol, matching x/tools' unitchecker).
+func Main(analyzers ...*analysis.Analyzer) int {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return 0
+		case args[0] == "-flags":
+			// No analyzer flags: report an empty set to cmd/go.
+			fmt.Println("[]")
+			return 0
+		case args[0] == "-help" || args[0] == "--help" || args[0] == "help":
+			printHelp(analyzers)
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return unitcheck(args[0], analyzers)
+		case strings.HasPrefix(args[0], "-"):
+			fmt.Fprintf(os.Stderr, "rtoss-vet: unknown flag %q\n\n", args[0])
+			printHelp(analyzers)
+			return 1
+		}
+	}
+	return standalone(args, analyzers)
+}
+
+func printHelp(analyzers []*analysis.Analyzer) {
+	fmt.Println("rtoss-vet enforces the repository's hot-path invariants as static checks.")
+	fmt.Println()
+	fmt.Println("Usage: rtoss-vet [package patterns]        (default ./...)")
+	fmt.Println("       go vet -vettool=$(which rtoss-vet) [packages]")
+	fmt.Println()
+	fmt.Println("Analyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-15s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+	}
+	fmt.Println()
+	fmt.Println("Suppress one finding with a '//rtoss:allow <analyzer>' comment on, or")
+	fmt.Println("immediately above, the offending line.")
+}
+
+// printVersion answers cmd/go's -V=full probe. The output doubles as
+// the tool's build-cache fingerprint, so it hashes the executable:
+// rebuilding rtoss-vet (new or changed analyzers) invalidates go vet's
+// cached results, while an unchanged binary keeps them warm.
+func printVersion() {
+	progname, _ := os.Executable()
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("rtoss-vet version devel buildID=%02x\n", h.Sum(nil))
+}
+
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Module(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtoss-vet: %v\n", err)
+		return 1
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtoss-vet: %v\n", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "rtoss-vet: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"rtoss/internal/analysis"
+)
+
+// vetConfig is the analysis-unit description cmd/go writes for a vet
+// tool: one type-checkable package plus the import -> export-data
+// mapping of its (already compiled) dependencies. The field set
+// mirrors cmd/go/internal/work's vetConfig JSON.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredGoFiles            []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one vet analysis unit. Exit codes follow
+// x/tools' unitchecker: 0 clean, 1 tool/typecheck failure, 2 findings.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtoss-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rtoss-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The suite keeps no cross-package facts, but cmd/go requires the
+	// facts ("vetx") output file to exist for caching to work.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte("rtoss-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "rtoss-vet: %v\n", err)
+			return false
+		}
+		return true
+	}
+	// Dependencies analyzed only for facts need no work at all.
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, compilerOrGC(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: unsafeOr{imp},
+		Sizes:    types.SizesFor(compilerOrGC(cfg.Compiler), "amd64"),
+	}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+
+	findings, err := analysis.RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtoss-vet: %v\n", err)
+		return 1
+	}
+	if !writeVetx() {
+		return 1
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		return 2
+	}
+	return 0
+}
+
+// typecheckFailure honours SucceedOnTypecheckFailure, which cmd/go
+// sets when the package is already known not to compile (the compiler
+// will report the errors; vet should stay quiet).
+func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "rtoss-vet: %s: %v\n", cfg.ImportPath, err)
+	return 1
+}
+
+func compilerOrGC(compiler string) string {
+	if compiler == "" {
+		return "gc"
+	}
+	return compiler
+}
+
+// unsafeOr wraps an importer with the "unsafe" special case (it has no
+// export data; go/types models it as the singleton types.Unsafe).
+type unsafeOr struct{ imp types.Importer }
+
+func (u unsafeOr) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.imp.Import(path)
+}

@@ -1,0 +1,140 @@
+// Package float32purity implements the rtoss-vet analyzer enforcing
+// //rtoss:f32: functions so annotated are float32 fast-math regions
+// (the polynomial sigmoid/exp decoders) and must not silently fall
+// back to float64 — neither by calling the float64 math.* functions
+// (math.Exp reappearing in the fast path is exactly the regression the
+// exact/fast split exists to prevent) nor by round-tripping float32
+// values through float64 arithmetic.
+//
+// One-way conversions out of the region are legitimate boundaries and
+// stay unflagged: building float64 output fields (composite literals,
+// assignments, returns) or passing float64 arguments to non-math
+// calls. What gets flagged is float64(x) on a float32 value feeding
+// further arithmetic, a math.* call, or a conversion back to float32 —
+// the shapes that smuggle double-precision work into the hot loop.
+package float32purity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rtoss/internal/analysis"
+)
+
+// Analyzer is the //rtoss:f32 enforcement pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "float32purity",
+	Doc:  "flags float64 round-trips and float64 math.* calls inside //rtoss:f32 functions",
+	Run:  run,
+}
+
+// f32SafeMath are the math package functions that are pure bit/float32
+// plumbing rather than float64 computation.
+var f32SafeMath = map[string]bool{
+	"Float32bits":     true,
+	"Float32frombits": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range analysis.MarkedFuncs(pass.Files, "f32") {
+		if fn.Body == nil {
+			continue
+		}
+		checkFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := mathCall(info, call); ok {
+			if !f32SafeMath[name] {
+				pass.Reportf(call.Pos(), "float64 math.%s call in //rtoss:f32 function %s (use a float32 equivalent)", name, fn.Name.Name)
+			}
+			return true
+		}
+		if isConversionTo(info, call, types.Float64) && isFloat32(typeOf(info, call.Args[0])) {
+			if feedsArithmetic(info, stack) {
+				pass.Reportf(call.Pos(), "float64 round-trip of float32 value in //rtoss:f32 function %s", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// feedsArithmetic inspects the context of a float64(x) conversion: a
+// parent that is arithmetic, a math call, or a conversion back to
+// float32 means the widened value is computed on (a round-trip); a
+// parent that merely stores or returns the value is a legitimate
+// boundary conversion.
+func feedsArithmetic(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr, *ast.UnaryExpr:
+			return true
+		case *ast.CallExpr:
+			if _, ok := mathCall(info, p); ok {
+				return true
+			}
+			if tv, ok := info.Types[p.Fun]; ok && tv.IsType() {
+				// Conversion: back to float32 closes the round-trip;
+				// to anything else it is a new boundary.
+				return isFloat32(tv.Type)
+			}
+			return false // argument of an ordinary call: boundary
+		default:
+			return false // stored, returned, indexed, ...: boundary
+		}
+	}
+	return false
+}
+
+func mathCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isConversionTo(info *types.Info, call *ast.CallExpr, kind types.BasicKind) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}
+
+func isFloat32(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float32
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package float32purity_test
+
+import (
+	"testing"
+
+	"rtoss/internal/analysis/analysistest"
+	"rtoss/internal/analysis/float32purity"
+)
+
+func TestFloat32Purity(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), float32purity.Analyzer, "a")
+}

@@ -1,0 +1,50 @@
+// Package a exercises the float32purity analyzer: //rtoss:f32
+// functions must not call float64 math.* or round-trip float32 values
+// through float64 arithmetic, while one-way boundary conversions stay
+// unflagged.
+package a
+
+import "math"
+
+type result struct{ score float64 }
+
+func sinkF64(v float64) {}
+
+//rtoss:f32
+func mathExp(z float32) float32 {
+	return float32(math.Exp(float64(z))) // want `float64 math\.Exp call` `float64 round-trip`
+}
+
+//rtoss:f32
+func roundTrip(x float32) float32 {
+	y := float32(float64(x) * 1.5) // want `float64 round-trip of float32 value`
+	return y
+}
+
+//rtoss:f32
+func bitsAreSafe(x float32) uint32 {
+	return math.Float32bits(x)
+}
+
+// boundary pins the legitimate one-way exits: storing, returning and
+// passing a widened value without computing on it.
+//
+//rtoss:f32
+func boundary(x float32) (result, float64) {
+	var r result
+	r.score = float64(x)
+	sinkF64(float64(x))
+	return r, float64(x)
+}
+
+// allowSqrt pins the escape hatch.
+//
+//rtoss:f32
+func allowSqrt(x float32) float32 {
+	return float32(math.Sqrt(float64(x))) //rtoss:allow float32purity (cold path)
+}
+
+// unannotated may use float64 math freely.
+func unannotated(z float64) float64 {
+	return math.Exp(z)
+}

@@ -1,0 +1,377 @@
+// Package load type-checks Go packages for the analysis framework
+// without golang.org/x/tools/go/packages: package metadata comes from
+// `go list -export -deps -json` (which also yields gc export data for
+// every dependency out of the toolchain's build cache, so dependencies
+// are imported in compiled form instead of re-type-checked from
+// source), and the target packages themselves are parsed and checked
+// with the standard library's go/parser and go/types.
+//
+// Two entry points cover the two consumers: Module loads pattern-
+// matched packages of the enclosing module (the rtoss-vet standalone
+// driver), and Tree loads GOPATH-style fixture packages rooted at a
+// testdata/src directory (the analysistest harness), resolving fixture-
+// local imports from source and everything else through the toolchain.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	// Path is the package's import path (for Tree-loaded fixture
+	// packages, the path relative to the source root).
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Fset positions every file in the load session.
+	Fset *token.FileSet
+	// Files are the parsed source files (comments retained).
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct {
+		Path      string
+		GoVersion string
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// goList runs `go list -export -deps -json` on args in dir and decodes
+// the package stream.
+func goList(dir string, args []string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// newInfo returns a types.Info recording everything the analyzers use.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// parseDir parses the named files of one package directory.
+func parseDir(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// exportImporter satisfies types.Importer over a map of import path ->
+// gc export data file, with "unsafe" special-cased. The underlying gc
+// importer caches, so shared dependencies are read once per session.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{exports: exports}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := e.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// check type-checks one package's parsed files.
+func check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", "amd64"),
+		GoVersion: goVersion,
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Module loads the packages matching the go patterns (e.g. "./...")
+// relative to dir, which must lie inside a module. Matched packages
+// are parsed and type-checked from source; their dependencies are
+// imported from toolchain export data.
+func Module(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	goVersion := ""
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && p.Module.GoVersion != "" {
+			goVersion = "go" + p.Module.GoVersion
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		files, err := parseDir(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := check(p.ImportPath, fset, files, imp, goVersion)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Dir:   p.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// treeImporter resolves import paths that exist as directories under
+// the source root from source (memoized, so fixture packages can
+// import each other), and everything else through export data.
+type treeImporter struct {
+	root    string
+	fset    *token.FileSet
+	ext     *exportImporter
+	srcPkgs map[string]*Package
+	loading map[string]bool
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ti.srcPkgs[path]; ok {
+		return pkg.Types, nil
+	}
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := ti.loadSource(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ti.ext.Import(path)
+}
+
+func (ti *treeImporter) loadSource(path, dir string) (*Package, error) {
+	if ti.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	ti.loading[path] = true
+	defer delete(ti.loading, path)
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, err := parseDir(ti.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := check(path, ti.fset, files, ti, "")
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: ti.fset, Files: files, Types: tpkg, Info: info}
+	ti.srcPkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFileNames lists the non-test .go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" || len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// Tree loads the named packages from a GOPATH-style source root
+// (testdata/src): each path maps to root/<path>. Imports that resolve
+// to directories under root load from source; all other imports are
+// resolved through one `go list -export` call against the enclosing
+// module/toolchain.
+func Tree(root string, paths []string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	// Discover the external (non-tree) imports up front so one go list
+	// call covers them all, then let the tree importer do the rest.
+	ext, err := externalImports(root, paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(ext) > 0 {
+		listed, err := goList("", ext)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	ti := &treeImporter{
+		root:    root,
+		fset:    fset,
+		ext:     newExportImporter(fset, exports),
+		srcPkgs: map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		pkg, ok := ti.srcPkgs[path]
+		if !ok {
+			pkg, err = ti.loadSource(path, dir)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// externalImports walks the tree packages reachable from paths and
+// returns the sorted set of imports that do not resolve inside root.
+func externalImports(root string, paths []string) ([]string, error) {
+	seen := map[string]bool{}
+	external := map[string]bool{}
+	fset := token.NewFileSet()
+	var visit func(path string) error
+	visit = func(path string) error {
+		if seen[path] {
+			return nil
+		}
+		seen[path] = true
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		names, err := goFileNames(dir)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, spec := range f.Imports {
+				imp, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || imp == "unsafe" {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(root, filepath.FromSlash(imp))); err == nil && st.IsDir() {
+					if err := visit(imp); err != nil {
+						return err
+					}
+				} else {
+					external[imp] = true
+				}
+			}
+		}
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]string, 0, len(external))
+	for imp := range external {
+		out = append(out, imp)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,368 @@
+// Package lockdiscipline implements the rtoss-vet analyzer guarding
+// the serving stack's concurrency conventions. It makes two checks:
+//
+//  1. Lock-held blocking: while a sync.Mutex or sync.RWMutex is held
+//     (between Lock/RLock and the matching Unlock in the same
+//     function), channel sends and receives, selects without a
+//     default case, WaitGroup.Wait and time.Sleep are flagged — a
+//     blocking operation under a lock turns the micro-batching
+//     queue's backpressure into lock convoy or deadlock. The one
+//     sanctioned exception (serve.submit's send under the close
+//     read-lock) carries an explicit //rtoss:allow lockdiscipline.
+//
+//  2. Atomic/plain mixing: a struct field or variable that is
+//     accessed through sync/atomic anywhere in the package (the
+//     Stats counters) must be accessed that way everywhere —
+//     a plain read or write of the same field elsewhere is a data
+//     race the race detector only catches if a test happens to
+//     exercise both sites concurrently. Declarations and
+//     initializations before sharing are exempt.
+//
+// Both checks are function-local / package-local approximations; they
+// trade completeness for zero false positives on the shapes the
+// codebase actually uses, with //rtoss:allow as the escape hatch.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rtoss/internal/analysis"
+)
+
+// Analyzer is the lock/atomic discipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flags blocking operations under sync locks and mixed atomic/plain access to the same field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkLockHeld(pass, fn)
+			}
+		}
+	}
+	checkAtomicMixing(pass)
+	return nil, nil
+}
+
+// --- check 1: blocking operations while a lock is held ---
+
+// lockState maps a lock expression (printed form, e.g. "s.mu") to
+// whether the hold is exclusive (Lock) or shared (RLock).
+type lockState map[string]bool
+
+func (ls lockState) clone() lockState {
+	c := make(lockState, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (ls lockState) names() string {
+	var keys []string
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	// Deterministic order for stable diagnostics.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return strings.Join(keys, ", ")
+}
+
+func checkLockHeld(pass *analysis.Pass, fn *ast.FuncDecl) {
+	walkStmts(pass, fn.Body.List, lockState{})
+}
+
+// walkStmts scans a statement list linearly, tracking lock
+// acquisitions and releases, and checks every other statement for
+// blocking operations while any lock is held. Branch bodies get a
+// copy of the current state (a release inside a branch is assumed to
+// be paired with an exit from the enclosing flow, the codebase's
+// early-return idiom).
+func walkStmts(pass *analysis.Pass, stmts []ast.Stmt, held lockState) {
+	for _, stmt := range stmts {
+		walkStmt(pass, stmt, held)
+	}
+}
+
+func walkStmt(pass *analysis.Pass, stmt ast.Stmt, held lockState) {
+	info := pass.TypesInfo
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if recv, name, ok := syncMethod(info, call); ok {
+				switch name {
+				case "Lock":
+					held[recv] = true
+					return
+				case "RLock":
+					held[recv] = false
+					return
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+					return
+				}
+			}
+		}
+		checkBlocking(pass, s, held)
+	case *ast.DeferStmt:
+		// Deferred Unlock keeps the lock held to function exit as far
+		// as this linear scan is concerned; deferred anything else is
+		// not a blocking point at this statement.
+		return
+	case *ast.BlockStmt:
+		walkStmts(pass, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		checkBlockingExpr(pass, s.Cond, held)
+		walkStmts(pass, s.Body.List, held.clone())
+		if s.Else != nil {
+			walkStmt(pass, s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkBlockingExpr(pass, s.Cond, held)
+		}
+		walkStmts(pass, s.Body.List, held.clone())
+	case *ast.RangeStmt:
+		checkBlockingExpr(pass, s.X, held)
+		walkStmts(pass, s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			walkStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkBlockingExpr(pass, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefault(s) {
+			pass.Reportf(s.Pos(), "blocking select while holding %s", held.names())
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				// The comm op itself is non-blocking inside a select
+				// with default (and already reported above without
+				// one); only the clause bodies need scanning.
+				walkStmts(pass, cc.Body, held.clone())
+			}
+		}
+	case *ast.LabeledStmt:
+		walkStmt(pass, s.Stmt, held)
+	default:
+		checkBlocking(pass, stmt, held)
+	}
+}
+
+// checkBlocking scans one non-control-flow statement for blocking
+// operations performed while a lock is held.
+func checkBlocking(pass *analysis.Pass, stmt ast.Stmt, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	info := pass.TypesInfo
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body runs later, under its own discipline
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding %s", held.names())
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "channel receive while holding %s", held.names())
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := syncMethod(info, n); ok && name == "Wait" {
+				pass.Reportf(n.Pos(), "%s.Wait while holding %s", recv, held.names())
+			}
+			if isTimeSleep(info, n) {
+				pass.Reportf(n.Pos(), "time.Sleep while holding %s", held.names())
+			}
+		}
+		return true
+	})
+}
+
+func checkBlockingExpr(pass *analysis.Pass, expr ast.Expr, held lockState) {
+	if expr == nil || len(held) == 0 {
+		return
+	}
+	checkBlocking(pass, &ast.ExprStmt{X: expr}, held)
+}
+
+// syncMethod matches method calls on sync.Mutex, sync.RWMutex,
+// sync.WaitGroup and sync.Cond (directly or via pointer/embedding) and
+// returns the receiver's printed expression and the method name.
+func syncMethod(info *types.Info, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	selection, isSelection := info.Selections[sel]
+	if !isSelection || selection.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	mobj := selection.Obj()
+	if mobj.Pkg() == nil || mobj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+func isTimeSleep(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sleep" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// --- check 2: mixed atomic / plain access ---
+
+func checkAtomicMixing(pass *analysis.Pass) {
+	info := pass.TypesInfo
+	// Pass 1: every variable (field or otherwise) whose address is
+	// taken as the first argument of a sync/atomic call.
+	atomicVars := map[types.Object]ast.Node{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if obj := addressedVar(info, addr.X); obj != nil {
+				atomicVars[obj] = call
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+	// Pass 2: plain uses of those variables.
+	for _, file := range pass.Files {
+		analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			var obj types.Object
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					obj = sel.Obj()
+					pos = n.Pos()
+				}
+			case *ast.Ident:
+				// Skip the .Sel of a selector (reported at the
+				// SelectorExpr) so each access is flagged once.
+				if len(stack) > 0 {
+					if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+						return true
+					}
+				}
+				obj = info.Uses[n]
+				pos = n.Pos()
+			}
+			if obj == nil || atomicVars[obj] == nil {
+				return true
+			}
+			if plainUseExempt(info, n, stack) {
+				return true
+			}
+			pass.Reportf(pos, "plain access to %s, which is accessed atomically elsewhere in the package", obj.Name())
+			return true
+		})
+	}
+}
+
+// plainUseExempt reports whether this occurrence of an atomically-
+// accessed variable is fine: it is the operand of an & passed (perhaps
+// through a helper) onward, part of its own declaration, or the inner
+// part of a selector already being reported.
+func plainUseExempt(info *types.Info, n ast.Node, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			continue // x in x.f, or parens
+		case *ast.UnaryExpr:
+			// &x.f: address taken — either for an atomic call or to
+			// hand to a helper that does the atomics (atomicMax).
+			return p.Op == token.AND
+		case *ast.ValueSpec, *ast.Field, *ast.CompositeLit:
+			return true // declaration or initialization
+		case *ast.AssignStmt:
+			return p.Tok == token.DEFINE
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &expr's operand to a variable object: a struct
+// field selector or a plain identifier.
+func addressedVar(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		return info.Uses[e]
+	}
+	return nil
+}

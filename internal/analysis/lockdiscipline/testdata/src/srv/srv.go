@@ -1,0 +1,112 @@
+// Package srv exercises the lockdiscipline analyzer: blocking
+// operations while a sync lock is held, and plain access to fields
+// that are accessed atomically elsewhere in the package.
+package srv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type server struct {
+	mu    sync.Mutex
+	close sync.RWMutex
+	wg    sync.WaitGroup
+	queue chan int
+}
+
+func sendUnderLock(s *server, v int) {
+	s.mu.Lock()
+	s.queue <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func recvUnderDefer(s *server) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.queue // want `channel receive while holding s\.mu`
+}
+
+func selectUnderLock(s *server, done chan struct{}) {
+	s.mu.Lock()
+	select { // want `blocking select while holding s\.mu`
+	case s.queue <- 1:
+	case <-done:
+	}
+	s.mu.Unlock()
+}
+
+func waitUnderLock(s *server) {
+	s.mu.Lock()
+	s.wg.Wait() // want `s\.wg\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func sleepUnderLock(s *server) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// unlockThenSend pins the release tracking: after Unlock the send is
+// clean.
+func unlockThenSend(s *server, v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.queue <- v
+}
+
+// nonBlockingSelect pins that a select with a default case is a
+// sanctioned try-send under a lock.
+func nonBlockingSelect(s *server, v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.queue <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// allowSend pins the escape hatch used by serve.submit: a send under
+// the close read-lock, by design, with an explicit allow.
+func allowSend(s *server, v int) {
+	s.close.RLock()
+	s.queue <- v //rtoss:allow lockdiscipline (send is fenced by the close lock by design)
+	s.close.RUnlock()
+}
+
+type stats struct {
+	hits uint64
+	cold int
+}
+
+func (st *stats) inc() {
+	atomic.AddUint64(&st.hits, 1)
+}
+
+func (st *stats) snapshot() uint64 {
+	return atomic.LoadUint64(&st.hits)
+}
+
+func (st *stats) racyRead() uint64 {
+	return st.hits // want `plain access to hits`
+}
+
+func (st *stats) racyWrite() {
+	st.hits = 0 // want `plain access to hits`
+}
+
+// helperAddress pins the atomicMax idiom: taking the address to hand
+// to an atomic helper is not a plain access.
+func helperAddress(st *stats) *uint64 {
+	return &st.hits
+}
+
+// coldField pins that fields never touched atomically are free.
+func coldField(st *stats) int {
+	st.cold++
+	return st.cold
+}

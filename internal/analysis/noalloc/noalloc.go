@@ -1,0 +1,333 @@
+// Package noalloc implements the rtoss-vet analyzer enforcing
+// //rtoss:noalloc: functions so annotated (the postprocess hot path,
+// the serve stats recorders, the arena-backed kernels) must not
+// contain allocation-inducing constructs. It flags make/new, slice and
+// map literals, heap-escaping &composite literals, appends to slices
+// that cannot carry spare capacity, fmt/errors calls, string
+// concatenation and string<->[]byte conversions, interface boxing of
+// non-pointer values, escaping closures, method values and go
+// statements. Deliberate exceptions (amortized pool growth, cold
+// error paths) carry a //rtoss:allow noalloc comment.
+//
+// The check is syntactic + type-informed, not an escape analysis: it
+// cannot see allocations inside callees, and it flags constructs the
+// compiler might occasionally optimize away. That asymmetry is the
+// point — the annotated functions are the ones where "might allocate"
+// already needs a written justification.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rtoss/internal/analysis"
+)
+
+// Analyzer is the //rtoss:noalloc enforcement pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "flags allocating constructs inside //rtoss:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, fn := range analysis.MarkedFuncs(pass.Files, "noalloc") {
+		if fn.Body == nil {
+			continue
+		}
+		checkFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	sig := funcSig(info, fn)
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates in //rtoss:noalloc function %s", fn.Name.Name)
+		case *ast.FuncLit:
+			if !immediatelyInvoked(n, stack) {
+				pass.Reportf(n.Pos(), "func literal may allocate a closure in //rtoss:noalloc function %s", fn.Name.Name)
+			}
+			return false // don't descend: the closure body is not this function's hot path
+		case *ast.CompositeLit:
+			t := typeOf(info, n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in //rtoss:noalloc function %s", fn.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in //rtoss:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal allocates in //rtoss:noalloc function %s", fn.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(typeOf(info, n)) && info.Types[n].Value == nil {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //rtoss:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		case *ast.SelectorExpr:
+			// A method value (x.M referenced, not called) allocates a
+			// bound-method closure.
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal && !isCallFun(n, stack) {
+				pass.Reportf(n.Pos(), "method value allocates a closure in //rtoss:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			checkAssignBoxing(pass, fn, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fn, sig, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in //rtoss:noalloc function %s", fn.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in //rtoss:noalloc function %s", fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 && freshSlice(info, call.Args[0]) {
+					pass.Reportf(call.Pos(), "append to a capacity-free fresh slice allocates in //rtoss:noalloc function %s", fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		checkConversion(pass, fn, call, tv.Type)
+		return
+	}
+	// Denylisted always-allocating calls.
+	if pkg, name := calleePkgFunc(info, call); pkg != "" {
+		switch {
+		case pkg == "fmt":
+			pass.Reportf(call.Pos(), "fmt.%s allocates in //rtoss:noalloc function %s", name, fn.Name.Name)
+			return
+		case pkg == "errors" && name != "Is" && name != "As" && name != "Unwrap":
+			pass.Reportf(call.Pos(), "errors.%s allocates in //rtoss:noalloc function %s", name, fn.Name.Name)
+			return
+		}
+	}
+	// Interface boxing of arguments.
+	ft := typeOf(info, call.Fun)
+	if ft == nil {
+		return
+	}
+	sig, _ := ft.Underlying().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call.Ellipsis.IsValid())
+		if pt == nil {
+			continue
+		}
+		if boxes(info, arg, pt) {
+			pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes (allocates) in //rtoss:noalloc function %s",
+				typeOf(info, arg), fn.Name.Name)
+		}
+	}
+}
+
+func checkConversion(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, target types.Type) {
+	info := pass.TypesInfo
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	src := typeOf(info, arg)
+	switch {
+	case isString(target) && (isByteSlice(src) || isRuneSlice(src)):
+		pass.Reportf(call.Pos(), "[]byte/[]rune-to-string conversion allocates in //rtoss:noalloc function %s", fn.Name.Name)
+	case (isByteSlice(target) || isRuneSlice(target)) && isString(src):
+		pass.Reportf(call.Pos(), "string-to-slice conversion allocates in //rtoss:noalloc function %s", fn.Name.Name)
+	case boxes(info, arg, target):
+		pass.Reportf(call.Pos(), "conversion of %s to interface boxes (allocates) in //rtoss:noalloc function %s", src, fn.Name.Name)
+	}
+}
+
+func checkAssignBoxing(pass *analysis.Pass, fn *ast.FuncDecl, n *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if n.Tok == token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+		return // := infers the RHS type; multi-value RHS has no per-expr mapping
+	}
+	for i, lhs := range n.Lhs {
+		lt := typeOf(info, lhs)
+		if lt == nil {
+			continue
+		}
+		if boxes(info, n.Rhs[i], lt) {
+			pass.Reportf(n.Rhs[i].Pos(), "assigning %s to interface boxes (allocates) in //rtoss:noalloc function %s",
+				typeOf(info, n.Rhs[i]), fn.Name.Name)
+		}
+	}
+}
+
+func checkReturnBoxing(pass *analysis.Pass, fn *ast.FuncDecl, sig *types.Signature, n *ast.ReturnStmt) {
+	if sig == nil || sig.Results().Len() != len(n.Results) {
+		return
+	}
+	for i, res := range n.Results {
+		if boxes(pass.TypesInfo, res, sig.Results().At(i).Type()) {
+			pass.Reportf(res.Pos(), "returning %s as interface boxes (allocates) in //rtoss:noalloc function %s",
+				typeOf(pass.TypesInfo, res), fn.Name.Name)
+		}
+	}
+}
+
+// boxes reports whether using expr as a value of target type converts
+// a concrete value into an interface in a way that allocates: the
+// target is an interface, the value's type is concrete, and its
+// representation does not already fit the interface data word
+// (pointers, channels, maps and funcs do; constants are materialized
+// in static data by the compiler).
+func boxes(info *types.Info, expr ast.Expr, target types.Type) bool {
+	if target == nil || !types.IsInterface(target) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // untracked, or a constant (interned statically)
+	}
+	src := tv.Type
+	if src == types.Typ[types.UntypedNil] || types.IsInterface(src) {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // fits the interface word directly
+	}
+	return true
+}
+
+// freshSlice reports whether expr is a slice expression that cannot
+// carry spare capacity: untyped nil, a []T(nil) conversion, or an
+// empty slice literal. Appending to it is guaranteed to allocate.
+func freshSlice(info *types.Info, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := info.Types[expr]; ok && tv.Type == types.Typ[types.UntypedNil] {
+		return true
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return e.Name == "nil" && info.Uses[e] == types.Universe.Lookup("nil")
+	case *ast.CompositeLit:
+		if t := typeOf(info, e); t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				return len(e.Elts) == 0
+			}
+		}
+	case *ast.CallExpr:
+		// []T(nil) conversion.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return freshSlice(info, e.Args[0])
+		}
+	}
+	return false
+}
+
+func immediatelyInvoked(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == lit
+}
+
+func isCallFun(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == sel
+}
+
+func funcSig(info *types.Info, fn *ast.FuncDecl) *types.Signature {
+	if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+		return obj.Type().(*types.Signature)
+	}
+	return nil
+}
+
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path(), sel.Sel.Name
+		}
+	}
+	return "", ""
+}
+
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if ellipsis {
+			if i == n-1 {
+				return sig.Params().At(n - 1).Type()
+			}
+			return nil
+		}
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool { return isSliceOf(t, types.Byte) }
+func isRuneSlice(t types.Type) bool { return isSliceOf(t, types.Rune) }
+
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == kind
+}

@@ -1,0 +1,145 @@
+// Package a exercises the noalloc analyzer: each annotated function
+// demonstrates one allocating construct the analyzer must catch, and
+// clean/allowGrow pin the idioms that must stay unflagged.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type box struct{ x1, y1, x2, y2 float64 }
+
+type det struct {
+	b     box
+	class int
+	score float64
+}
+
+func (d det) get() float64 { return d.score }
+
+func sink(v any) { _ = v }
+
+func helper() {}
+
+// clean is the sanctioned hot-path idiom set: self-append into a
+// capacity-retaining buffer, value struct literals, slicing,
+// arithmetic, calls with concrete arguments.
+//
+//rtoss:noalloc
+func clean(dst []det, src []det, k int) []det {
+	for i := range src {
+		if src[i].score > 0.5 {
+			dst = append(dst, det{b: box{0, 0, 1, 1}, class: i, score: src[i].score})
+		}
+	}
+	_ = src[:k]
+	return dst
+}
+
+// iife is fine: an immediately-invoked literal is not a retained
+// closure.
+//
+//rtoss:noalloc
+func iife() int {
+	return func() int { return 1 }()
+}
+
+//rtoss:noalloc
+func makes(n int) []int {
+	s := make([]int, n) // want `make allocates`
+	return s
+}
+
+//rtoss:noalloc
+func news() *det {
+	return new(det) // want `new allocates`
+}
+
+//rtoss:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//rtoss:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//rtoss:noalloc
+func heapLit() *det {
+	return &det{} // want `&composite literal allocates`
+}
+
+//rtoss:noalloc
+func freshAppend(d det) []det {
+	return append([]det(nil), d) // want `append to a capacity-free fresh slice allocates`
+}
+
+//rtoss:noalloc
+func fmtCall(err error) error {
+	return fmt.Errorf("wrap: %w", err) // want `fmt.Errorf allocates`
+}
+
+//rtoss:noalloc
+func errCall(msg string) error {
+	return errors.New(msg) // want `errors.New allocates`
+}
+
+//rtoss:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//rtoss:noalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want `string-to-slice conversion allocates`
+}
+
+//rtoss:noalloc
+func boxArg(v int) {
+	sink(v) // want `passing int to interface parameter boxes`
+}
+
+//rtoss:noalloc
+func boxAssign(v int) {
+	var i any
+	i = v // want `assigning int to interface boxes`
+	_ = i
+}
+
+//rtoss:noalloc
+func closure(xs []int) func() int {
+	n := 0
+	f := func() int { // want `func literal may allocate a closure`
+		n += len(xs)
+		return n
+	}
+	return f
+}
+
+//rtoss:noalloc
+func goStmt() {
+	go helper() // want `go statement allocates`
+}
+
+//rtoss:noalloc
+func methodValue(d det) func() float64 {
+	return d.get // want `method value allocates a closure`
+}
+
+// allowGrow pins the escape hatch: amortized pool growth carries an
+// explicit //rtoss:allow and stays unflagged.
+//
+//rtoss:noalloc
+func allowGrow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //rtoss:allow noalloc (amortized grow)
+	}
+	return buf[:n]
+}
+
+// unannotated may allocate freely.
+func unannotated() []int {
+	return append([]int(nil), make([]int, 4)...)
+}

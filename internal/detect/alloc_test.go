@@ -1,0 +1,98 @@
+package detect
+
+import (
+	"testing"
+
+	"rtoss/internal/tensor"
+)
+
+// alloc_test.go pins the zero-allocation contract of the post-network
+// hot path with testing.AllocsPerRun — the runtime-measured complement
+// of the static //rtoss:noalloc gate rtoss-vet enforces. The benchmarks
+// report allocs/op too, but only these tests fail the build when the
+// steady state regresses.
+
+// allocsSteadyState measures f's steady-state allocation rate. The hot
+// path's scratch lives in a sync.Pool, which a GC between runs can
+// empty mid-measurement (the refill is a real allocation but not a
+// regression), so a nonzero measurement is retried a few times after
+// re-warming before it is believed.
+func allocsSteadyState(f func()) float64 {
+	var allocs float64
+	for attempt := 0; attempt < 3; attempt++ {
+		f() // warm the pooled scratch and output capacity
+		allocs = testing.AllocsPerRun(100, f)
+		if allocs == 0 {
+			break
+		}
+	}
+	return allocs
+}
+
+// TestDecodeIntoZeroAlloc pins that steady-state fast-path decoding
+// into a capacity-retaining buffer performs zero allocations per call,
+// for both head layouts.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race drops sync.Pool items and allocates internally; zero-alloc is only meaningful without it")
+	}
+	cases := []struct {
+		name  string
+		spec  HeadSpec
+		heads []*tensor.Tensor
+	}{
+		{"yolov5", benchYOLOSpec(), nil},
+		{"retinanet", benchRetinaSpec(), nil},
+	}
+	cases[0].heads = benchYOLOHeads(cases[0].spec, 640)
+	cases[1].heads = benchRetinaHeads(cases[1].spec, 640)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var dst []Detection
+			var err error
+			if dst, err = DecodeInto(dst, tc.heads, tc.spec, 0.25, false); err != nil {
+				t.Fatal(err)
+			}
+			if len(dst) == 0 {
+				t.Fatal("fixture produced no candidates; the measurement would be vacuous")
+			}
+			got := allocsSteadyState(func() {
+				if dst, err = DecodeInto(dst[:0], tc.heads, tc.spec, 0.25, false); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != 0 {
+				t.Errorf("DecodeInto: %v allocs/op in steady state, want 0", got)
+			}
+		})
+	}
+}
+
+// TestPostprocessIntoZeroAlloc pins the full post-network stage —
+// decode, TopK, sort, class-bucketed NMS, un-letterbox — at zero
+// allocations per call in the serving steady state.
+func TestPostprocessIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race drops sync.Pool items and allocates internally; zero-alloc is only meaningful without it")
+	}
+	spec := benchYOLOSpec()
+	heads := benchYOLOHeads(spec, 640)
+	_, meta := tensor.LetterboxImage(tensor.New(3, 375, 1242), 640, 640, tensor.LetterboxFill)
+	cfg := Config{Spec: spec}
+	var dst []Detection
+	var err error
+	if dst, err = PostprocessInto(dst, heads, meta, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) == 0 {
+		t.Fatal("fixture produced no detections; the measurement would be vacuous")
+	}
+	got := allocsSteadyState(func() {
+		if dst, err = PostprocessInto(dst[:0], heads, meta, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("PostprocessInto: %v allocs/op in steady state, want 0", got)
+	}
+}

@@ -68,18 +68,23 @@ func (b Box) Scale(s float64) Box {
 }
 
 // Clip returns the box clipped to [0,w]×[0,h]. Boxes entirely outside
-// the frame collapse to a zero-area box on the nearest edge.
+// the frame collapse to a zero-area box on the nearest edge. It runs
+// in the postprocess emit loop, hence the noalloc gate.
+//
+//rtoss:noalloc
 func (b Box) Clip(w, h float64) Box {
-	clamp := func(v, hi float64) float64 {
-		if v < 0 {
-			return 0
-		}
-		if v > hi {
-			return hi
-		}
-		return v
-	}
 	return Box{clamp(b.X1, w), clamp(b.Y1, h), clamp(b.X2, w), clamp(b.Y2, h)}
+}
+
+//rtoss:noalloc
+func clamp(v, hi float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // String implements fmt.Stringer.
@@ -88,6 +93,9 @@ func (b Box) String() string {
 }
 
 // IoU returns the intersection-over-union of two boxes in [0, 1].
+// It sits in the NMS inner loop, hence the noalloc gate.
+//
+//rtoss:noalloc
 func IoU(a, b Box) float64 {
 	ix1, iy1 := max(a.X1, b.X1), max(a.Y1, b.Y1)
 	ix2, iy2 := min(a.X2, b.X2), min(a.Y2, b.Y2)

@@ -30,11 +30,30 @@ const (
 	ln2   = 0.6931471805599453
 )
 
+// floorf is float32 floor for fastExp's bounded input range (|x| well
+// inside int32): conversion through int32 truncates toward zero, so
+// negative non-integers need one correction step. Keeping this in
+// float32 avoids the float64 round-trip math.Floor would reintroduce
+// into the //rtoss:f32 region.
+//
+//rtoss:f32
+//rtoss:noalloc
+func floorf(x float32) float32 {
+	i := float32(int32(x))
+	if i > x {
+		i--
+	}
+	return i
+}
+
 // fastExp approximates e^x in float32: x is split as x/ln2 = k + f with
 // f in [-0.5, 0.5], 2^f is a degree-6 Taylor polynomial (relative error
 // < 2e-7) and 2^k is assembled directly into the float32 exponent bits.
 // Out-of-range inputs saturate (underflow to 0, overflow clamps at
 // e^88 ~ 1.7e38) instead of producing Inf/NaN.
+//
+//rtoss:f32
+//rtoss:noalloc
 func fastExp(x float32) float32 {
 	if x < -87 {
 		return 0
@@ -43,7 +62,7 @@ func fastExp(x float32) float32 {
 		x = 88
 	}
 	z := x * log2e
-	kf := float32(math.Floor(float64(z) + 0.5))
+	kf := floorf(z + 0.5)
 	g := (z - kf) * ln2 // in [-ln2/2, ln2/2]
 	// e^g via Horner; coefficients are 1/n! (Taylor about 0).
 	p := 1 + g*(1+g*(0.5+g*(1.0/6+g*(1.0/24+g*(1.0/120+g*(1.0/720))))))
@@ -51,6 +70,9 @@ func fastExp(x float32) float32 {
 }
 
 // fastSigmoid approximates 1/(1+e^-x) within FastSigmoidTolerance.
+//
+//rtoss:f32
+//rtoss:noalloc
 func fastSigmoid(x float32) float32 {
 	return 1 / (1 + fastExp(-x))
 }
@@ -100,6 +122,9 @@ func DecodeInto(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThr
 // slices instead of a per-cell closure, the raw-logit objectness gate,
 // and the class argmax on raw logits so each surviving cell pays
 // exactly four sigmoids (obj, best class, tx..th share two more pairs).
+//
+//rtoss:f32
+//rtoss:noalloc
 func decodeYOLOv5Fast(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
 	gate := rawLogitGate(scoreThresh)
 	thresh := float32(scoreThresh)
@@ -157,6 +182,9 @@ func decodeYOLOv5Fast(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, sc
 // class argmax runs on raw logits (one sigmoid per surviving anchor
 // instead of Classes sigmoids per anchor) and the raw-logit gate skips
 // the argmax losers' box math entirely.
+//
+//rtoss:f32
+//rtoss:noalloc
 func decodeRetinaNetFast(dst []Detection, heads []*tensor.Tensor, spec HeadSpec, scoreThresh float64) []Detection {
 	gate := rawLogitGate(scoreThresh)
 	lv := spec.Levels[0]
@@ -228,6 +256,8 @@ func (s *ppScratch) Swap(i, j int)      { s.cands[i], s.cands[j] = s.cands[j], s
 // detections (in arbitrary order) without allocating: iterative
 // quickselect with median-of-three pivots. Ties at the cut are broken
 // deterministically by position.
+//
+//rtoss:noalloc
 func selectTopK(d []Detection, k int) {
 	lo, hi := 0, len(d)-1
 	for lo < hi {
@@ -270,11 +300,13 @@ func selectTopK(d []Detection, k int) {
 // nmsBucketed runs class-aware NMS over score-sorted candidates using
 // per-class buckets, so the quadratic scan only ever compares same-class
 // pairs. Survival is recorded in s.keep; candidate order is untouched.
+//
+//rtoss:noalloc
 func (s *ppScratch) nmsBucketed(classes int, iouThresh float64) {
 	n := len(s.cands)
 	if cap(s.keep) < n {
-		s.keep = make([]bool, n)
-		s.idx = make([]int32, n)
+		s.keep = make([]bool, n) //rtoss:allow noalloc (amortized scratch grow)
+		s.idx = make([]int32, n) //rtoss:allow noalloc (amortized scratch grow)
 	}
 	s.keep = s.keep[:n]
 	s.idx = s.idx[:n]
@@ -282,8 +314,8 @@ func (s *ppScratch) nmsBucketed(classes int, iouThresh float64) {
 		s.keep[i] = true
 	}
 	if cap(s.off) < classes+1 {
-		s.off = make([]int32, classes+1)
-		s.cur = make([]int32, classes)
+		s.off = make([]int32, classes+1) //rtoss:allow noalloc (amortized scratch grow)
+		s.cur = make([]int32, classes)   //rtoss:allow noalloc (amortized scratch grow)
 	}
 	s.off = s.off[:classes+1]
 	s.cur = s.cur[:classes]
@@ -324,6 +356,8 @@ func (s *ppScratch) nmsBucketed(classes int, iouThresh float64) {
 
 // sortedDescending reports whether d is already in descending score
 // order — the structural invariant the hot path maintains for free.
+//
+//rtoss:noalloc
 func sortedDescending(d []Detection) bool {
 	for i := 1; i < len(d); i++ {
 		if d[i].Score > d[i-1].Score {

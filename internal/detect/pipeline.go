@@ -96,6 +96,8 @@ type PostStats struct {
 // and NMS bookkeeping all live in pooled scratch. The appended region
 // is guaranteed to be in descending score order regardless of how many
 // candidates the decode produced.
+//
+//rtoss:noalloc
 func PostprocessInto(dst []Detection, heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, error) {
 	dst, _, err := PostprocessStats(dst, heads, meta, cfg)
 	return dst, err
@@ -103,6 +105,8 @@ func PostprocessInto(dst []Detection, heads []*tensor.Tensor, meta tensor.Letter
 
 // PostprocessStats is PostprocessInto returning the per-stage work
 // counters alongside the detections.
+//
+//rtoss:noalloc
 func PostprocessStats(dst []Detection, heads []*tensor.Tensor, meta tensor.LetterboxMeta, cfg Config) ([]Detection, PostStats, error) {
 	var st PostStats
 	cfg = cfg.WithDefaults()
@@ -149,6 +153,7 @@ func PostprocessStats(dst []Detection, heads []*tensor.Tensor, meta tensor.Lette
 	// walks a sorted buffer, so this never fires in practice, but the
 	// contract survives future refactors of the stages above.
 	if out := dst[base:]; !sortedDescending(out) {
+		//rtoss:allow noalloc (cold backstop; never fires while the emit loop walks sorted scratch)
 		sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
 	}
 	st.Kept = len(dst) - base

@@ -1,0 +1,5 @@
+//go:build !race
+
+package detect
+
+const raceEnabled = false

@@ -197,6 +197,11 @@ func (p *Program) runFinish(input *tensor.Tensor, retainAll bool, keep []int, fi
 }
 
 // get allocates a layer output buffer, from the arena when recycling.
+// It is the engine's sanctioned arena plumbing: the buffer it hands out
+// is tracked by the run's refcounts and returned via consume, with the
+// Heads keep-list exempting the outputs that survive the run.
+//
+//rtoss:arena-owner
 func (rc *runCtx) get(shape ...int) *tensor.Tensor {
 	if rc.rs != nil {
 		return rc.rs.arena.Get(shape...)

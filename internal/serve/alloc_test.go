@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/tensor"
+)
+
+// TestServerDetectAllocBudget pins the steady-state allocation budget
+// of the served detection path. Unlike the strict zero-alloc tests on
+// PostprocessInto (internal/detect), a Detect round trip legitimately
+// allocates per request — the request/response pair, the decoded image
+// tensor, the letterbox canvas and the result — so this test bounds
+// the count rather than forcing it to zero. The bound has headroom
+// over the measured steady state (~170 allocs/op on a 48x24 PPM at
+// 32x32 resolution); what it catches is the postprocess scratch
+// escaping its pool or a per-candidate allocation sneaking back into
+// the executor, either of which shows up as hundreds more allocs/op.
+func TestServerDetectAllocBudget(t *testing.T) {
+	p := tinyProgram(t)
+	s := NewServer(p, Config{})
+	defer s.Close()
+	pipe := detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05}
+
+	img := tensor.New(3, 24, 48)
+	for i := range img.Data {
+		img.Data[i] = float32(i%13) / 13
+	}
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, img); err != nil {
+		t.Fatal(err)
+	}
+	body := ppm.Bytes()
+
+	detectOnce := func() {
+		res, err := s.Detect(body, pipe, 32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil {
+			t.Fatal("nil result")
+		}
+	}
+	detectOnce() // warm the batch executor's pooled scratch
+
+	const budget = 250
+	allocs := testing.AllocsPerRun(50, detectOnce)
+	t.Logf("Server.Detect steady state: %.1f allocs/op (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Errorf("Server.Detect allocates %.1f allocs/op in steady state, budget is %d", allocs, budget)
+	}
+}

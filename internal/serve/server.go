@@ -224,6 +224,11 @@ func (s *Server) submit(req *request, wait bool) (response, error) {
 		return response{}, ErrClosed
 	}
 	if wait {
+		// Sending under the close read-lock is the point: Close takes the
+		// write lock before closing s.queue, so holding the read lock
+		// across the send makes send-on-closed-channel impossible, and
+		// the queue is drained by the batch loop, never by a lock holder.
+		//rtoss:allow lockdiscipline (send fenced by the close lock by design)
 		s.queue <- req
 	} else {
 		select {
@@ -442,22 +447,29 @@ type serverStats struct {
 	decodeNS, nmsNS       int64
 }
 
+// The record* helpers run on the batch executor for every request, so
+// they are part of the serving hot path's zero-allocation budget.
+//
+//rtoss:noalloc
 func (st *serverStats) recordBatch(size int) {
 	atomic.AddUint64(&st.batches, 1)
 	atomic.AddUint64(&st.batchedImages, uint64(size))
 	atomicMax(&st.maxBatch, int64(size))
 }
 
+//rtoss:noalloc
 func (st *serverStats) recordLatency(d time.Duration) {
 	atomic.AddInt64(&st.latencyNS, int64(d))
 	atomicMax(&st.maxLatencyNS, int64(d))
 }
 
+//rtoss:noalloc
 func (st *serverStats) recordPreprocess(d time.Duration) {
 	atomic.AddUint64(&st.preprocesses, 1)
 	atomic.AddInt64(&st.preprocessNS, int64(d))
 }
 
+//rtoss:noalloc
 func (st *serverStats) recordDetect(pst detect.PostStats) {
 	atomic.AddUint64(&st.detects, 1)
 	atomic.AddUint64(&st.candidates, uint64(pst.Candidates))
@@ -466,6 +478,7 @@ func (st *serverStats) recordDetect(pst detect.PostStats) {
 	atomic.AddInt64(&st.nmsNS, int64(pst.NMS))
 }
 
+//rtoss:noalloc
 func atomicMax(p *int64, v int64) {
 	for {
 		cur := atomic.LoadInt64(p)

@@ -26,12 +26,18 @@ type LetterboxMeta struct {
 	PadX, PadY int
 }
 
-// ToSource maps a model-canvas coordinate back to source pixels.
+// ToSource maps a model-canvas coordinate back to source pixels. It
+// runs per detection in the postprocess emit loop, hence the noalloc
+// gate.
+//
+//rtoss:noalloc
 func (m LetterboxMeta) ToSource(x, y float64) (float64, float64) {
 	return (x - float64(m.PadX)) / m.ScaleX, (y - float64(m.PadY)) / m.ScaleY
 }
 
 // ToModel maps a source-pixel coordinate onto the model canvas.
+//
+//rtoss:noalloc
 func (m LetterboxMeta) ToModel(x, y float64) (float64, float64) {
 	return x*m.ScaleX + float64(m.PadX), y*m.ScaleY + float64(m.PadY)
 }
