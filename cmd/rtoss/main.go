@@ -192,7 +192,7 @@ func serveCmd(args []string) error {
 	inC, hw := prog.Model().InputC, *res
 	fmt.Printf("serving on http://%s\n", *addr)
 	fmt.Printf("  POST /infer   %d float32 LE = %dx%dx%d image\n", inC*hw*hw, inC, hw, hw)
-	fmt.Printf("  POST /detect  PPM/PGM/PNG image -> JSON detections\n")
+	fmt.Printf("  POST /detect  PPM/PGM/PNG/JPEG image -> JSON detections\n")
 	fmt.Printf("  GET  /stats, /healthz\n")
 	return http.ListenAndServe(*addr, serve.NewHandler(srv, serve.HandlerConfig{
 		InputC: inC, InputH: hw, InputW: hw,
@@ -219,7 +219,7 @@ func benchCmd(args []string) error {
 	jsonPath := fs.String("json", "", "also write the forward report to this JSON file")
 	detectStage := fs.Bool("detect", true, "also run the detection-pipeline stage")
 	detectRes := fs.Int("detect-res", 256, "letterbox resolution for the detect stage")
-	detectJSON := fs.String("detect-json", "", "also write the detect report to this JSON file (BENCH_PR5 format)")
+	detectJSON := fs.String("detect-json", "", "also write the detect report to this JSON file (BENCH_PR7 format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,7 +353,7 @@ func detectCmd(args []string) error {
 	engineMode := fs.String("engine", "sparse", "kernel dispatch: dense|sparse|auto")
 	entries := fs.Int("entries", 3, "R-TOSS entry patterns to prune with first (0 = leave dense)")
 	res := fs.Int("res", 256, "model input resolution (letterboxed; multiple of 32)")
-	imagePath := fs.String("image", "", "image to run (PPM/PGM/PNG; empty = bundled synthetic KITTI sample)")
+	imagePath := fs.String("image", "", "image to run (PPM/PGM/PNG/JPEG; empty = bundled synthetic KITTI sample)")
 	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1] (0 = default)")
 	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1] (0 = default)")
 	maxDet := fs.Int("max", 100, "max detections in the output")
@@ -393,13 +393,25 @@ func detectCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	img, source, err := loadImage(*imagePath)
-	if err != nil {
-		return err
-	}
-	result, err := det.Detect(img)
-	if err != nil {
-		return err
+	// A file runs through DetectBytes so the decode (ingest) stage is
+	// timed like a served request; the synthetic sample is rendered
+	// directly as a tensor, so its ingest is legitimately zero.
+	var result *rtoss.DetectResult
+	source := "synthetic-kitti-sample"
+	if *imagePath != "" {
+		data, err := os.ReadFile(*imagePath)
+		if err != nil {
+			return err
+		}
+		source = *imagePath
+		if result, err = det.DetectBytes(data); err != nil {
+			return fmt.Errorf("%s: %w", *imagePath, err)
+		}
+	} else {
+		var err error
+		if result, err = det.Detect(rtoss.KITTISampleImage(496, 160)); err != nil {
+			return err
+		}
 	}
 	labels := rtoss.KITTIClassNames()
 	type detJSON struct {
@@ -423,6 +435,7 @@ func detectCmd(args []string) error {
 		Image: source, ImageSize: [2]int{result.SrcW, result.SrcH}, InputRes: *res,
 		Count: len(result.Detections),
 		TimingMS: map[string]float64{
+			"ingest":     float64(result.Timing.Ingest) / 1e6,
 			"preprocess": float64(result.Timing.Preprocess) / 1e6,
 			"forward":    float64(result.Timing.Forward) / 1e6,
 			"decode":     float64(result.Timing.Decode) / 1e6,
@@ -443,24 +456,6 @@ func detectCmd(args []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
-}
-
-// loadImage reads an image file, or renders the bundled synthetic
-// KITTI sample when path is empty.
-func loadImage(path string) (*rtoss.Tensor, string, error) {
-	if path == "" {
-		return rtoss.KITTISampleImage(496, 160), "synthetic-kitti-sample", nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, "", err
-	}
-	defer f.Close()
-	img, err := rtoss.DecodeImage(f)
-	if err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
-	return img, path, nil
 }
 
 func buildModel(name string) (*rtoss.Model, error) {

@@ -163,6 +163,9 @@ func PostprocessStats(dst []Detection, heads []*tensor.Tensor, meta tensor.Lette
 
 // Timing is the per-stage wall-clock breakdown of one Detect call.
 type Timing struct {
+	// Ingest covers image-bytes decode (PNM/PNG/JPEG → float tensor).
+	// Zero when the caller handed over an already-decoded tensor.
+	Ingest time.Duration
 	// Preprocess covers letterbox resize + NCHW staging.
 	Preprocess time.Duration
 	// Forward covers the compiled Program's forward pass.
@@ -172,7 +175,7 @@ type Timing struct {
 }
 
 // Total returns the end-to-end pipeline time.
-func (t Timing) Total() time.Duration { return t.Preprocess + t.Forward + t.Decode }
+func (t Timing) Total() time.Duration { return t.Ingest + t.Preprocess + t.Forward + t.Decode }
 
 // Result is one end-to-end detection call's output.
 type Result struct {

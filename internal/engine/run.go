@@ -58,6 +58,17 @@ func (p *Program) Heads(input *tensor.Tensor) ([]*tensor.Tensor, error) {
 // per-image copies and returned to the run's arena, so steady-state
 // serving reuses them across batches.
 func (p *Program) HeadsBatch(inputs []*tensor.Tensor) (heads [][]*tensor.Tensor, err error) {
+	return p.HeadsBatchArena(inputs, nil)
+}
+
+// HeadsBatchArena is HeadsBatch drawing the per-image head copies from
+// dst instead of the heap (nil dst behaves exactly like HeadsBatch).
+// A serving executor passes a long-lived arena and returns each head
+// tensor via dst.Put after postprocessing, so steady-state detect
+// batches recycle warm head buffers instead of allocating
+// heads×batch tensors per forward. Callers that hand head tensors to
+// clients (Heads requests) must NOT recycle them.
+func (p *Program) HeadsBatchArena(inputs []*tensor.Tensor, dst *tensor.Arena) (heads [][]*tensor.Tensor, err error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("engine: HeadsBatch of no inputs")
 	}
@@ -76,7 +87,7 @@ func (p *Program) HeadsBatch(inputs []*tensor.Tensor) (heads [][]*tensor.Tensor,
 	}
 	_, err = p.runFinish(batch, false, p.headIDs, func(outs []*tensor.Tensor, arena *tensor.Arena) {
 		for h, id := range p.headIDs {
-			for i, img := range tensor.SplitBatch(outs[id]) {
+			for i, img := range tensor.SplitBatchArena(outs[id], dst) {
 				heads[i][h] = img
 			}
 			arena.Put(outs[id])

@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"bytes"
+	"image"
+	"image/jpeg"
+	"math"
+	"testing"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/kitti"
+	"rtoss/internal/metrics"
+	"rtoss/internal/serve"
+	"rtoss/internal/tensor"
+)
+
+// TestJPEGIngestMAPParity gates the JPEG ingest path by accuracy
+// rather than bitwise parity: JPEG is lossy, so unlike PPM/PNG its
+// decoded pixels legitimately differ from the rendered scene, and the
+// bitwise backend-parity tests exclude it. What must hold instead is
+// that serving JPEG bytes scores the same mAP as serving the lossless
+// PPM bytes to within 0.01 on the rendered KITTI set — i.e. the
+// encode loss plus the in-repo decoder's IDCT rounding moves no box
+// far enough to change the evaluation outcome.
+func TestJPEGIngestMAPParity(t *testing.T) {
+	prog := tinyProgram(t, engine.ModeSparse)
+	srv := serve.NewServer(prog, serve.Config{})
+	defer srv.Close()
+	cfg := detect.Config{Spec: tinySpec8(), ScoreThreshold: 0.05}
+
+	rendered := kitti.RenderedDataset(3, 6, 320, 192)
+	var ppmSamples, jpegSamples []metrics.Sample
+	for i, rs := range rendered {
+		var ppm bytes.Buffer
+		if err := tensor.EncodePPM(&ppm, rs.Image); err != nil {
+			t.Fatal(err)
+		}
+		// Encode the JPEG from the same 8-bit-quantised pixels the PPM
+		// carries, so the only differences left are JPEG's own.
+		quant, err := tensor.DecodeImage(bytes.NewReader(ppm.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jpg bytes.Buffer
+		if err := jpeg.Encode(&jpg, tensorToNRGBA(quant), &jpeg.Options{Quality: 95}); err != nil {
+			t.Fatal(err)
+		}
+
+		resP, err := srv.Detect(ppm.Bytes(), cfg, 64, 64)
+		if err != nil {
+			t.Fatalf("scene %d ppm: %v", i, err)
+		}
+		resJ, err := srv.Detect(jpg.Bytes(), cfg, 64, 64)
+		if err != nil {
+			t.Fatalf("scene %d jpeg: %v", i, err)
+		}
+		ppmSamples = append(ppmSamples, metrics.Sample{Detections: resP.Detections, Truth: rs.Scene.Truth})
+		jpegSamples = append(jpegSamples, metrics.Sample{Detections: resJ.Detections, Truth: rs.Scene.Truth})
+	}
+
+	_, mapPPM := metrics.Evaluate(ppmSamples, kitti.NumClasses, 0.5)
+	_, mapJPEG := metrics.Evaluate(jpegSamples, kitti.NumClasses, 0.5)
+	t.Logf("mAP@0.5: ppm %.4f, jpeg %.4f (delta %.4f)", mapPPM, mapJPEG, math.Abs(mapPPM-mapJPEG))
+	if d := math.Abs(mapPPM - mapJPEG); d > 0.01 {
+		t.Errorf("JPEG ingest shifts mAP by %.4f (ppm %.4f vs jpeg %.4f), budget 0.01", d, mapPPM, mapJPEG)
+	}
+
+	// The mAP delta alone can pass vacuously when both scores are ~0, so
+	// also gate at the detection level: the network's raw output is a
+	// deterministic function of the decoded pixels, and JPEG's loss must
+	// not move it far. Require (a) real output, and (b) that nearly every
+	// JPEG detection greedily matches a same-class PPM detection at high
+	// IoU with a small score delta.
+	var total, matched int
+	for s := range jpegSamples {
+		pd, jd := ppmSamples[s].Detections, jpegSamples[s].Detections
+		used := make([]bool, len(pd))
+		for _, d := range jd {
+			total++
+			for i, p := range pd {
+				if used[i] || p.Class != d.Class {
+					continue
+				}
+				if detect.IoU(p.Box, d.Box) >= 0.85 && math.Abs(p.Score-d.Score) <= 0.05 {
+					used[i] = true
+					matched++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no detections produced — the gate is vacuous; lower the score threshold")
+	}
+	frac := float64(matched) / float64(total)
+	t.Logf("detection match: %d/%d (%.1f%%) jpeg detections match a ppm detection at IoU>=0.85", matched, total, 100*frac)
+	if frac < 0.95 {
+		t.Errorf("only %.1f%% of jpeg detections match the ppm run (want >=95%%): JPEG decode drift is shifting boxes", 100*frac)
+	}
+}
+
+// tensorToNRGBA converts a [3, H, W] tensor in [0, 1] holding
+// 8-bit-quantised values (k/255) back to the exact bytes.
+func tensorToNRGBA(t *tensor.Tensor) *image.NRGBA {
+	h, w := t.Dim(1), t.Dim(2)
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*img.Stride + 4*x
+			img.Pix[i+0] = uint8(t.Data[y*w+x]*255 + 0.5)
+			img.Pix[i+1] = uint8(t.Data[plane+y*w+x]*255 + 0.5)
+			img.Pix[i+2] = uint8(t.Data[2*plane+y*w+x]*255 + 0.5)
+			img.Pix[i+3] = 255
+		}
+	}
+	return img
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchcompare.go is the perf-regression gate over committed
+// DetectBenchReport artifacts: CI emits a fresh report, then compares
+// it against the BENCH_PR7.json checked into the repository root and
+// fails the build when the serving path got meaningfully slower or the
+// zero-alloc ingest path started allocating again.
+
+// DefaultDetectBenchTolerance is the relative normalized-throughput
+// loss CompareDetectBench accepts before calling a scenario regressed.
+const DefaultDetectBenchTolerance = 0.10
+
+// detectBenchYardstick names the scenario every throughput number is
+// normalized against — the dense end-to-end pipeline of the same run.
+const detectBenchYardstick = "e2e-inprocess/dense"
+
+// ReadDetectBenchJSON loads a report previously written by
+// DetectBenchReport.WriteJSON.
+func ReadDetectBenchJSON(path string) (*DetectBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep DetectBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("serve: parsing bench report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// CompareDetectBench checks current against baseline and returns one
+// human-readable line per regression, sorted; an empty slice means the
+// gate passes.
+//
+// Raw img/s is machine-bound, so throughput is compared as each
+// scenario's ratio to the same report's e2e-inprocess/dense throughput
+// — the yardstick both runs carry — and only when the two reports ran
+// at the same GOMAXPROCS (a laptop baseline cannot veto a CI runner's
+// parallel speedup, or vice versa). A scenario regresses when its
+// normalized throughput falls more than tol below the baseline's.
+//
+// The throughput gate covers the macro scenarios only (postprocess,
+// e2e, served-detect; seconds-scale, measured stable within a few
+// percent run to run). The mode "ingest" micro-scenarios are exempt:
+// their inner loops are memory-bound enough that per-process
+// allocation alignment swings identical code ±30% between runs, so
+// their img/s is recorded as trajectory data, and what gates them is
+// their deterministic invariant — allocation counts, which are
+// machine-independent and compared hard. An ingest scenario that
+// allocates more per image than the baseline fails regardless of
+// GOMAXPROCS or tolerance (beyond ±0.5 rounding). A scenario present
+// in the baseline but missing from the current report also fails — a
+// gate that silently narrows is no gate.
+func CompareDetectBench(baseline, current *DetectBenchReport, tol float64) []string {
+	if tol <= 0 {
+		tol = DefaultDetectBenchTolerance
+	}
+	index := func(r *DetectBenchReport) map[string]DetectBenchResult {
+		m := make(map[string]DetectBenchResult, len(r.Results))
+		for _, res := range r.Results {
+			m[res.Name+"/"+res.Mode] = res
+		}
+		return m
+	}
+	base, cur := index(baseline), index(current)
+	bYard, bOK := base[detectBenchYardstick]
+	cYard, cOK := cur[detectBenchYardstick]
+	throughput := baseline.GOMAXPROCS == current.GOMAXPROCS &&
+		bOK && cOK && bYard.ImagesPerSec > 0 && cYard.ImagesPerSec > 0
+
+	var regs []string
+	for key, b := range base {
+		c, ok := cur[key]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: scenario missing from current report", key))
+			continue
+		}
+		if throughput && key != detectBenchYardstick && b.Mode != "ingest" &&
+			b.ImagesPerSec > 0 && c.ImagesPerSec > 0 {
+			br := b.ImagesPerSec / bYard.ImagesPerSec
+			cr := c.ImagesPerSec / cYard.ImagesPerSec
+			if cr < br*(1-tol) {
+				regs = append(regs, fmt.Sprintf(
+					"%s: normalized throughput %.3f vs baseline %.3f (-%.1f%%, tolerance %.0f%%)",
+					key, cr, br, 100*(1-cr/br), 100*tol))
+			}
+		}
+		if b.Mode == "ingest" && c.AllocsPerImage > b.AllocsPerImage+0.5 {
+			regs = append(regs, fmt.Sprintf(
+				"%s: %.1f allocs/image vs baseline %.1f — the pooled ingest path regressed",
+				key, c.AllocsPerImage, b.AllocsPerImage))
+		}
+	}
+	sort.Strings(regs)
+	return regs
+}

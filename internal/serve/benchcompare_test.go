@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// compareFixture is a plausible committed baseline: ingest decoders at
+// zero allocs, sparse ahead of dense, served path between the two.
+func compareFixture() *DetectBenchReport {
+	return &DetectBenchReport{
+		Model: "YOLOv5s", Variant: "rtoss-3ep", Res: 256, Streams: 8, GOMAXPROCS: 1,
+		Results: []DetectBenchResult{
+			{Name: "decode-ppm", Mode: "ingest", Images: 128, ImagesPerSec: 4000, AllocsPerImage: 0},
+			{Name: "decode-png", Mode: "ingest", Images: 128, ImagesPerSec: 900, AllocsPerImage: 0},
+			{Name: "decode-jpeg", Mode: "ingest", Images: 128, ImagesPerSec: 700, AllocsPerImage: 0},
+			{Name: "letterbox", Mode: "ingest", Images: 128, ImagesPerSec: 2500, AllocsPerImage: 0},
+			{Name: "postprocess", Mode: "sparse", Images: 16, ImagesPerSec: 500},
+			{Name: "e2e-inprocess", Mode: "dense", Images: 16, ImagesPerSec: 2, SpeedupVsDense: 1},
+			{Name: "e2e-inprocess", Mode: "sparse", Images: 16, ImagesPerSec: 4, SpeedupVsDense: 2},
+			{Name: "served-detect", Mode: "sparse", Images: 16, ImagesPerSec: 3.6, SpeedupVsDense: 1.8, AvgBatch: 2},
+		},
+	}
+}
+
+// TestCompareDetectBenchInjectedRegression proves the CI gate actually
+// fires: an identical report passes, and each class of injected
+// regression — slower served path, re-allocating ingest, dropped
+// scenario — produces a failure line naming the scenario.
+func TestCompareDetectBenchInjectedRegression(t *testing.T) {
+	base := compareFixture()
+
+	if regs := CompareDetectBench(base, compareFixture(), 0.10); len(regs) != 0 {
+		t.Fatalf("identical reports must pass, got: %v", regs)
+	}
+
+	// A uniformly slower machine must also pass: every throughput is
+	// normalized by the same run's dense e2e, so halving everything
+	// changes no ratio.
+	slowMachine := compareFixture()
+	for i := range slowMachine.Results {
+		slowMachine.Results[i].ImagesPerSec /= 2
+	}
+	if regs := CompareDetectBench(base, slowMachine, 0.10); len(regs) != 0 {
+		t.Errorf("uniform slowdown must not trip the normalized gate, got: %v", regs)
+	}
+
+	// Ingest micro-scenario throughput swinging either way must not
+	// fire: sub-millisecond decode loops move ±30% run to run with
+	// allocation alignment, so only their alloc counts gate them.
+	noisy := compareFixture()
+	noisy.Results[0].ImagesPerSec *= 0.6
+	noisy.Results[3].ImagesPerSec *= 1.5
+	if regs := CompareDetectBench(base, noisy, 0.10); len(regs) != 0 {
+		t.Errorf("ingest throughput swing must not trip the gate, got: %v", regs)
+	}
+
+	// Served path 20% slower relative to dense: beyond the 10% budget.
+	slow := compareFixture()
+	slow.Results[7].ImagesPerSec *= 0.8
+	regs := CompareDetectBench(base, slow, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "served-detect/sparse") {
+		t.Errorf("injected served-detect slowdown not caught: %v", regs)
+	}
+
+	// JPEG ingest starts allocating again: hard failure.
+	alloc := compareFixture()
+	alloc.Results[2].AllocsPerImage = 4
+	regs = CompareDetectBench(base, alloc, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "decode-jpeg/ingest") || !strings.Contains(regs[0], "allocs") {
+		t.Errorf("injected ingest allocation not caught: %v", regs)
+	}
+
+	// Different GOMAXPROCS: throughput ratios are incomparable and must
+	// be skipped, but the machine-independent alloc gate still fires.
+	cross := compareFixture()
+	cross.GOMAXPROCS = 4
+	cross.Results[7].ImagesPerSec *= 0.5
+	cross.Results[0].AllocsPerImage = 7
+	regs = CompareDetectBench(base, cross, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "decode-ppm/ingest") {
+		t.Errorf("cross-machine compare: want only the alloc failure, got: %v", regs)
+	}
+
+	// A scenario vanishing from the report is itself a failure.
+	missing := compareFixture()
+	missing.Results = missing.Results[:7]
+	regs = CompareDetectBench(base, missing, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Errorf("dropped scenario not caught: %v", regs)
+	}
+}
+
+// TestReadDetectBenchJSONRoundTrip pins the artifact format the gate
+// consumes to the one WriteJSON emits.
+func TestReadDetectBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	base := compareFixture()
+	if err := base.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDetectBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := CompareDetectBench(base, got, 0.10); len(regs) != 0 {
+		t.Errorf("round-tripped report fails its own gate: %v", regs)
+	}
+	if len(got.Results) != len(base.Results) || got.GOMAXPROCS != base.GOMAXPROCS {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+}
+
+// TestDetectBenchRegressionGate is the CI entry point: with
+// RTOSS_DETECT_BENCH_BASELINE naming the committed BENCH_PR7.json and
+// RTOSS_DETECT_BENCH_CURRENT the freshly emitted report, it fails on
+// any regression CompareDetectBench finds.
+func TestDetectBenchRegressionGate(t *testing.T) {
+	basePath := os.Getenv("RTOSS_DETECT_BENCH_BASELINE")
+	curPath := os.Getenv("RTOSS_DETECT_BENCH_CURRENT")
+	if basePath == "" || curPath == "" {
+		t.Skip("set RTOSS_DETECT_BENCH_BASELINE and RTOSS_DETECT_BENCH_CURRENT to run the regression gate")
+	}
+	base, err := ReadDetectBenchJSON(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ReadDetectBenchJSON(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := CompareDetectBench(base, cur, DefaultDetectBenchTolerance)
+	for _, r := range regs {
+		t.Error(r)
+	}
+	if len(regs) == 0 {
+		t.Logf("bench gate clean: %d scenarios vs %s", len(base.Results), basePath)
+	}
+}

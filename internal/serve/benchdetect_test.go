@@ -7,7 +7,7 @@ import (
 
 // TestRunDetectBench smoke-tests the detection benchmark harness on the
 // smallest possible workload (it powers `rtoss bench` and the
-// BENCH_PR5.json CI artifact).
+// BENCH_PR7.json CI artifact).
 func TestRunDetectBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("detect bench harness runs zoo-scale models; skipped in -short")
@@ -16,12 +16,17 @@ func TestRunDetectBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("expected 4 scenarios, got %d", len(rep.Results))
+	if len(rep.Results) != 8 {
+		t.Fatalf("expected 8 scenarios, got %d", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.ImagesPerSec <= 0 {
 			t.Errorf("%s/%s throughput %.2f", r.Name, r.Mode, r.ImagesPerSec)
+		}
+		// The pooled ingest stages are the zero-alloc contract this PR
+		// ships; the bench records them so the CI gate can hold the line.
+		if r.Mode == "ingest" && r.AllocsPerImage > 0.5 {
+			t.Errorf("%s: %.1f allocs/image; pooled ingest should be allocation-free", r.Name, r.AllocsPerImage)
 		}
 	}
 	if rep.Server == nil || rep.Server.AvgDecodeMS <= 0 {
@@ -32,10 +37,12 @@ func TestRunDetectBench(t *testing.T) {
 	}
 }
 
-// TestEmitDetectBenchJSON writes the BENCH_PR5.json CI artifact when
+// TestEmitDetectBenchJSON writes the BENCH_PR7.json CI artifact when
 // RTOSS_DETECT_BENCH_JSON names the output path. CI invokes exactly
 // this test (go test -run TestEmitDetectBenchJSON ./internal/serve/) so
-// the artifact is produced with the library's own methodology.
+// the artifact is produced with the library's own methodology; the
+// regression gate (TestDetectBenchRegressionGate) then compares it
+// against the committed baseline.
 func TestEmitDetectBenchJSON(t *testing.T) {
 	path := os.Getenv("RTOSS_DETECT_BENCH_JSON")
 	if path == "" {

@@ -63,9 +63,11 @@ func (c *Client) detectURL() (string, error) {
 	return u.String(), nil
 }
 
-// DetectBytes posts an already-encoded image (PPM/PGM/PNG bytes) to
-// /detect and decodes the response. Non-2xx statuses become errors
-// carrying the server's message.
+// DetectBytes posts an already-encoded image (PPM/PGM/PNG/JPEG bytes)
+// to /detect and decodes the response. Non-2xx statuses become errors
+// carrying the server's message. bytes.Reader bodies carry a
+// Content-Length, so the server reads them into an exactly-sized pooled
+// buffer instead of growth-copying.
 func (c *Client) DetectBytes(img []byte) (*DetectResponse, error) {
 	u, err := c.detectURL()
 	if err != nil {
@@ -93,6 +95,12 @@ func (c *Client) DetectBytes(img []byte) (*DetectResponse, error) {
 // (encode + decode once) or the network inputs will differ.
 func (c *Client) Detect(img *tensor.Tensor) (*DetectResponse, error) {
 	var buf bytes.Buffer
+	if img.Rank() == 3 {
+		// Size the buffer for the binary payload plus a generous header
+		// up front: EncodePPM then writes bytes straight into it (no
+		// bufio shim, no growth copies — the body is built exactly once).
+		buf.Grow(img.Dim(0)*img.Dim(1)*img.Dim(2) + 32)
+	}
 	if err := tensor.EncodePPM(&buf, img); err != nil {
 		return nil, err
 	}

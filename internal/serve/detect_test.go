@@ -115,7 +115,7 @@ func TestHTTPDetect(t *testing.T) {
 	if got.Count != len(got.Detections) {
 		t.Errorf("count %d != len(detections) %d", got.Count, len(got.Detections))
 	}
-	for _, k := range []string{"preprocess", "forward", "decode", "total"} {
+	for _, k := range []string{"ingest", "preprocess", "forward", "decode", "total"} {
 		if _, ok := got.TimingMS[k]; !ok {
 			t.Errorf("timing_ms missing %q", k)
 		}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"rtoss/internal/detect"
@@ -20,7 +21,8 @@ import (
 //	POST /infer    body = C*H*W float32s (LE, raw NCHW), or empty for a
 //	               zero image → JSON {shape, l2, latency_ms}
 //	               (+ data with ?data=1)
-//	POST /detect   body = an encoded image (PPM/PGM P2/P3/P5/P6 or PNG)
+//	POST /detect   body = an encoded image (PPM/PGM P2/P3/P5/P6, PNG or
+//	               baseline JPEG)
 //	               → JSON {detections, count, image, timing_ms}
 //	               (?score= and ?iou= override the thresholds)
 //	GET  /stats    → JSON Stats snapshot
@@ -33,6 +35,61 @@ import (
 // maxImageBody bounds /detect request bodies (32 MiB decodes any sane
 // benchmark image).
 const maxImageBody = 32 << 20
+
+// bufPool recycles request-body and response-encoding byte buffers
+// across requests. Together with the pooled ingest scratch behind
+// Server.Detect this keeps a /detect request's steady-state heap
+// traffic near zero.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readBody reads a request body into a pooled buffer. When the client
+// sent a Content-Length (the common case) the buffer is sized to it up
+// front and filled with one ReadFull — no io.ReadAll growth copies;
+// chunked bodies fall back to append-style growth into the same pooled
+// buffer. Bodies over limit are rejected. The caller must hand the
+// buffer back to bufPool once it is done with the bytes.
+func readBody(r *http.Request, limit int64) (*[]byte, error) {
+	if r.ContentLength > limit {
+		return nil, fmt.Errorf("serve: request body of %d bytes exceeds the %d-byte limit", r.ContentLength, limit)
+	}
+	bp := bufPool.Get().(*[]byte)
+	if n := r.ContentLength; n >= 0 {
+		if cap(*bp) < int(n) {
+			*bp = make([]byte, n)
+		}
+		*bp = (*bp)[:n]
+		if _, err := io.ReadFull(r.Body, *bp); err != nil {
+			bufPool.Put(bp)
+			return nil, fmt.Errorf("serve: reading request body: %w", err)
+		}
+		return bp, nil
+	}
+	// Unknown length (chunked transfer): grow in place; the retained
+	// capacity makes repeat traffic allocation-free here too.
+	b := (*bp)[:0]
+	lr := io.LimitedReader{R: r.Body, N: limit + 1}
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			*bp = b
+			bufPool.Put(bp)
+			return nil, fmt.Errorf("serve: reading request body: %w", err)
+		}
+	}
+	*bp = b
+	if int64(len(b)) > limit {
+		bufPool.Put(bp)
+		return nil, fmt.Errorf("serve: request body exceeds the %d-byte limit", limit)
+	}
+	return bp, nil
+}
 
 // HandlerConfig wires a Server to the HTTP front end.
 type HandlerConfig struct {
@@ -68,6 +125,7 @@ type ImageSizeJSON struct {
 
 // TimingJSON is the /detect per-stage latency breakdown, milliseconds.
 type TimingJSON struct {
+	Ingest     float64 `json:"ingest"`
 	Preprocess float64 `json:"preprocess"`
 	Forward    float64 `json:"forward"`
 	Decode     float64 `json:"decode"`
@@ -111,7 +169,7 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 		writeJSON(w, statsJSON(s.Stats()))
 	})
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
-		in, err := readImage(r.Body, cfg.InputC, cfg.InputH, cfg.InputW)
+		in, err := readImage(r, cfg.InputC, cfg.InputH, cfg.InputW)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
@@ -160,31 +218,134 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxImageBody))
+	body, err := readBody(r, maxImageBody)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("serve: reading image body: %v", err), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	doDetect := s.Detect
 	if cfg.ShedLoad {
 		doDetect = s.TryDetect
 	}
-	res, err := doDetect(body, pipe, cfg.InputH, cfg.InputW)
+	res, err := doDetect(*body, pipe, cfg.InputH, cfg.InputW)
+	// Detect never retains the image bytes past its return (preprocess
+	// copies them into pooled tensors before the response is sent), so
+	// the body buffer can serve the next request immediately.
+	bufPool.Put(body)
 	if err != nil {
 		http.Error(w, err.Error(), serveErrCode(err))
 		return
 	}
-	writeJSON(w, DetectResponse{
-		Detections: detectionsJSON(res.Detections, cfg.Labels),
+	writeDetectResponse(w, res, cfg.Labels)
+}
+
+// detectEnc is the pooled per-request response-encoding scratch: the
+// DetectionJSON slice and the JSON output buffer both retain capacity
+// across requests.
+type detectEnc struct {
+	dets []DetectionJSON
+	buf  []byte
+}
+
+var detectEncPool = sync.Pool{New: func() any { return new(detectEnc) }}
+
+// writeDetectResponse encodes a detect result with the append-style
+// encoder below instead of json.NewEncoder — the whole response path
+// (DetectionJSON slice + output bytes) lives in pooled scratch, so a
+// steady /detect stream allocates nothing here.
+func writeDetectResponse(w http.ResponseWriter, res *detect.Result, labels []string) {
+	e := detectEncPool.Get().(*detectEnc)
+	e.dets = appendDetectionsJSON(e.dets[:0], res.Detections, labels)
+	resp := DetectResponse{
+		Detections: e.dets,
 		Count:      len(res.Detections),
 		Image:      ImageSizeJSON{Width: res.SrcW, Height: res.SrcH},
 		TimingMS: TimingJSON{
+			Ingest:     ms(res.Timing.Ingest),
 			Preprocess: ms(res.Timing.Preprocess),
 			Forward:    ms(res.Timing.Forward),
 			Decode:     ms(res.Timing.Decode),
 			Total:      ms(res.Timing.Total()),
 		},
-	})
+	}
+	e.buf = appendDetectResponse(e.buf[:0], &resp)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.buf)))
+	w.Write(e.buf)
+	detectEncPool.Put(e)
+}
+
+// appendDetectResponse hand-encodes a DetectResponse. It must stay
+// field-for-field in sync with the struct's json tags (the decode side
+// is the stdlib, so a drift shows up as a failing round-trip test, not
+// silent corruption). Floats use strconv's shortest 'g' form, which
+// ParseFloat round-trips bitwise — the exactness contract Boxes()
+// documents survives the hand encoder.
+//
+//rtoss:noalloc
+func appendDetectResponse(b []byte, r *DetectResponse) []byte {
+	b = append(b, `{"detections":[`...)
+	for i := range r.Detections {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		d := &r.Detections[i]
+		b = append(b, `{"box":[`...)
+		for j, v := range d.Box {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, `],"class":`...)
+		b = strconv.AppendInt(b, int64(d.Class), 10)
+		if d.Label != "" { // mirrors the json:",omitempty" tag
+			b = append(b, `,"label":`...)
+			b = appendJSONString(b, d.Label)
+		}
+		b = append(b, `,"score":`...)
+		b = strconv.AppendFloat(b, d.Score, 'g', -1, 64)
+		b = append(b, '}')
+	}
+	b = append(b, `],"count":`...)
+	b = strconv.AppendInt(b, int64(r.Count), 10)
+	b = append(b, `,"image":{"width":`...)
+	b = strconv.AppendInt(b, int64(r.Image.Width), 10)
+	b = append(b, `,"height":`...)
+	b = strconv.AppendInt(b, int64(r.Image.Height), 10)
+	b = append(b, `},"timing_ms":{"ingest":`...)
+	b = strconv.AppendFloat(b, r.TimingMS.Ingest, 'g', -1, 64)
+	b = append(b, `,"preprocess":`...)
+	b = strconv.AppendFloat(b, r.TimingMS.Preprocess, 'g', -1, 64)
+	b = append(b, `,"forward":`...)
+	b = strconv.AppendFloat(b, r.TimingMS.Forward, 'g', -1, 64)
+	b = append(b, `,"decode":`...)
+	b = strconv.AppendFloat(b, r.TimingMS.Decode, 'g', -1, 64)
+	b = append(b, `,"total":`...)
+	b = strconv.AppendFloat(b, r.TimingMS.Total, 'g', -1, 64)
+	b = append(b, `}}`...)
+	return append(b, '\n')
+}
+
+// appendJSONString writes a JSON string literal: quotes and backslashes
+// escaped, control characters as \u00XX, everything else (including
+// multi-byte UTF-8) verbatim.
+//
+//rtoss:noalloc
+func appendJSONString(b []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c >= 0x20:
+			b = append(b, c)
+		default:
+			b = append(b, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(b, '"')
 }
 
 // serveErrCode maps server errors to HTTP statuses: 503 when closed or
@@ -216,40 +377,48 @@ func queryFloat(r *http.Request, key string, def float64) (float64, error) {
 	return v, nil
 }
 
-func detectionsJSON(dets []detect.Detection, labels []string) []DetectionJSON {
-	out := make([]DetectionJSON, len(dets))
-	for i, d := range dets {
-		out[i] = DetectionJSON{
+// appendDetectionsJSON converts pipeline detections to their wire form,
+// appending into dst so the handler's pooled slice is reused across
+// requests.
+//
+//rtoss:noalloc
+func appendDetectionsJSON(dst []DetectionJSON, dets []detect.Detection, labels []string) []DetectionJSON {
+	for _, d := range dets {
+		j := DetectionJSON{
 			Box:   [4]float64{d.Box.X1, d.Box.Y1, d.Box.X2, d.Box.Y2},
 			Class: d.Class,
 			Score: d.Score,
 		}
 		if d.Class >= 0 && d.Class < len(labels) {
-			out[i].Label = labels[d.Class]
+			j.Label = labels[d.Class]
 		}
+		dst = append(dst, j)
 	}
-	return out
+	return dst
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // readImage decodes a request body into a [1, C, H, W] tensor. An empty
 // body means a zero image (useful for smoke tests and load generators).
-func readImage(body io.Reader, c, h, w int) (*tensor.Tensor, error) {
-	raw, err := io.ReadAll(io.LimitReader(body, int64(c*h*w*4)+1))
+// The raw bytes pass through a pooled buffer sized from Content-Length;
+// only the float tensor handed to the queue is a fresh allocation.
+func readImage(r *http.Request, c, h, w int) (*tensor.Tensor, error) {
+	raw, err := readBody(r, int64(c*h*w*4)+1)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading image: %w", err)
 	}
+	defer bufPool.Put(raw)
 	in := tensor.New(1, c, h, w)
-	if len(raw) == 0 {
+	if len(*raw) == 0 {
 		return in, nil
 	}
-	if len(raw) != c*h*w*4 {
+	if len(*raw) != c*h*w*4 {
 		return nil, fmt.Errorf("serve: image body must be %d bytes (%dx%dx%d float32 LE), got %d",
-			c*h*w*4, c, h, w, len(raw))
+			c*h*w*4, c, h, w, len(*raw))
 	}
 	for i := range in.Data {
-		in.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		in.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32((*raw)[i*4:]))
 	}
 	return in, nil
 }
@@ -270,6 +439,7 @@ func statsJSON(st Stats) map[string]any {
 		"detects":           st.Detects,
 		"candidates":        st.Candidates,
 		"boxes":             st.Boxes,
+		"avg_ingest_ms":     ms(st.AvgIngest),
 		"avg_preprocess_ms": ms(st.AvgPreprocess),
 		"avg_decode_ms":     ms(st.AvgDecode),
 		"avg_nms_ms":        ms(st.AvgNMS),

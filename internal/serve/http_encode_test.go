@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestAppendDetectResponseRoundTrip pins the hand-rolled /detect JSON
+// encoder against the stdlib decoder: every field — including floats
+// chosen to stress shortest-form encoding and labels that need
+// escaping — must survive an encode/decode round trip exactly. This is
+// the contract DetectResponse.Boxes() documents (evaluation over HTTP
+// scores the very numbers the server computed), now enforced against
+// the pooled fast-path encoder instead of encoding/json.
+func TestAppendDetectResponseRoundTrip(t *testing.T) {
+	in := DetectResponse{
+		Detections: []DetectionJSON{
+			{Box: [4]float64{0, 1.5, 103.25, 47.125}, Class: 2, Label: "car", Score: 0.87},
+			{Box: [4]float64{1e-17, 1e21, -3.75, math.Pi}, Class: 0, Label: `quo"te\back`, Score: 0.250000000000001},
+			{Box: [4]float64{0.1, 0.2, 0.3, 0.7}, Class: -1, Score: math.SmallestNonzeroFloat64},
+			{Box: [4]float64{5, 6, 7, 8}, Class: 11, Label: "tab\tnewline\nünïcode", Score: 1},
+		},
+		Count: 4,
+		Image: ImageSizeJSON{Width: 1242, Height: 375},
+		TimingMS: TimingJSON{
+			Ingest:     0.0625,
+			Preprocess: 1.75,
+			Forward:    123.456789,
+			Decode:     0.001953125,
+			Total:      125.271,
+		},
+	}
+	raw := appendDetectResponse(nil, &in)
+	if !json.Valid(raw) {
+		t.Fatalf("hand encoder produced invalid JSON: %s", raw)
+	}
+	var out DetectResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decoding hand-encoded response: %v", err)
+	}
+	if len(out.Detections) != len(in.Detections) {
+		t.Fatalf("round trip lost detections: got %d, want %d", len(out.Detections), len(in.Detections))
+	}
+	for i := range in.Detections {
+		a, b := in.Detections[i], out.Detections[i]
+		if a != b {
+			t.Errorf("detection %d round trip: got %+v, want %+v", i, b, a)
+		}
+	}
+	if out.Count != in.Count || out.Image != in.Image || out.TimingMS != in.TimingMS {
+		t.Errorf("envelope round trip: got count=%d image=%+v timing=%+v", out.Count, out.Image, out.TimingMS)
+	}
+
+	// The omitempty semantics must match the struct tag: an empty label
+	// is absent from the wire, a non-empty one present.
+	var asMap struct {
+		Detections []map[string]json.RawMessage `json:"detections"`
+	}
+	if err := json.Unmarshal(raw, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asMap.Detections[2]["label"]; ok {
+		t.Error("empty label was encoded; want omitted (json:\",omitempty\" parity)")
+	}
+	if _, ok := asMap.Detections[1]["label"]; !ok {
+		t.Error("non-empty label missing from the wire")
+	}
+
+	// The stdlib encoder must agree with the hand encoder after one
+	// decode cycle — same struct in, same struct out either way.
+	std, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaStd DetectResponse
+	if err := json.Unmarshal(std, &viaStd); err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaStd.Detections {
+		if viaStd.Detections[i] != out.Detections[i] {
+			t.Errorf("detection %d: hand encoder and encoding/json disagree after round trip", i)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,10 +62,31 @@ type Server struct {
 	queue chan *request
 	wg    sync.WaitGroup
 
+	// headArena recycles the per-image head copies HeadsBatchArena
+	// splits off a batched forward: the executor returns a detect
+	// request's heads right after postprocess, so the next batch reuses
+	// the buffers instead of allocating fresh ones. Heads handed to
+	// InferHeads/Infer callers are never recycled — the arena only sees
+	// tensors the server provably owns.
+	headArena *tensor.Arena
+	// scratchPool recycles ingestScratch (decoded image + letterbox
+	// canvas tensors) across detect requests, making the executor's
+	// decode+letterbox stage allocation-free in steady state.
+	scratchPool sync.Pool
+
 	closeMu sync.RWMutex
 	closed  bool
 
 	stats serverStats
+}
+
+// ingestScratch is one detect request's pooled preprocess state: the
+// decoded image tensor and the letterbox canvas the forward consumes.
+// Both retain capacity across requests, so a steady stream of
+// same-sized images decodes and letterboxes with zero allocations.
+type ingestScratch struct {
+	img    *tensor.Tensor
+	canvas *tensor.Tensor
 }
 
 var (
@@ -103,9 +123,13 @@ type request struct {
 	img        []byte
 	pipe       detect.Config
 	resH, resW int
-	// meta and pp are filled by the executor's preprocess stage.
-	meta tensor.LetterboxMeta
-	pp   time.Duration
+	// meta, ingest, pp and sc are filled by the executor's preprocess
+	// stage; sc is returned to the server's scratch pool after the
+	// response is sent.
+	meta   tensor.LetterboxMeta
+	ingest time.Duration
+	pp     time.Duration
+	sc     *ingestScratch
 
 	resp chan response
 	enq  time.Time
@@ -124,10 +148,12 @@ type response struct {
 func NewServer(prog *engine.Program, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		prog:  prog,
-		cfg:   cfg,
-		queue: make(chan *request, cfg.QueueCap),
+		prog:      prog,
+		cfg:       cfg,
+		queue:     make(chan *request, cfg.QueueCap),
+		headArena: tensor.NewArena(),
 	}
+	s.scratchPool.New = func() any { return new(ingestScratch) }
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -179,7 +205,7 @@ func (s *Server) TryInferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
 }
 
 // Detect runs the full image -> boxes pipeline on the batch executors:
-// img is an encoded image (PPM/PGM/PNG), pipe the postprocess config
+// img is an encoded image (PPM/PGM/PNG/JPEG), pipe the postprocess config
 // (Spec required), resH x resW the letterbox canvas resolution.
 // Preprocess, the co-batched forward, and the pooled decode+NMS all
 // execute on the worker that picked the request up, so a
@@ -259,24 +285,38 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// workerScratch is one executor's reusable state: the gather timer and
+// the batch/group/input slices, all retained across batches so the
+// steady-state executor loop allocates nothing of its own.
+type workerScratch struct {
+	timer *time.Timer
+	batch []*request
+	ins   []*tensor.Tensor
+}
+
 // worker pulls a request, tops the batch up to MaxBatch (waiting at
 // most MaxDelay), runs one batched forward, and replies to every caller.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	ws := &workerScratch{timer: time.NewTimer(time.Hour)}
+	ws.timer.Stop()
 	for first := range s.queue {
-		batch := s.gather(first)
-		s.execute(batch)
+		s.execute(ws, s.gather(ws, first))
 	}
 }
 
-// gather collects up to MaxBatch-1 additional requests behind first.
-func (s *Server) gather(first *request) []*request {
-	batch := []*request{first}
+// gather collects up to MaxBatch-1 additional requests behind first
+// into the worker's reused batch slice.
+func (s *Server) gather(ws *workerScratch, first *request) []*request {
+	batch := append(ws.batch[:0], first)
+	ws.batch = batch
 	if s.cfg.MaxBatch <= 1 {
 		return batch
 	}
-	timer := time.NewTimer(s.cfg.MaxDelay)
-	defer timer.Stop()
+	// Go 1.23+ timer semantics: Reset after Stop needs no drain, and a
+	// stale expiry can no longer be sitting buffered in the channel.
+	ws.timer.Reset(s.cfg.MaxDelay)
+	defer ws.timer.Stop()
 	for len(batch) < s.cfg.MaxBatch {
 		select {
 		case req, ok := <-s.queue:
@@ -284,7 +324,8 @@ func (s *Server) gather(first *request) []*request {
 				return batch // closing: run what we have
 			}
 			batch = append(batch, req)
-		case <-timer.C:
+			ws.batch = batch
+		case <-ws.timer.C:
 			return batch
 		}
 	}
@@ -292,26 +333,50 @@ func (s *Server) gather(first *request) []*request {
 }
 
 // preprocess decodes and letterboxes a detect request's image bytes on
-// the executor. It reports whether the request survives; a decode
-// failure is answered immediately (wrapped in ErrBadImage) so it never
-// poisons the batch it was coalesced with.
+// the executor, entirely inside pooled scratch: the decoded image and
+// the letterbox canvas both come from (and return to) the server's
+// scratch pool, so a steady stream of same-sized images runs this stage
+// with zero allocations. It reports whether the request survives; a
+// decode failure is answered immediately (wrapped in ErrBadImage) so it
+// never poisons the batch it was coalesced with.
 func (s *Server) preprocess(req *request) bool {
+	sc := s.scratchPool.Get().(*ingestScratch)
 	t0 := time.Now()
-	img, err := tensor.DecodeImage(bytes.NewReader(req.img))
+	img, err := tensor.DecodeImageInto(sc.img, req.img)
 	if err != nil {
+		s.scratchPool.Put(sc)
 		atomic.AddUint64(&s.stats.errors, 1)
 		req.resp <- response{err: fmt.Errorf("%w: %v", ErrBadImage, err)}
 		return false
 	}
-	canvas, meta := tensor.LetterboxImage(img, req.resH, req.resW, tensor.LetterboxFill)
-	req.in = canvas.Reshape(1, canvas.Dim(0), canvas.Dim(1), canvas.Dim(2))
+	sc.img = img
+	req.ingest = time.Since(t0)
+	t1 := time.Now()
+	canvas, meta := tensor.LetterboxImageInto(sc.canvas, img, req.resH, req.resW, tensor.LetterboxFill)
+	sc.canvas = canvas
+	req.sc = sc
+	// The batch stacker accepts [C, H, W] directly; skipping the
+	// [1, C, H, W] reshape avoids allocating a view header per request.
+	req.in = canvas
 	req.meta = meta
-	req.pp = time.Since(t0)
+	req.pp = time.Since(t1)
+	s.stats.recordIngest(req.ingest)
 	s.stats.recordPreprocess(req.pp)
 	return true
 }
 
-func (s *Server) execute(batch []*request) {
+// release returns a detect request's pooled preprocess scratch after
+// its response has been sent. The response never aliases the scratch
+// (detections are freshly appended, heads were already recycled), so
+// the next request may overwrite it immediately.
+func (s *Server) release(req *request) {
+	if req.sc != nil {
+		s.scratchPool.Put(req.sc)
+		req.sc = nil
+	}
+}
+
+func (s *Server) execute(ws *workerScratch, batch []*request) {
 	// Detect requests arrive as encoded bytes: preprocess them here so
 	// the forward below can co-batch them with raw-tensor traffic.
 	// Reusing batch's backing array keeps the executor allocation-lean.
@@ -321,69 +386,111 @@ func (s *Server) execute(batch []*request) {
 			ready = append(ready, req)
 		}
 	}
+	if len(ready) == 0 {
+		return
+	}
 	// Clients may legitimately submit different image sizes (Programs
 	// accept any resolution the model supports), and images can only be
 	// stacked with identical shapes — so partition the batch by shape
 	// and forward each group separately. One malformed request then
 	// fails alone instead of poisoning whoever it was co-batched with.
+	// The common case (every request at the model's nominal resolution)
+	// is detected up front and runs group-partition-free.
+	if uniformShape(ready) {
+		s.executeGroup(ws, ready)
+		return
+	}
 	for _, group := range groupByShape(ready) {
-		ins := make([]*tensor.Tensor, len(group))
-		anyHeads := false
-		for i, req := range group {
-			ins[i] = req.in
-			anyHeads = anyHeads || req.kind != kindInfer
+		s.executeGroup(ws, group)
+	}
+}
+
+// uniformShape reports whether every request's input stacks with the
+// first one's — the hot path that skips groupByShape's allocations.
+//
+//rtoss:noalloc
+func uniformShape(batch []*request) bool {
+	for _, req := range batch[1:] {
+		if !sameImageShape(batch[0].in, req.in) {
+			return false
 		}
-		// A group containing any detection request runs the heads path
-		// for the whole group: the final output is the first head (the
-		// Detect sink aliases it), so plain Infer co-batches for free.
-		var (
-			outs  []*tensor.Tensor
-			heads [][]*tensor.Tensor
-			err   error
-		)
-		fstart := time.Now()
-		if anyHeads {
-			heads, err = s.prog.HeadsBatch(ins)
-		} else {
-			outs, err = s.prog.ForwardBatch(ins)
-		}
-		fwd := time.Since(fstart)
-		s.stats.recordBatch(len(group))
-		for i, req := range group {
-			r := response{err: err}
-			switch {
-			case err != nil:
-				atomic.AddUint64(&s.stats.errors, 1)
-			case req.kind == kindDetect:
-				// The postprocess scratch is pooled inside detect, so
-				// each executor reuses a warm per-worker buffer set.
-				dets, pst, derr := detect.PostprocessStats(nil, heads[i], req.meta, req.pipe)
-				if derr != nil {
-					r.err = derr
-					atomic.AddUint64(&s.stats.errors, 1)
-					break
-				}
-				s.stats.recordDetect(pst)
-				r.det = &detect.Result{
-					Detections: dets,
-					SrcW:       req.meta.SrcW,
-					SrcH:       req.meta.SrcH,
-					Timing: detect.Timing{
-						Preprocess: req.pp,
-						Forward:    fwd,
-						Decode:     pst.Decode + pst.NMS,
-					},
-				}
-			case req.kind == kindHeads:
-				r.heads = heads[i]
-			case anyHeads:
-				r.out = heads[i][0]
-			default:
-				r.out = outs[i]
+	}
+	return true
+}
+
+// executeGroup runs one stackable group: a single batched forward, then
+// per-request postprocess and reply. The input slice is the worker's
+// reused scratch.
+func (s *Server) executeGroup(ws *workerScratch, group []*request) {
+	ins := ws.ins[:0]
+	anyHeads := false
+	for _, req := range group {
+		ins = append(ins, req.in)
+		anyHeads = anyHeads || req.kind != kindInfer
+	}
+	ws.ins = ins
+	// A group containing any detection request runs the heads path
+	// for the whole group: the final output is the first head (the
+	// Detect sink aliases it), so plain Infer co-batches for free.
+	var (
+		outs  []*tensor.Tensor
+		heads [][]*tensor.Tensor
+		err   error
+	)
+	fstart := time.Now()
+	if anyHeads {
+		// The server's arena feeds the per-image head copies; the
+		// detect branch below returns each request's heads as soon
+		// as postprocess is done with them. Heads that escape to
+		// InferHeads/Infer callers are simply never recycled.
+		heads, err = s.prog.HeadsBatchArena(ins, s.headArena)
+	} else {
+		outs, err = s.prog.ForwardBatch(ins)
+	}
+	fwd := time.Since(fstart)
+	s.stats.recordBatch(len(group))
+	for i, req := range group {
+		r := response{err: err}
+		switch {
+		case err != nil:
+			atomic.AddUint64(&s.stats.errors, 1)
+		case req.kind == kindDetect:
+			// The postprocess scratch is pooled inside detect, so
+			// each executor reuses a warm per-worker buffer set.
+			dets, pst, derr := detect.PostprocessStats(nil, heads[i], req.meta, req.pipe)
+			// Postprocess copied everything it keeps out of the
+			// head tensors, so they go back to the arena either
+			// way — the next batch reuses the buffers.
+			for _, h := range heads[i] {
+				s.headArena.Put(h)
 			}
-			s.stats.recordLatency(time.Since(req.enq))
-			req.resp <- r
+			if derr != nil {
+				r.err = derr
+				atomic.AddUint64(&s.stats.errors, 1)
+				break
+			}
+			s.stats.recordDetect(pst)
+			r.det = &detect.Result{
+				Detections: dets,
+				SrcW:       req.meta.SrcW,
+				SrcH:       req.meta.SrcH,
+				Timing: detect.Timing{
+					Ingest:     req.ingest,
+					Preprocess: req.pp,
+					Forward:    fwd,
+					Decode:     pst.Decode + pst.NMS,
+				},
+			}
+		case req.kind == kindHeads:
+			r.heads = heads[i]
+		case anyHeads:
+			r.out = heads[i][0]
+		default:
+			r.out = outs[i]
 		}
+		s.stats.recordLatency(time.Since(req.enq))
+		req.resp <- r
+		s.release(req)
 	}
 }
 
@@ -409,18 +516,26 @@ outer:
 // shapes, treating [C, H, W] and [1, C, H, W] as equivalent. Malformed
 // inputs (wrong rank) compare false against everything, so they fail
 // in their own group of one.
+//
+//rtoss:noalloc
 func sameImageShape(a, b *tensor.Tensor) bool {
-	as, bs := a.Shape(), b.Shape()
-	if len(as) == 4 && as[0] == 1 {
-		as = as[1:]
+	ac, ah, aw, aok := imageDims(a)
+	bc, bh, bw, bok := imageDims(b)
+	return aok && bok && ac == bc && ah == bh && aw == bw
+}
+
+// imageDims extracts C, H, W from a single-image tensor without
+// copying its shape slice (this runs per request pair in groupByShape).
+//
+//rtoss:noalloc
+func imageDims(t *tensor.Tensor) (c, h, w int, ok bool) {
+	switch {
+	case t.Rank() == 3:
+		return t.Dim(0), t.Dim(1), t.Dim(2), true
+	case t.Rank() == 4 && t.Dim(0) == 1:
+		return t.Dim(1), t.Dim(2), t.Dim(3), true
 	}
-	if len(bs) == 4 && bs[0] == 1 {
-		bs = bs[1:]
-	}
-	if len(as) != 3 || len(bs) != 3 {
-		return false
-	}
-	return as[0] == bs[0] && as[1] == bs[1] && as[2] == bs[2]
+	return 0, 0, 0, false
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -442,7 +557,9 @@ type serverStats struct {
 	// preprocessed but failed its forward/postprocess must not skew
 	// the other's average.
 	detects, preprocesses uint64
+	ingests               uint64
 	candidates, boxes     uint64
+	ingestNS              int64
 	preprocessNS          int64
 	decodeNS, nmsNS       int64
 }
@@ -461,6 +578,12 @@ func (st *serverStats) recordBatch(size int) {
 func (st *serverStats) recordLatency(d time.Duration) {
 	atomic.AddInt64(&st.latencyNS, int64(d))
 	atomicMax(&st.maxLatencyNS, int64(d))
+}
+
+//rtoss:noalloc
+func (st *serverStats) recordIngest(d time.Duration) {
+	atomic.AddUint64(&st.ingests, 1)
+	atomic.AddInt64(&st.ingestNS, int64(d))
 }
 
 //rtoss:noalloc
@@ -506,11 +629,12 @@ type Stats struct {
 	// Detection-path counters: Detects counts completed Detect
 	// requests; Candidates/Boxes the decoded candidates entering NMS
 	// and the boxes that survived it; the Avg* durations the per-image
-	// preprocess (image decode + letterbox), head decode (+ TopK) and
-	// NMS (+ un-letterbox) stages on the batch executors.
+	// ingest (image-bytes decode), preprocess (letterbox), head decode
+	// (+ TopK) and NMS (+ un-letterbox) stages on the batch executors.
 	Detects       uint64
 	Candidates    uint64
 	Boxes         uint64
+	AvgIngest     time.Duration
 	AvgPreprocess time.Duration
 	AvgDecode     time.Duration
 	AvgNMS        time.Duration
@@ -534,6 +658,9 @@ func (st *serverStats) snapshot() Stats {
 	}
 	if out.Completed > 0 {
 		out.AvgLatency = time.Duration(atomic.LoadInt64(&st.latencyNS) / int64(out.Completed))
+	}
+	if in := atomic.LoadUint64(&st.ingests); in > 0 {
+		out.AvgIngest = time.Duration(atomic.LoadInt64(&st.ingestNS) / int64(in))
 	}
 	if pp := atomic.LoadUint64(&st.preprocesses); pp > 0 {
 		out.AvgPreprocess = time.Duration(atomic.LoadInt64(&st.preprocessNS) / int64(pp))

@@ -74,10 +74,14 @@ func NewArenaLimited(lim ArenaLimits) *Arena {
 // (reused buffers keep their old data); callers must overwrite every
 // element.
 func (a *Arena) Get(shape ...int) *Tensor {
+	// Formatting `shape` itself in the panic would mark the parameter
+	// as escaping and heap-allocate the variadic slice at every Get
+	// call site (the engine calls this once per layer) — so the message
+	// names only the offending value.
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in arena Get", d))
 		}
 		n *= d
 	}
@@ -89,7 +93,12 @@ func (a *Arena) Get(shape ...int) *Tensor {
 		a.reuses++
 		a.retained -= tensorBytes(t)
 		a.mu.Unlock()
-		return t.Reshape(shape...)
+		// The Put contract forbids the releasing caller from holding
+		// any view of t, so the header and its shape/stride slices are
+		// exclusively ours — reshape in place instead of allocating a
+		// fresh header per Get (the engine calls this once per layer).
+		t.reshapeInPlace(shape)
+		return t
 	}
 	a.mu.Unlock()
 	return New(shape...)

@@ -66,3 +66,24 @@ func SplitBatch(t *Tensor) []*Tensor {
 	}
 	return out
 }
+
+// SplitBatchArena is SplitBatch drawing each per-image tensor from an
+// arena instead of the heap (nil arena falls back to SplitBatch).
+// Callers that return the tensors via arena.Put once done make the
+// batched heads path reuse warm buffers in steady state.
+func SplitBatchArena(t *Tensor, arena *Arena) []*Tensor {
+	if arena == nil {
+		return SplitBatch(t)
+	}
+	if t.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: SplitBatchArena requires a 4-D tensor, got %v", t.Shape()))
+	}
+	per := t.Dim(1) * t.Dim(2) * t.Dim(3)
+	out := make([]*Tensor, t.Dim(0))
+	for b := range out {
+		img := arena.Get(1, t.Dim(1), t.Dim(2), t.Dim(3))
+		copy(img.Data, t.Data[b*per:(b+1)*per])
+		out[b] = img
+	}
+	return out
+}

@@ -2,65 +2,125 @@ package tensor
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"image"
-	"image/png"
 	"io"
 )
 
 // image.go is the detection pipeline's image front door: decoding
-// PPM/PGM (the dependency-free interchange formats) and PNG (via the
-// standard library) into [3, H, W] float32 tensors in [0, 1], and
-// encoding tensors back to PPM so pipelines can be round-tripped
-// without any external tooling.
+// PPM/PGM (the dependency-free interchange formats), PNG and baseline
+// JPEG into [3, H, W] float32 tensors in [0, 1], and encoding tensors
+// back to PPM so pipelines can be round-tripped without any external
+// tooling.
+//
+// Every format has two entry points: a streaming io.Reader decoder
+// (DecodeImage/DecodePNM/DecodePNG/DecodeJPEG) for files and tests,
+// and a byte-slice Into variant (DecodeImageInto and friends) that
+// fills a caller-provided tensor from pooled scratch — the serving hot
+// path, which in steady state touches the allocator zero times per
+// request (the AllocsPerRun gates in image_alloc_test.go pin this).
+
+// maxImagePixels caps header-declared image sizes across every decode
+// family (64 Mpx covers modern camera output with headroom; anything
+// larger is a hostile or corrupt header, rejected before allocation).
+const maxImagePixels = 1 << 26
 
 // DecodeImage sniffs the stream's magic bytes and decodes a PPM/PGM
-// (P2, P3, P5, P6) or PNG image into a [3, H, W] tensor with values in
-// [0, 1]. Grayscale sources are replicated across the three channels so
-// the result always matches the detectors' RGB input plane.
+// (P2, P3, P5, P6), PNG or baseline JPEG image into a [3, H, W] tensor
+// with values in [0, 1]. Grayscale sources are replicated across the
+// three channels so the result always matches the detectors' RGB input
+// plane. The stream is buffered in full before decoding; callers on
+// the serving path hand bounded bodies to DecodeImageInto instead.
 func DecodeImage(r io.Reader) (*Tensor, error) {
-	br := bufio.NewReader(r)
-	magic, err := br.Peek(2)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("tensor: reading image magic: %w", err)
+		return nil, fmt.Errorf("tensor: reading image: %w", err)
+	}
+	return DecodeImageInto(nil, data)
+}
+
+// DecodeImageInto is DecodeImage over in-memory bytes, filling dst's
+// buffer when it has the capacity (dst may be nil). The returned
+// tensor is dst when it was reused, or a fresh tensor otherwise —
+// callers keep the result, exactly like append. Repeated decodes of
+// same-sized images through a retained dst are allocation-free.
+func DecodeImageInto(dst *Tensor, data []byte) (*Tensor, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("tensor: reading image magic: %w", io.ErrUnexpectedEOF)
 	}
 	switch {
-	case magic[0] == 'P' && magic[1] >= '2' && magic[1] <= '6':
-		return DecodePNM(br)
-	case magic[0] == 0x89 && magic[1] == 'P':
-		return DecodePNG(br)
+	case data[0] == 'P' && data[1] >= '2' && data[1] <= '6':
+		return DecodePNMInto(dst, data)
+	case data[0] == 0x89 && data[1] == 'P':
+		return DecodePNGInto(dst, data)
+	case data[0] == 0xff && data[1] == 0xd8:
+		return DecodeJPEGInto(dst, data)
 	}
-	return nil, fmt.Errorf("tensor: unrecognised image format (magic %q); want PPM/PGM (P2/P3/P5/P6) or PNG", magic)
+	return nil, fmt.Errorf("tensor: unrecognised image format (magic %q); want PPM/PGM (P2/P3/P5/P6), PNG or JPEG", data[:2])
+}
+
+// sizedInto returns a [d0, d1, d2] tensor backed by dst's buffer when
+// dst has the capacity, allocating only when dst is nil or too small.
+// The returned tensor's contents are UNSPECIFIED; callers must
+// overwrite every element. This is the ingest hot path's reuse
+// primitive: pooled scratch keeps one warm buffer per slot, and
+// steady-state traffic (same image resolution per request) never
+// touches the allocator. Fixed arity on purpose — a variadic shape
+// would heap-allocate its argument slice at every call site.
+//
+//rtoss:noalloc
+func sizedInto(dst *Tensor, d0, d1, d2 int) *Tensor {
+	n := d0 * d1 * d2
+	if dst == nil || cap(dst.Data) < n || cap(dst.shape) < 3 || cap(dst.strides) < 3 {
+		return New(d0, d1, d2)
+	}
+	dst.Data = dst.Data[:n]
+	dst.shape = dst.shape[:3]
+	dst.shape[0], dst.shape[1], dst.shape[2] = d0, d1, d2
+	dst.strides = dst.strides[:3]
+	dst.strides[0], dst.strides[1], dst.strides[2] = d1*d2, d2, 1
+	return dst
 }
 
 // DecodePNM decodes a netpbm image — PGM (P2 ascii, P5 binary) or PPM
 // (P3 ascii, P6 binary) with maxval <= 255 — into a [3, H, W] tensor in
 // [0, 1]. PGM gray values are replicated to all three channels.
 func DecodePNM(r io.Reader) (*Tensor, error) {
-	br := bufio.NewReader(r)
-	magic, err := pnmToken(br)
+	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("tensor: reading PNM header: %w", err)
+		return nil, fmt.Errorf("tensor: reading PNM: %w", err)
 	}
+	return DecodePNMInto(nil, data)
+}
+
+// DecodePNMInto is DecodePNM over in-memory bytes with dst-buffer
+// reuse (see DecodeImageInto for the contract). The success path of a
+// same-sized redecode performs zero allocations.
+func DecodePNMInto(dst *Tensor, data []byte) (*Tensor, error) {
+	pos := pnmSkipSpace(data, 0)
+	if len(data)-pos < 2 || data[pos] != 'P' {
+		return nil, fmt.Errorf("tensor: reading PNM header: %w", io.ErrUnexpectedEOF)
+	}
+	magic := data[pos+1]
+	pos += 2
 	var channels int
 	switch magic {
-	case "P2", "P5":
+	case '2', '5':
 		channels = 1
-	case "P3", "P6":
+	case '3', '6':
 		channels = 3
 	default:
-		return nil, fmt.Errorf("tensor: unsupported PNM magic %q (P2|P3|P5|P6)", magic)
+		return nil, fmt.Errorf("tensor: unsupported PNM magic \"P%c\" (P2|P3|P5|P6)", magic)
 	}
-	w, err := pnmInt(br)
+	w, pos, err := pnmInt(data, pos)
 	if err != nil {
 		return nil, fmt.Errorf("tensor: PNM width: %w", err)
 	}
-	h, err := pnmInt(br)
+	h, pos, err := pnmInt(data, pos)
 	if err != nil {
 		return nil, fmt.Errorf("tensor: PNM height: %w", err)
 	}
-	maxval, err := pnmInt(br)
+	maxval, pos, err := pnmInt(data, pos)
 	if err != nil {
 		return nil, fmt.Errorf("tensor: PNM maxval: %w", err)
 	}
@@ -73,142 +133,129 @@ func DecodePNM(r io.Reader) (*Tensor, error) {
 	if maxval <= 0 || maxval > 255 {
 		return nil, fmt.Errorf("tensor: PNM maxval %d unsupported (want 1..255)", maxval)
 	}
-	out := New(3, h, w)
+	out := sizedInto(dst, 3, h, w)
 	scale := 1 / float32(maxval)
 	plane := h * w
-	set := func(x, y, c, v int) error {
-		if v > maxval {
-			return fmt.Errorf("tensor: PNM sample %d at (%d,%d) exceeds maxval %d", v, x, y, maxval)
-		}
-		fv := float32(v) * scale
-		if channels == 1 {
-			out.Data[0*plane+y*w+x] = fv
-			out.Data[1*plane+y*w+x] = fv
-			out.Data[2*plane+y*w+x] = fv
-		} else {
-			out.Data[c*plane+y*w+x] = fv
-		}
-		return nil
-	}
+	r0, g0, b0 := out.Data[:plane], out.Data[plane:2*plane], out.Data[2*plane:]
 	switch magic {
-	case "P2", "P3": // ascii samples
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				for c := 0; c < channels; c++ {
-					v, err := pnmInt(br)
-					if err != nil {
-						return nil, fmt.Errorf("tensor: PNM sample at (%d,%d): %w", x, y, err)
-					}
-					if err := set(x, y, c, v); err != nil {
-						return nil, err
+	case '2', '3': // ascii samples
+		for i := 0; i < plane; i++ {
+			for c := 0; c < channels; c++ {
+				v, p, err := pnmInt(data, pos)
+				if err != nil {
+					return nil, fmt.Errorf("tensor: PNM sample at (%d,%d): %w", i%w, i/w, err)
+				}
+				pos = p
+				if v > maxval {
+					return nil, fmt.Errorf("tensor: PNM sample %d at (%d,%d) exceeds maxval %d", v, i%w, i/w, maxval)
+				}
+				fv := float32(v) * scale
+				if channels == 1 {
+					r0[i], g0[i], b0[i] = fv, fv, fv
+				} else {
+					switch c {
+					case 0:
+						r0[i] = fv
+					case 1:
+						g0[i] = fv
+					default:
+						b0[i] = fv
 					}
 				}
 			}
 		}
-	case "P5", "P6": // binary samples follow the single header whitespace
-		row := make([]byte, w*channels)
-		for y := 0; y < h; y++ {
-			if _, err := io.ReadFull(br, row); err != nil {
-				return nil, fmt.Errorf("tensor: PNM pixel data row %d: %w", y, err)
-			}
-			for x := 0; x < w; x++ {
-				for c := 0; c < channels; c++ {
-					if err := set(x, y, c, int(row[x*channels+c])); err != nil {
-						return nil, err
-					}
+	case '5', '6': // binary samples follow a single header whitespace
+		if pos >= len(data) || !pnmIsSpace(data[pos]) {
+			return nil, fmt.Errorf("tensor: PNM header not terminated by whitespace")
+		}
+		pos++
+		px := data[pos:]
+		if len(px) < plane*channels {
+			return nil, fmt.Errorf("tensor: PNM pixel data truncated: %w", io.ErrUnexpectedEOF)
+		}
+		if channels == 1 {
+			for i := 0; i < plane; i++ {
+				v := px[i]
+				if int(v) > maxval {
+					return nil, fmt.Errorf("tensor: PNM sample %d at (%d,%d) exceeds maxval %d", v, i%w, i/w, maxval)
 				}
+				fv := float32(v) * scale
+				r0[i], g0[i], b0[i] = fv, fv, fv
+			}
+		} else {
+			for i := 0; i < plane; i++ {
+				r, g, b := px[3*i], px[3*i+1], px[3*i+2]
+				if int(r) > maxval || int(g) > maxval || int(b) > maxval {
+					return nil, fmt.Errorf("tensor: PNM sample at (%d,%d) exceeds maxval %d", i%w, i/w, maxval)
+				}
+				r0[i] = float32(r) * scale
+				g0[i] = float32(g) * scale
+				b0[i] = float32(b) * scale
 			}
 		}
 	}
 	return out, nil
 }
 
-// maxImagePixels caps header-declared image sizes across every decode
-// family (64 Mpx covers modern camera output with headroom; anything
-// larger is a hostile or corrupt header, rejected before allocation).
-const maxImagePixels = 1 << 26
-
-// pnmToken reads the next whitespace-delimited header token, skipping
-// '#' comments (which run to end of line).
-func pnmToken(br *bufio.Reader) (string, error) {
-	var tok []byte
-	for {
-		b, err := br.ReadByte()
-		if err != nil {
-			if err == io.EOF && len(tok) > 0 {
-				return string(tok), nil
-			}
-			return "", err
-		}
-		switch {
-		case b == '#' && len(tok) == 0:
-			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
-				return "", err
-			}
-		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
-			if len(tok) > 0 {
-				return string(tok), nil
-			}
-		default:
-			tok = append(tok, b)
-		}
-	}
+func pnmIsSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\v' || b == '\f'
 }
 
-// pnmInt reads the next header token as a decimal integer.
-func pnmInt(br *bufio.Reader) (int, error) {
-	tok, err := pnmToken(br)
-	if err != nil {
-		return 0, err
+// pnmSkipSpace advances past whitespace and '#' comments (which run to
+// end of line).
+func pnmSkipSpace(data []byte, pos int) int {
+	for pos < len(data) {
+		switch {
+		case pnmIsSpace(data[pos]):
+			pos++
+		case data[pos] == '#':
+			for pos < len(data) && data[pos] != '\n' {
+				pos++
+			}
+		default:
+			return pos
+		}
 	}
-	v := 0
-	for _, c := range []byte(tok) {
+	return pos
+}
+
+// pnmInt parses the next whitespace-delimited decimal header token.
+func pnmInt(data []byte, pos int) (int, int, error) {
+	pos = pnmSkipSpace(data, pos)
+	if pos >= len(data) {
+		return 0, pos, io.ErrUnexpectedEOF
+	}
+	v, digits := 0, 0
+	for pos < len(data) && !pnmIsSpace(data[pos]) && data[pos] != '#' {
+		c := data[pos]
 		if c < '0' || c > '9' {
-			return 0, fmt.Errorf("bad integer %q", tok)
+			return 0, pos, fmt.Errorf("bad integer byte %q", c)
 		}
 		v = v*10 + int(c-'0')
 		if v > 1<<30 {
-			return 0, fmt.Errorf("integer %q too large", tok)
+			return 0, pos, fmt.Errorf("integer too large")
 		}
+		digits++
+		pos++
 	}
-	return v, nil
-}
-
-// pngHeaderLen covers the PNG signature (8 bytes) plus the IHDR chunk
-// (4 length + 4 type + 13 data + 4 CRC) — everything DecodeConfig
-// needs to report the image dimensions.
-const pngHeaderLen = 33
-
-// DecodePNG decodes a PNG stream into a [3, H, W] tensor in [0, 1]
-// using the standard library decoder (alpha is dropped). The header
-// dimensions are validated from a peek at the IHDR chunk before any
-// pixel data is read or buffered, so a hostile header cannot force a
-// huge allocation.
-func DecodePNG(r io.Reader) (*Tensor, error) {
-	br := bufio.NewReaderSize(r, pngHeaderLen)
-	head, err := br.Peek(pngHeaderLen)
-	if err != nil && len(head) == 0 {
-		return nil, fmt.Errorf("tensor: reading PNG header: %w", err)
+	if digits == 0 {
+		return 0, pos, io.ErrUnexpectedEOF
 	}
-	cfg, err := png.DecodeConfig(bytes.NewReader(head))
-	if err != nil {
-		return nil, fmt.Errorf("tensor: decoding PNG header: %w", err)
-	}
-	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width > maxImagePixels/cfg.Height {
-		return nil, fmt.Errorf("tensor: unreasonable PNG dimensions %dx%d", cfg.Width, cfg.Height)
-	}
-	img, err := png.Decode(br)
-	if err != nil {
-		return nil, fmt.Errorf("tensor: decoding PNG: %w", err)
-	}
-	return FromImage(img), nil
+	return v, pos, nil
 }
 
 // FromImage converts any image.Image into a [3, H, W] tensor in [0, 1].
 func FromImage(img image.Image) *Tensor {
+	return fromImageInto(nil, img)
+}
+
+// fromImageInto is FromImage with dst-buffer reuse (the PNG fallback
+// path's fill). Alpha is dropped after premultiplication, matching the
+// 16-bit color.RGBA() convention.
+func fromImageInto(dst *Tensor, img image.Image) *Tensor {
 	b := img.Bounds()
 	h, w := b.Dy(), b.Dx()
-	out := New(3, h, w)
+	out := sizedInto(dst, 3, h, w)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			r, g, bl, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA() // 16-bit
@@ -221,7 +268,10 @@ func FromImage(img image.Image) *Tensor {
 }
 
 // EncodePPM writes a [3, H, W] (or [1, 3, H, W]) tensor as a binary
-// P6 PPM, clamping values to [0, 1].
+// P6 PPM, clamping values to [0, 1]. Writers that implement
+// io.ByteWriter (bytes.Buffer, bufio.Writer) are used directly;
+// anything else is wrapped in one buffered writer — no double
+// buffering either way.
 func EncodePPM(w io.Writer, t *Tensor) error {
 	img := t
 	if img.Rank() == 4 && img.Dim(0) == 1 {
@@ -231,8 +281,19 @@ func EncodePPM(w io.Writer, t *Tensor) error {
 		return fmt.Errorf("tensor: EncodePPM wants a [3, H, W] image, got %v", t.Shape())
 	}
 	h, iw := img.Dim(1), img.Dim(2)
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "P6\n%d %d\n255\n", iw, h)
+	type byteWriter interface {
+		io.Writer
+		io.ByteWriter
+	}
+	bw, ok := w.(byteWriter)
+	flush := func() error { return nil }
+	if !ok {
+		b := bufio.NewWriter(w)
+		bw, flush = b, b.Flush
+	}
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", iw, h); err != nil {
+		return err
+	}
 	plane := h * iw
 	for y := 0; y < h; y++ {
 		for x := 0; x < iw; x++ {
@@ -248,5 +309,5 @@ func EncodePPM(w io.Writer, t *Tensor) error {
 			}
 		}
 	}
-	return bw.Flush()
+	return flush()
 }

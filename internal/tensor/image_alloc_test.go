@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"bytes"
+	"image/jpeg"
+	"image/png"
+	"testing"
+)
+
+// image_alloc_test.go pins the zero-allocation contract of the ingest
+// hot path — byte-slice decode into retained tensors, and the pooled
+// letterbox/resize — with testing.AllocsPerRun, the runtime complement
+// of the static //rtoss:noalloc gates.
+
+// allocsSteadyState mirrors the detect package's helper: pooled
+// scratch can be dropped by a GC mid-measurement (a refill is a real
+// allocation but not a regression), so nonzero measurements are
+// retried after re-warming before they are believed.
+func allocsSteadyState(f func()) float64 {
+	var allocs float64
+	for attempt := 0; attempt < 3; attempt++ {
+		f()
+		allocs = testing.AllocsPerRun(100, f)
+		if allocs == 0 {
+			break
+		}
+	}
+	return allocs
+}
+
+func TestDecodeImageIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race drops sync.Pool items and allocates internally; zero-alloc is only meaningful without it")
+	}
+	src := jpegTestImage(64, 48, 7)
+
+	var ppm bytes.Buffer
+	if err := EncodePPM(&ppm, FromImage(src)); err != nil {
+		t.Fatal(err)
+	}
+	var pngBuf bytes.Buffer
+	if err := png.Encode(&pngBuf, src); err != nil {
+		t.Fatal(err)
+	}
+	var jpg bytes.Buffer
+	if err := jpeg.Encode(&jpg, src, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"ppm", ppm.Bytes()},
+		{"png", pngBuf.Bytes()},
+		{"jpeg", jpg.Bytes()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, err := DecodeImageInto(nil, tc.data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := allocsSteadyState(func() {
+				if dst, err = DecodeImageInto(dst, tc.data); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != 0 {
+				t.Errorf("DecodeImageInto(%s): %v allocs/op in steady state, want 0", tc.name, got)
+			}
+		})
+	}
+}
+
+func TestLetterboxIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("-race drops sync.Pool items and allocates internally; zero-alloc is only meaningful without it")
+	}
+	src := New(3, 375, 1242) // KITTI geometry exercises resize + pad
+	for i := range src.Data {
+		src.Data[i] = float32(i%256) / 255
+	}
+	dst, _ := LetterboxImageInto(nil, src, 640, 640, LetterboxFill)
+	got := allocsSteadyState(func() {
+		dst, _ = LetterboxImageInto(dst, src, 640, 640, LetterboxFill)
+	})
+	if got != 0 {
+		t.Errorf("LetterboxImageInto: %v allocs/op in steady state, want 0", got)
+	}
+
+	rdst := ResizeBilinearInto(nil, src, 192, 636)
+	got = allocsSteadyState(func() {
+		rdst = ResizeBilinearInto(rdst, src, 192, 636)
+	})
+	if got != 0 {
+		t.Errorf("ResizeBilinearInto: %v allocs/op in steady state, want 0", got)
+	}
+}
+
+// TestLetterboxIntoMatchesAllocating pins that the pooled path and the
+// public allocating path are bitwise identical — the eval mAP parity
+// gates depend on preprocessing being exact.
+func TestLetterboxIntoMatchesAllocating(t *testing.T) {
+	src := New(3, 375, 1242)
+	for i := range src.Data {
+		src.Data[i] = float32((i*2654435761)%977) / 976
+	}
+	a, metaA := LetterboxImage(src, 640, 640, LetterboxFill)
+	dst := New(3, 640, 640)
+	b, metaB := LetterboxImageInto(dst, src, 640, 640, LetterboxFill)
+	if metaA != metaB {
+		t.Fatalf("meta mismatch: %+v vs %+v", metaA, metaB)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("sample %d: %v != %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package tensor
 import (
 	"bytes"
 	"image"
+	"image/jpeg"
 	"image/png"
 	"testing"
 )
@@ -39,7 +40,46 @@ func fuzzSeeds() [][]byte {
 	if err := png.Encode(&buf, img); err == nil {
 		seeds = append(seeds, buf.Bytes()) // valid 2x2 PNG
 	}
+	seeds = append(seeds, jpegFuzzSeeds()...)
 	return seeds
+}
+
+// jpegFuzzSeeds covers the JPEG decode family: a valid tiny baseline
+// image plus the malformed shapes the hardening cares about — a
+// truncated scan, an overfull Huffman table and a dimension bomb that
+// must be rejected by the 1<<26-pixel cap before any plane allocation.
+func jpegFuzzSeeds() [][]byte {
+	var buf bytes.Buffer
+	src := image.NewNRGBA(image.Rect(0, 0, 9, 6))
+	for i := range src.Pix {
+		src.Pix[i] = byte(41*i + 7)
+	}
+	if err := jpeg.Encode(&buf, src, &jpeg.Options{Quality: 80}); err != nil {
+		return nil
+	}
+	valid := buf.Bytes()
+
+	truncated := append([]byte(nil), valid[:2*len(valid)/3]...)
+
+	badHuff := append([]byte(nil), valid...)
+	if i := bytes.Index(badHuff, []byte{0xff, 0xc4}); i >= 0 {
+		badHuff[i+5] = 255 // 255 one-bit codes: overfull table
+	}
+
+	bomb := append([]byte(nil), valid...)
+	if i := bytes.Index(bomb, []byte{0xff, 0xc0}); i >= 0 {
+		bomb[i+5], bomb[i+6] = 0xff, 0xff // height = 65535
+		bomb[i+7], bomb[i+8] = 0xff, 0xff // width = 65535 → 4 Gpx
+	}
+
+	return [][]byte{
+		valid,
+		truncated,
+		badHuff,
+		bomb,
+		{0xff, 0xd8},             // bare SOI
+		{0xff, 0xd8, 0xff, 0xc2}, // progressive SOF: explicit unsupported error
+	}
 }
 
 // FuzzDecodeImage hammers the image front door (the bytes a /detect

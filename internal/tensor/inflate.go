@@ -1,0 +1,358 @@
+package tensor
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// inflate.go is a minimal DEFLATE (RFC 1951) + zlib-wrapper (RFC 1950)
+// decoder specialised for the PNG fast path: the caller knows the
+// decompressed size exactly, so the output buffer doubles as the LZ77
+// window and decoding is a single pass with zero allocations — the
+// stdlib flate reader allocates a handful of objects per Reset, which
+// is what this exists to avoid. Huffman decoding is the canonical
+// first/count/offset walk (the same scheme the JPEG decoder uses, with
+// DEFLATE's LSB-first bit packing).
+
+// inflateHuff is a canonical Huffman decode table: codes of length l
+// occupy [first[l], first[l]+count[l]), and syms lists symbols in
+// (length, symbol) order.
+type inflateHuff struct {
+	first  [16]int32
+	count  [16]int32
+	offset [16]int32
+	syms   [288]uint16
+}
+
+// build derives the decode arrays from per-symbol code lengths.
+// Over-subscribed length sets are rejected; incomplete sets build but
+// unassigned codes fail at decode time.
+func (h *inflateHuff) build(lengths []byte) error {
+	var cnt [16]int32
+	for _, l := range lengths {
+		if l > 15 {
+			return fmt.Errorf("tensor: inflate code length %d out of range", l)
+		}
+		cnt[l]++
+	}
+	cnt[0] = 0
+	code, k := int32(0), int32(0)
+	for l := 1; l < 16; l++ {
+		code <<= 1
+		h.first[l] = code
+		h.count[l] = cnt[l]
+		h.offset[l] = k
+		code += cnt[l]
+		if code > 1<<l {
+			return fmt.Errorf("tensor: inflate over-subscribed Huffman lengths")
+		}
+		k += cnt[l]
+	}
+	var next [16]int32
+	next = h.offset
+	for sym, l := range lengths {
+		if l != 0 {
+			h.syms[next[l]] = uint16(sym)
+			next[l]++
+		}
+	}
+	return nil
+}
+
+// inflater holds all per-stream state; it lives inside pooled scratch
+// so steady-state decodes allocate nothing.
+type inflater struct {
+	data []byte // compressed bytes (past the zlib header)
+	pos  int
+	acc  uint64
+	n    int
+
+	lit, dist inflateHuff
+	cl        inflateHuff
+}
+
+// DEFLATE length/distance code tables (RFC 1951 §3.2.5).
+var inflateLenBase = [29]int32{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+var inflateLenExtra = [29]int32{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+var inflateDistBase = [30]int32{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+var inflateDistExtra = [30]int32{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+
+// inflateCLOrder is the code-length-code transmission order (§3.2.7).
+var inflateCLOrder = [19]int{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+
+// Fixed-Huffman tables (§3.2.6), built once.
+var inflateFixedOnce sync.Once
+var inflateFixedLit, inflateFixedDist inflateHuff
+
+func inflateFixedInit() {
+	var lens [288]byte
+	for i := 0; i < 144; i++ {
+		lens[i] = 8
+	}
+	for i := 144; i < 256; i++ {
+		lens[i] = 9
+	}
+	for i := 256; i < 280; i++ {
+		lens[i] = 7
+	}
+	for i := 280; i < 288; i++ {
+		lens[i] = 8
+	}
+	if err := inflateFixedLit.build(lens[:]); err != nil {
+		panic(err)
+	}
+	var dlens [30]byte
+	for i := range dlens {
+		dlens[i] = 5
+	}
+	if err := inflateFixedDist.build(dlens[:]); err != nil {
+		panic(err)
+	}
+}
+
+//rtoss:noalloc
+func (f *inflater) bits(n int) (int32, error) {
+	for f.n < n {
+		if f.pos >= len(f.data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		f.acc |= uint64(f.data[f.pos]) << uint(f.n)
+		f.pos++
+		f.n += 8
+	}
+	v := int32(f.acc & (1<<uint(n) - 1))
+	f.acc >>= uint(n)
+	f.n -= n
+	return v, nil
+}
+
+// decodeSym walks one canonical Huffman code bit by bit. DEFLATE packs
+// code bits most-significant first, so sequential single-bit reads
+// extend the code from the top exactly like the JPEG walk.
+//
+//rtoss:noalloc
+func (f *inflater) decodeSym(h *inflateHuff) (int, error) {
+	var code int32
+	for l := 1; l < 16; l++ {
+		b, err := f.bits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if d := code - h.first[l]; d >= 0 && d < h.count[l] {
+			return int(h.syms[h.offset[l]+d]), nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: inflate invalid Huffman code") //rtoss:allow noalloc (corrupt-input cold path)
+}
+
+// zlibInflate decompresses a zlib stream into out, which must be sized
+// to the exact decompressed length (PNG computes it from the header).
+// The Adler-32 trailer is not verified — the pixel data is treated as
+// untrusted regardless, and every reference is bounds-checked.
+func (f *inflater) zlibInflate(out, data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("tensor: zlib header truncated: %w", io.ErrUnexpectedEOF)
+	}
+	cmf, flg := data[0], data[1]
+	if cmf&0x0f != 8 {
+		return fmt.Errorf("tensor: zlib compression method %d unsupported", cmf&0x0f)
+	}
+	if (uint16(cmf)<<8|uint16(flg))%31 != 0 {
+		return fmt.Errorf("tensor: zlib header checksum failed")
+	}
+	if flg&0x20 != 0 {
+		return fmt.Errorf("tensor: zlib preset dictionary unsupported")
+	}
+	f.data, f.pos, f.acc, f.n = data[2:], 0, 0, 0
+	inflateFixedOnce.Do(inflateFixedInit)
+	w := 0
+	for {
+		bfinal, err := f.bits(1)
+		if err != nil {
+			return err
+		}
+		btype, err := f.bits(2)
+		if err != nil {
+			return err
+		}
+		switch btype {
+		case 0: // stored
+			f.acc, f.n = 0, 0 // discard to byte boundary
+			if len(f.data)-f.pos < 4 {
+				return fmt.Errorf("tensor: inflate stored block header truncated: %w", io.ErrUnexpectedEOF)
+			}
+			n := int(f.data[f.pos]) | int(f.data[f.pos+1])<<8
+			nlen := int(f.data[f.pos+2]) | int(f.data[f.pos+3])<<8
+			f.pos += 4
+			if n != ^nlen&0xffff {
+				return fmt.Errorf("tensor: inflate stored block length check failed")
+			}
+			if len(f.data)-f.pos < n || len(out)-w < n {
+				return fmt.Errorf("tensor: inflate stored block overruns: %w", io.ErrUnexpectedEOF)
+			}
+			copy(out[w:w+n], f.data[f.pos:f.pos+n])
+			f.pos += n
+			w += n
+		case 1:
+			if w, err = f.block(out, w, &inflateFixedLit, &inflateFixedDist); err != nil {
+				return err
+			}
+		case 2:
+			if err := f.dynamicTables(); err != nil {
+				return err
+			}
+			if w, err = f.block(out, w, &f.lit, &f.dist); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("tensor: inflate reserved block type")
+		}
+		if bfinal == 1 {
+			break
+		}
+	}
+	if w != len(out) {
+		return fmt.Errorf("tensor: inflate produced %d bytes, want %d: %w", w, len(out), io.ErrUnexpectedEOF)
+	}
+	return nil
+}
+
+// dynamicTables reads a dynamic-block header (§3.2.7) into f.lit and
+// f.dist.
+func (f *inflater) dynamicTables() error {
+	hlit, err := f.bits(5)
+	if err != nil {
+		return err
+	}
+	hdist, err := f.bits(5)
+	if err != nil {
+		return err
+	}
+	hclen, err := f.bits(4)
+	if err != nil {
+		return err
+	}
+	nlit, ndist, ncl := int(hlit)+257, int(hdist)+1, int(hclen)+4
+	if nlit > 286 || ndist > 30 {
+		return fmt.Errorf("tensor: inflate dynamic header counts out of range")
+	}
+	var clLens [19]byte
+	for i := 0; i < ncl; i++ {
+		v, err := f.bits(3)
+		if err != nil {
+			return err
+		}
+		clLens[inflateCLOrder[i]] = byte(v)
+	}
+	if err := f.cl.build(clLens[:]); err != nil {
+		return err
+	}
+	var lens [286 + 30]byte
+	for i := 0; i < nlit+ndist; {
+		sym, err := f.decodeSym(&f.cl)
+		if err != nil {
+			return err
+		}
+		switch {
+		case sym < 16:
+			lens[i] = byte(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return fmt.Errorf("tensor: inflate repeat with no previous length")
+			}
+			n, err := f.bits(2)
+			if err != nil {
+				return err
+			}
+			prev := lens[i-1]
+			for j := int32(0); j < n+3; j++ {
+				if i >= nlit+ndist {
+					return fmt.Errorf("tensor: inflate length repeat overruns")
+				}
+				lens[i] = prev
+				i++
+			}
+		case sym == 17 || sym == 18:
+			bitsN, base := 3, int32(3)
+			if sym == 18 {
+				bitsN, base = 7, 11
+			}
+			n, err := f.bits(bitsN)
+			if err != nil {
+				return err
+			}
+			for j := int32(0); j < n+base; j++ {
+				if i >= nlit+ndist {
+					return fmt.Errorf("tensor: inflate length repeat overruns")
+				}
+				lens[i] = 0
+				i++
+			}
+		default:
+			return fmt.Errorf("tensor: inflate bad code-length symbol %d", sym)
+		}
+	}
+	if err := f.lit.build(lens[:nlit]); err != nil {
+		return err
+	}
+	return f.dist.build(lens[nlit : nlit+ndist])
+}
+
+// block decodes one Huffman-coded block into out starting at w,
+// returning the new write position. out is the full expected output,
+// so back-references resolve against it directly — no separate window.
+//
+//rtoss:noalloc
+func (f *inflater) block(out []byte, w int, lit, dist *inflateHuff) (int, error) {
+	for {
+		sym, err := f.decodeSym(lit)
+		if err != nil {
+			return w, err
+		}
+		if sym < 256 {
+			if w >= len(out) {
+				return w, fmt.Errorf("tensor: inflate output overruns expected size") //rtoss:allow noalloc (corrupt-input cold path)
+			}
+			out[w] = byte(sym)
+			w++
+			continue
+		}
+		if sym == 256 {
+			return w, nil
+		}
+		sym -= 257
+		if sym >= 29 {
+			return w, fmt.Errorf("tensor: inflate bad length symbol") //rtoss:allow noalloc (corrupt-input cold path)
+		}
+		extra, err := f.bits(int(inflateLenExtra[sym]))
+		if err != nil {
+			return w, err
+		}
+		length := int(inflateLenBase[sym] + extra)
+		dsym, err := f.decodeSym(dist)
+		if err != nil {
+			return w, err
+		}
+		if dsym >= 30 {
+			return w, fmt.Errorf("tensor: inflate bad distance symbol") //rtoss:allow noalloc (corrupt-input cold path)
+		}
+		extra, err = f.bits(int(inflateDistExtra[dsym]))
+		if err != nil {
+			return w, err
+		}
+		d := int(inflateDistBase[dsym] + extra)
+		if d > w {
+			return w, fmt.Errorf("tensor: inflate back-reference before output start") //rtoss:allow noalloc (corrupt-input cold path)
+		}
+		if w+length > len(out) {
+			return w, fmt.Errorf("tensor: inflate output overruns expected size") //rtoss:allow noalloc (corrupt-input cold path)
+		}
+		for i := 0; i < length; i++ {
+			out[w] = out[w-d]
+			w++
+		}
+	}
+}

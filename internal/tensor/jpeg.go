@@ -1,0 +1,696 @@
+package tensor
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// jpeg.go is a dependency-free baseline JPEG (ITU-T T.81) decoder:
+// SOF0/SOF1 frames, 8-bit samples, 1 or 3 components, 4:4:4 / 4:2:2 /
+// 4:2:0 / 4:4:0 chroma subsampling, restart markers. Progressive
+// (SOF2), arithmetic coding, 12-bit precision and hierarchical modes
+// are rejected with explicit errors — the serving path needs the
+// payloads cameras and phones actually emit, not the full standard.
+//
+// The decoder state (Huffman tables, quantisation tables, component
+// planes, the bit reader) lives in a pooled struct, so steady-state
+// decoding of same-sized images allocates nothing. The IDCT is a
+// float32 two-pass product with a precomputed cosine matrix; the
+// YCbCr→RGB step uses the stdlib's exact fixed-point arithmetic so
+// output differs from image/jpeg only by IDCT rounding (≤ a few /255).
+
+// jpegComponent is one frame component (Y, Cb or Cr) with its
+// MCU-aligned sample plane.
+type jpegComponent struct {
+	id     int
+	h, v   int // sampling factors (1 or 2)
+	tq     int // quantisation table selector
+	td, ta int // DC/AC Huffman selectors (from SOS)
+	pred   int32
+	plane  []byte // pw × ph MCU-aligned reconstructed samples (pooled)
+	pw, ph int
+}
+
+// jpegHuff is a derived Huffman decoding table: the ITU T.81 F.16
+// mincode/maxcode/valptr arrays plus an 8-bit prefix LUT that resolves
+// the overwhelming majority of codes in one probe.
+type jpegHuff struct {
+	lut     [256]uint16 // sym<<8 | codeLen for codes ≤ 8 bits; 0 = miss
+	mincode [17]int32
+	maxcode [17]int32 // -1 where no codes of that length exist
+	valptr  [17]int32
+	vals    [256]byte
+	ok      bool
+}
+
+// jpegDecoder carries all decode state; it is pooled and fully reset
+// per image.
+type jpegDecoder struct {
+	data []byte
+	pos  int
+
+	w, h  int
+	ncomp int
+	comp  [3]jpegComponent
+	quant [4][64]int32 // zigzag order, as stored in DQT
+	qdef  [4]bool
+	dc    [4]jpegHuff
+	ac    [4]jpegHuff
+	ri    int // restart interval in MCUs (0 = none)
+
+	// Entropy-coded-segment bit reader (MSB first, 0xFF00 unstuffed).
+	acc    uint32
+	nbits  int
+	marker byte // pending marker hit while filling (0 = none)
+}
+
+var jpegPool = sync.Pool{New: func() any { return new(jpegDecoder) }}
+
+// jpegUnzig maps zigzag coefficient order to natural (row-major) order.
+var jpegUnzig = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegCos[x][u] = a(u)·cos((2x+1)uπ/16)/2 — one matrix serves both
+// passes of the separable 2-D IDCT.
+var jpegCos [8][8]float32
+
+func init() {
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			a := 1.0
+			if u == 0 {
+				a = 1 / math.Sqrt2
+			}
+			jpegCos[x][u] = float32(a * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) / 2)
+		}
+	}
+}
+
+// DecodeJPEG decodes a baseline JPEG stream into a [3, H, W] tensor in
+// [0, 1]. Grayscale JPEGs replicate luma across the three channels.
+func DecodeJPEG(r io.Reader) (*Tensor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: reading JPEG: %w", err)
+	}
+	return DecodeJPEGInto(nil, data)
+}
+
+// DecodeJPEGInto is DecodeJPEG over in-memory bytes with dst-buffer
+// reuse (see DecodeImageInto for the contract). Steady-state redecodes
+// of same-sized images are allocation-free.
+func DecodeJPEGInto(dst *Tensor, data []byte) (*Tensor, error) {
+	d := jpegPool.Get().(*jpegDecoder)
+	err := d.decode(data)
+	d.data = nil // do not pin the caller's buffer in the pool
+	if err != nil {
+		jpegPool.Put(d)
+		return nil, err
+	}
+	out := sizedInto(dst, 3, d.h, d.w)
+	d.fill(out)
+	jpegPool.Put(d)
+	return out, nil
+}
+
+// decode parses headers and the entropy-coded scan, leaving
+// reconstructed component planes in d.comp.
+func (d *jpegDecoder) decode(data []byte) error {
+	if len(data) < 2 || data[0] != 0xff || data[1] != 0xd8 {
+		return fmt.Errorf("tensor: not a JPEG stream (no SOI)")
+	}
+	d.data, d.pos = data, 2
+	d.w, d.h, d.ncomp, d.ri = 0, 0, 0, 0
+	d.qdef = [4]bool{}
+	for i := range d.dc {
+		d.dc[i].ok, d.ac[i].ok = false, false
+	}
+	for {
+		if d.pos >= len(d.data) {
+			return fmt.Errorf("tensor: JPEG truncated before SOS: %w", io.ErrUnexpectedEOF)
+		}
+		if d.data[d.pos] != 0xff {
+			return fmt.Errorf("tensor: JPEG expected marker at offset %d, got %#02x", d.pos, d.data[d.pos])
+		}
+		for d.pos < len(d.data) && d.data[d.pos] == 0xff {
+			d.pos++ // 0xFF fill bytes may pad any marker
+		}
+		if d.pos >= len(d.data) {
+			return fmt.Errorf("tensor: JPEG truncated in marker: %w", io.ErrUnexpectedEOF)
+		}
+		m := d.data[d.pos]
+		d.pos++
+		switch {
+		case m == 0x00:
+			return fmt.Errorf("tensor: JPEG stuffed byte outside entropy data")
+		case m == 0x01 || (m >= 0xd0 && m <= 0xd7): // TEM / bare RST: no payload
+			continue
+		case m == 0xd8:
+			return fmt.Errorf("tensor: JPEG unexpected second SOI")
+		case m == 0xd9:
+			return fmt.Errorf("tensor: JPEG EOI before any scan")
+		}
+		seg, err := d.segment()
+		if err != nil {
+			return err
+		}
+		switch m {
+		case 0xdb: // DQT
+			if err := d.parseDQT(seg); err != nil {
+				return err
+			}
+		case 0xc4: // DHT
+			if err := d.parseDHT(seg); err != nil {
+				return err
+			}
+		case 0xc0, 0xc1: // SOF0 baseline / SOF1 extended sequential
+			if err := d.parseSOF(seg); err != nil {
+				return err
+			}
+		case 0xc2:
+			return fmt.Errorf("tensor: progressive JPEG (SOF2) unsupported; re-encode as baseline")
+		case 0xc3, 0xc5, 0xc6, 0xc7, 0xc9, 0xca, 0xcb, 0xcd, 0xce, 0xcf:
+			return fmt.Errorf("tensor: JPEG frame type %#02x unsupported (baseline SOF0/SOF1 only)", m)
+		case 0xdd: // DRI
+			if len(seg) < 2 {
+				return fmt.Errorf("tensor: JPEG DRI segment truncated")
+			}
+			d.ri = int(seg[0])<<8 | int(seg[1])
+		case 0xda: // SOS — headers end, entropy data follows
+			if err := d.parseSOS(seg); err != nil {
+				return err
+			}
+			return d.decodeScan()
+		default:
+			// APP0..APP15, COM, DNL and friends: metadata, skipped.
+		}
+	}
+}
+
+// segment consumes a marker segment's 2-byte big-endian length and
+// returns its payload.
+func (d *jpegDecoder) segment() ([]byte, error) {
+	if len(d.data)-d.pos < 2 {
+		return nil, fmt.Errorf("tensor: JPEG segment length truncated: %w", io.ErrUnexpectedEOF)
+	}
+	n := int(d.data[d.pos])<<8 | int(d.data[d.pos+1])
+	if n < 2 || len(d.data)-d.pos < n {
+		return nil, fmt.Errorf("tensor: JPEG segment length %d exceeds stream: %w", n, io.ErrUnexpectedEOF)
+	}
+	seg := d.data[d.pos+2 : d.pos+n]
+	d.pos += n
+	return seg, nil
+}
+
+func (d *jpegDecoder) parseDQT(seg []byte) error {
+	for len(seg) > 0 {
+		pq, tq := int(seg[0]>>4), int(seg[0]&15)
+		if pq != 0 {
+			return fmt.Errorf("tensor: JPEG 16-bit quantisation tables unsupported")
+		}
+		if tq > 3 || len(seg) < 65 {
+			return fmt.Errorf("tensor: JPEG bad DQT segment (tq=%d, %d bytes left)", tq, len(seg))
+		}
+		for i := 0; i < 64; i++ {
+			d.quant[tq][i] = int32(seg[1+i])
+		}
+		d.qdef[tq] = true
+		seg = seg[65:]
+	}
+	return nil
+}
+
+func (d *jpegDecoder) parseDHT(seg []byte) error {
+	for len(seg) > 0 {
+		if len(seg) < 17 {
+			return fmt.Errorf("tensor: JPEG DHT segment truncated")
+		}
+		tc, th := int(seg[0]>>4), int(seg[0]&15)
+		if tc > 1 || th > 3 {
+			return fmt.Errorf("tensor: JPEG bad DHT class/slot %d/%d", tc, th)
+		}
+		total := 0
+		for _, c := range seg[1:17] {
+			total += int(c)
+		}
+		if total == 0 || total > 256 || len(seg) < 17+total {
+			return fmt.Errorf("tensor: JPEG bad DHT value count %d", total)
+		}
+		h := &d.dc[th]
+		if tc == 1 {
+			h = &d.ac[th]
+		}
+		if err := buildJPEGHuff(h, seg[1:17], seg[17:17+total]); err != nil {
+			return err
+		}
+		seg = seg[17+total:]
+	}
+	return nil
+}
+
+// buildJPEGHuff derives the F.16 decode arrays and the 8-bit prefix
+// LUT from a DHT's (counts-per-length, values) description.
+func buildJPEGHuff(h *jpegHuff, counts, vals []byte) error {
+	copy(h.vals[:], vals)
+	h.lut = [256]uint16{}
+	code, k := int32(0), int32(0)
+	for l := 1; l <= 16; l++ {
+		n := int32(counts[l-1])
+		if code+n > 1<<l {
+			return fmt.Errorf("tensor: JPEG overfull Huffman table at code length %d", l)
+		}
+		h.valptr[l] = k
+		h.mincode[l] = code
+		if n == 0 {
+			h.maxcode[l] = -1
+		} else {
+			h.maxcode[l] = code + n - 1
+			if l <= 8 {
+				shift := uint(8 - l)
+				for i := int32(0); i < n; i++ {
+					entry := uint16(h.vals[k+i])<<8 | uint16(l)
+					base := (code + i) << shift
+					for j := int32(0); j < 1<<shift; j++ {
+						h.lut[base+j] = entry
+					}
+				}
+			}
+		}
+		k += n
+		code = (code + n) << 1
+	}
+	h.ok = true
+	return nil
+}
+
+func (d *jpegDecoder) parseSOF(seg []byte) error {
+	if d.ncomp != 0 {
+		return fmt.Errorf("tensor: JPEG has multiple SOF markers")
+	}
+	if len(seg) < 6 {
+		return fmt.Errorf("tensor: JPEG SOF segment truncated")
+	}
+	if seg[0] != 8 {
+		return fmt.Errorf("tensor: JPEG sample precision %d unsupported (8-bit only)", seg[0])
+	}
+	h := int(seg[1])<<8 | int(seg[2])
+	w := int(seg[3])<<8 | int(seg[4])
+	nc := int(seg[5])
+	// Pre-allocation guard, same policy as PNM/PNG: hostile headers are
+	// rejected before any plane is sized from them.
+	if w <= 0 || h <= 0 || w > maxImagePixels/h {
+		return fmt.Errorf("tensor: unreasonable JPEG dimensions %dx%d", w, h)
+	}
+	if nc != 1 && nc != 3 {
+		return fmt.Errorf("tensor: JPEG with %d components unsupported (grayscale or YCbCr only)", nc)
+	}
+	if len(seg) < 6+3*nc {
+		return fmt.Errorf("tensor: JPEG SOF component list truncated")
+	}
+	for i := 0; i < nc; i++ {
+		c := &d.comp[i]
+		c.id = int(seg[6+3*i])
+		c.h, c.v = int(seg[7+3*i]>>4), int(seg[7+3*i]&15)
+		c.tq = int(seg[8+3*i])
+		if c.tq > 3 {
+			return fmt.Errorf("tensor: JPEG component %d selects quant table %d", i, c.tq)
+		}
+		if nc == 1 {
+			// A single-component scan is never interleaved; sampling
+			// factors are irrelevant, so normalise them.
+			c.h, c.v = 1, 1
+			continue
+		}
+		if c.h < 1 || c.h > 2 || c.v < 1 || c.v > 2 {
+			return fmt.Errorf("tensor: JPEG sampling factor %dx%d unsupported (1 or 2)", c.h, c.v)
+		}
+		if i > 0 && (c.h != 1 || c.v != 1) {
+			return fmt.Errorf("tensor: JPEG subsampled luma with sampled chroma unsupported")
+		}
+	}
+	d.w, d.h, d.ncomp = w, h, nc
+	return nil
+}
+
+func (d *jpegDecoder) parseSOS(seg []byte) error {
+	if d.ncomp == 0 {
+		return fmt.Errorf("tensor: JPEG SOS before SOF")
+	}
+	if len(seg) < 1 {
+		return fmt.Errorf("tensor: JPEG SOS segment truncated")
+	}
+	ns := int(seg[0])
+	if ns != d.ncomp {
+		return fmt.Errorf("tensor: JPEG non-interleaved scans unsupported (scan has %d of %d components)", ns, d.ncomp)
+	}
+	if len(seg) < 1+2*ns+3 {
+		return fmt.Errorf("tensor: JPEG SOS segment truncated")
+	}
+	for i := 0; i < ns; i++ {
+		cs := int(seg[1+2*i])
+		sel := seg[2+2*i]
+		found := false
+		for j := 0; j < d.ncomp; j++ {
+			if d.comp[j].id == cs {
+				d.comp[j].td, d.comp[j].ta = int(sel>>4), int(sel&15)
+				if d.comp[j].td > 3 || d.comp[j].ta > 3 {
+					return fmt.Errorf("tensor: JPEG bad Huffman selector %#02x", sel)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tensor: JPEG scan references unknown component %d", cs)
+		}
+	}
+	if ss, se := seg[1+2*ns], seg[2+2*ns]; ss != 0 || se != 63 {
+		return fmt.Errorf("tensor: JPEG spectral selection %d..%d unsupported (baseline wants 0..63)", ss, se)
+	}
+	return nil
+}
+
+// decodeScan runs the interleaved entropy-coded segment: per MCU, per
+// component, per block — Huffman decode, dequantise, IDCT, store.
+func (d *jpegDecoder) decodeScan() error {
+	hmax, vmax := 1, 1
+	for i := 0; i < d.ncomp; i++ {
+		if d.comp[i].h > hmax {
+			hmax = d.comp[i].h
+		}
+		if d.comp[i].v > vmax {
+			vmax = d.comp[i].v
+		}
+	}
+	mcusX := (d.w + 8*hmax - 1) / (8 * hmax)
+	mcusY := (d.h + 8*vmax - 1) / (8 * vmax)
+	for i := 0; i < d.ncomp; i++ {
+		c := &d.comp[i]
+		c.pw, c.ph = mcusX*8*c.h, mcusY*8*c.v
+		if need := c.pw * c.ph; cap(c.plane) < need {
+			c.plane = make([]byte, need)
+		} else {
+			c.plane = c.plane[:need]
+		}
+		c.pred = 0
+		if !d.qdef[c.tq] {
+			return fmt.Errorf("tensor: JPEG scan uses undefined quant table %d", c.tq)
+		}
+		if !d.dc[c.td].ok || !d.ac[c.ta].ok {
+			return fmt.Errorf("tensor: JPEG scan uses undefined Huffman table")
+		}
+	}
+	d.acc, d.nbits, d.marker = 0, 0, 0
+	var blk [64]int32
+	var px [64]float32
+	rst, sinceRestart := 0, 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			if d.ri > 0 && sinceRestart == d.ri {
+				if err := d.restart(rst); err != nil {
+					return err
+				}
+				rst = (rst + 1) & 7
+				sinceRestart = 0
+				for i := 0; i < d.ncomp; i++ {
+					d.comp[i].pred = 0
+				}
+			}
+			for ci := 0; ci < d.ncomp; ci++ {
+				c := &d.comp[ci]
+				for by := 0; by < c.v; by++ {
+					for bx := 0; bx < c.h; bx++ {
+						if err := d.decodeBlock(c, &blk); err != nil {
+							return err
+						}
+						jpegIDCT(&blk, &px)
+						jpegStoreBlock(&px, c.plane, c.pw, (mx*c.h+bx)*8, (my*c.v+by)*8)
+					}
+				}
+			}
+			sinceRestart++
+		}
+	}
+	return nil
+}
+
+// decodeBlock entropy-decodes and dequantises one 8×8 block into blk
+// in natural order.
+func (d *jpegDecoder) decodeBlock(c *jpegComponent, blk *[64]int32) error {
+	for i := range blk {
+		blk[i] = 0
+	}
+	q := &d.quant[c.tq]
+	t, err := d.decodeHuff(&d.dc[c.td])
+	if err != nil {
+		return err
+	}
+	if t > 15 {
+		return fmt.Errorf("tensor: JPEG DC category %d out of range", t)
+	}
+	diff, err := d.receiveExtend(int(t))
+	if err != nil {
+		return err
+	}
+	c.pred += diff
+	blk[0] = c.pred * q[0]
+	for k := 1; k < 64; {
+		rs, err := d.decodeHuff(&d.ac[c.ta])
+		if err != nil {
+			return err
+		}
+		r, s := int(rs>>4), int(rs&15)
+		if s == 0 {
+			if r != 15 {
+				break // EOB
+			}
+			k += 16 // ZRL: sixteen zeros
+			continue
+		}
+		k += r
+		if k > 63 {
+			return fmt.Errorf("tensor: JPEG AC run-length overruns block")
+		}
+		v, err := d.receiveExtend(s)
+		if err != nil {
+			return err
+		}
+		blk[jpegUnzig[k]] = v * q[k]
+		k++
+	}
+	return nil
+}
+
+// fillBits tops the accumulator up to ≥25 bits, unstuffing 0xFF00 and
+// parking at any real marker (recorded in d.marker, consumed from the
+// stream).
+func (d *jpegDecoder) fillBits() {
+	for d.nbits <= 24 {
+		if d.marker != 0 || d.pos >= len(d.data) {
+			return
+		}
+		b := d.data[d.pos]
+		if b == 0xff {
+			if d.pos+1 >= len(d.data) {
+				d.pos++
+				return
+			}
+			switch next := d.data[d.pos+1]; {
+			case next == 0x00:
+				d.pos += 2 // stuffed 0xFF data byte
+			case next == 0xff:
+				d.pos++ // fill byte before a marker
+				continue
+			default:
+				d.marker = next
+				d.pos += 2
+				return
+			}
+		} else {
+			d.pos++
+		}
+		d.acc = d.acc<<8 | uint32(b)
+		d.nbits += 8
+	}
+}
+
+//rtoss:noalloc
+func (d *jpegDecoder) receiveBits(n int) (int32, error) {
+	if d.nbits < n {
+		d.fillBits()
+		if d.nbits < n {
+			return 0, io.ErrUnexpectedEOF
+		}
+	}
+	v := int32(d.acc>>uint(d.nbits-n)) & (1<<uint(n) - 1)
+	d.nbits -= n
+	return v, nil
+}
+
+// receiveExtend reads a t-bit magnitude and sign-extends it per the
+// T.81 EXTEND procedure.
+func (d *jpegDecoder) receiveExtend(t int) (int32, error) {
+	if t == 0 {
+		return 0, nil
+	}
+	v, err := d.receiveBits(t)
+	if err != nil {
+		return 0, err
+	}
+	if v < 1<<uint(t-1) {
+		v += -1<<uint(t) + 1
+	}
+	return v, nil
+}
+
+// decodeHuff resolves one Huffman symbol: an 8-bit LUT probe first,
+// then the bit-serial F.16 walk for longer codes.
+func (d *jpegDecoder) decodeHuff(h *jpegHuff) (byte, error) {
+	if d.nbits < 16 {
+		d.fillBits()
+	}
+	if d.nbits >= 8 {
+		if e := h.lut[byte(d.acc>>uint(d.nbits-8))]; e != 0 {
+			d.nbits -= int(e & 0xff)
+			return byte(e >> 8), nil
+		}
+	}
+	var code int32
+	for l := 1; l <= 16; l++ {
+		b, err := d.receiveBits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if code >= h.mincode[l] && code <= h.maxcode[l] {
+			return h.vals[h.valptr[l]+code-h.mincode[l]], nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: JPEG invalid Huffman code")
+}
+
+// restart discards partial-byte bits and consumes the expected RSTn
+// marker at a restart-interval boundary.
+func (d *jpegDecoder) restart(idx int) error {
+	d.acc, d.nbits = 0, 0
+	if d.marker == 0 {
+		for d.pos+1 < len(d.data) && d.data[d.pos] == 0xff && d.data[d.pos+1] == 0xff {
+			d.pos++
+		}
+		if d.pos+1 < len(d.data) && d.data[d.pos] == 0xff {
+			d.marker = d.data[d.pos+1]
+			d.pos += 2
+		}
+	}
+	if d.marker != 0xd0+byte(idx) {
+		return fmt.Errorf("tensor: JPEG expected restart marker RST%d, got %#02x", idx, d.marker)
+	}
+	d.marker = 0
+	return nil
+}
+
+// jpegIDCT computes the 2-D inverse DCT of a dequantised block as two
+// passes against the precomputed cosine matrix.
+//
+//rtoss:noalloc
+func jpegIDCT(blk *[64]int32, out *[64]float32) {
+	var tmp [64]float32
+	for v := 0; v < 8; v++ {
+		row := blk[v*8 : v*8+8]
+		for x := 0; x < 8; x++ {
+			var s float32
+			for u := 0; u < 8; u++ {
+				s += float32(row[u]) * jpegCos[x][u]
+			}
+			tmp[v*8+x] = s
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			var s float32
+			for v := 0; v < 8; v++ {
+				s += tmp[v*8+x] * jpegCos[y][v]
+			}
+			out[y*8+x] = s
+		}
+	}
+}
+
+// jpegStoreBlock level-shifts (+128), rounds and clamps one spatial
+// block into a component plane.
+//
+//rtoss:noalloc
+func jpegStoreBlock(px *[64]float32, plane []byte, pw, x0, y0 int) {
+	for y := 0; y < 8; y++ {
+		row := plane[(y0+y)*pw+x0 : (y0+y)*pw+x0+8]
+		for x := 0; x < 8; x++ {
+			v := px[y*8+x] + 128.5
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[x] = byte(int32(v))
+		}
+	}
+}
+
+// fill converts the reconstructed planes into the [3, H, W] output,
+// using the stdlib's exact fixed-point YCbCr→RGB arithmetic and
+// nearest (box) chroma upsampling.
+func (d *jpegDecoder) fill(out *Tensor) {
+	w, h := d.w, d.h
+	plane := w * h
+	r0, g0, b0 := out.Data[:plane], out.Data[plane:2*plane], out.Data[2*plane:]
+	if d.ncomp == 1 {
+		c := &d.comp[0]
+		for y := 0; y < h; y++ {
+			row := c.plane[y*c.pw : y*c.pw+w]
+			for x := 0; x < w; x++ {
+				v := float32(row[x]) / 255
+				r0[y*w+x], g0[y*w+x], b0[y*w+x] = v, v, v
+			}
+		}
+		return
+	}
+	cy, ccb, ccr := &d.comp[0], &d.comp[1], &d.comp[2]
+	hmax, vmax := cy.h, cy.v // chroma is 1×1 (validated in parseSOF)
+	for y := 0; y < h; y++ {
+		yrow := cy.plane[y*cy.pw:]
+		brow := ccb.plane[(y/vmax)*ccb.pw:]
+		rrow := ccr.plane[(y/vmax)*ccr.pw:]
+		for x := 0; x < w; x++ {
+			yy := int32(yrow[x]) * 0x10101
+			cb := int32(brow[x/hmax]) - 128
+			cr := int32(rrow[x/hmax]) - 128
+			r0[y*w+x] = float32(jpegClamp8(yy+91881*cr)) / 255
+			g0[y*w+x] = float32(jpegClamp8(yy-22554*cb-46802*cr)) / 255
+			b0[y*w+x] = float32(jpegClamp8(yy+116130*cb)) / 255
+		}
+	}
+}
+
+// jpegClamp8 saturates a 16.16 fixed-point sample to 8 bits, matching
+// color.YCbCrToRGB's clamp.
+//
+//rtoss:noalloc
+func jpegClamp8(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0xffffff {
+		return 255
+	}
+	return v >> 16
+}

@@ -1,0 +1,196 @@
+package tensor
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/jpeg"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// jpeg_test.go validates the in-repo baseline JPEG decoder against the
+// stdlib image/jpeg decoder. The two differ only in IDCT rounding and
+// the final YCbCr→RGB precision, so agreement within a few 8-bit steps
+// on arbitrary content is a strong correctness signal.
+
+// jpegTestImage builds a deterministic image mixing smooth gradients
+// (energy in low DCT frequencies) with noise (high frequencies).
+func jpegTestImage(w, h int, seed int64) *image.NRGBA {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetNRGBA(x, y, color.NRGBA{
+				R: uint8((x*255/(w+1) + rng.Intn(32)) & 0xff),
+				G: uint8((y*255/(h+1) + rng.Intn(32)) & 0xff),
+				B: uint8(((x + y) * 255 / (w + h + 1)) & 0xff),
+				A: 255,
+			})
+		}
+	}
+	return img
+}
+
+// maxAbsDiff returns the largest per-sample difference between two
+// equally-shaped image tensors, in 8-bit steps.
+func maxAbsDiff(t *testing.T, a, b *Tensor) float64 {
+	t.Helper()
+	if !a.SameShape(b) {
+		t.Fatalf("shape mismatch: %v vs %v", a.Shape(), b.Shape())
+	}
+	var worst float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i])-float64(b.Data[i])) * 255
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestDecodeJPEGMatchesStdlib(t *testing.T) {
+	cases := []struct {
+		name string
+		w, h int
+		q    int
+	}{
+		{"aligned-16", 32, 32, 90},
+		{"partial-mcu", 17, 9, 90},
+		{"tall", 24, 63, 75},
+		{"low-quality", 40, 28, 30},
+		{"single-pixel", 1, 1, 90},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := jpegTestImage(tc.w, tc.h, int64(tc.w*1000+tc.h))
+			var buf bytes.Buffer
+			if err := jpeg.Encode(&buf, src, &jpeg.Options{Quality: tc.q}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeJPEG(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := jpeg.Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := FromImage(ref)
+			if d := maxAbsDiff(t, got, want); d > 4 {
+				t.Errorf("max sample difference vs stdlib = %.2f/255, want <= 4", d)
+			}
+		})
+	}
+}
+
+func TestDecodeJPEGGrayscale(t *testing.T) {
+	src := image.NewGray(image.Rect(0, 0, 21, 13))
+	for i := range src.Pix {
+		src.Pix[i] = uint8(i * 7)
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, src, &jpeg.Options{Quality: 85}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJPEG(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != 3 || got.Dim(1) != 13 || got.Dim(2) != 21 {
+		t.Fatalf("shape = %v, want [3 13 21]", got.Shape())
+	}
+	// Channels must replicate exactly.
+	plane := 13 * 21
+	for i := 0; i < plane; i++ {
+		if got.Data[i] != got.Data[plane+i] || got.Data[i] != got.Data[2*plane+i] {
+			t.Fatalf("grayscale channels diverge at %d", i)
+		}
+	}
+	ref, err := jpeg.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(t, got, FromImage(ref)); d > 2 {
+		t.Errorf("max sample difference vs stdlib = %.2f/255, want <= 2", d)
+	}
+}
+
+// TestDecodeImageSniffsJPEG pins the magic-byte dispatch.
+func TestDecodeImageSniffsJPEG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, jpegTestImage(8, 8, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	img, err := DecodeImage(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Dim(1) != 8 || img.Dim(2) != 8 {
+		t.Fatalf("shape = %v, want [3 8 8]", img.Shape())
+	}
+}
+
+func TestDecodeJPEGErrors(t *testing.T) {
+	var valid bytes.Buffer
+	if err := jpeg.Encode(&valid, jpegTestImage(16, 16, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	vb := valid.Bytes()
+
+	truncated := append([]byte(nil), vb[:len(vb)/2]...)
+
+	// Corrupt the first DHT's symbol counts into an overfull table.
+	badHuff := append([]byte(nil), vb...)
+	if i := bytes.Index(badHuff, []byte{0xff, 0xc4}); i >= 0 {
+		badHuff[i+5] = 255 // 255 one-bit codes: impossible
+	} else {
+		t.Fatal("no DHT marker in stdlib output")
+	}
+
+	// Patch SOF dimensions to a >2^26-pixel bomb (the guard must fire
+	// before any allocation).
+	bomb := append([]byte(nil), vb...)
+	i := bytes.Index(bomb, []byte{0xff, 0xc0})
+	if i < 0 {
+		t.Fatal("no SOF0 marker in stdlib output")
+	}
+	bomb[i+5], bomb[i+6] = 0xff, 0xff // height = 65535
+	bomb[i+7], bomb[i+8] = 0xff, 0xff // width = 65535
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not-jpeg", []byte{0xff, 0xd8, 0x00, 0x01}},
+		{"truncated-scan", truncated},
+		{"overfull-huffman", badHuff},
+		{"dimension-bomb", bomb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if img, err := DecodeJPEGInto(nil, tc.data); err == nil {
+				t.Errorf("decode succeeded (shape %v), want error", img.Shape())
+			}
+		})
+	}
+}
+
+// TestDecodeJPEGIntoReusesBuffer pins the Into contract: a dst with
+// capacity is returned as the result, refilled in place.
+func TestDecodeJPEGIntoReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, jpegTestImage(20, 12, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(3, 12, 20)
+	got, err := DecodeJPEGInto(dst, buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != dst {
+		t.Error("DecodeJPEGInto allocated a fresh tensor despite sufficient dst capacity")
+	}
+}

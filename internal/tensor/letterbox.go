@@ -1,11 +1,20 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // letterbox.go implements the detector input transform: aspect-ratio
 // preserving resize onto a fixed model resolution with symmetric gray
 // padding ("letterboxing"), plus the metadata needed to map detections
 // back into source-image pixel coordinates.
+//
+// The bilinear sample positions depend only on (src, dst) geometry, so
+// the index/weight tables are computed once per geometry pair and
+// cached (serving uses one model resolution and a near-constant source
+// size, so the steady state is a read-locked map hit and zero
+// allocations — pinned by the AllocsPerRun gates).
 
 // LetterboxFill is the canonical pad value (YOLOv5's 114/255 gray).
 const LetterboxFill = float32(114.0 / 255.0)
@@ -42,12 +51,136 @@ func (m LetterboxMeta) ToModel(x, y float64) (float64, float64) {
 	return x*m.ScaleX + float64(m.PadX), y*m.ScaleY + float64(m.PadY)
 }
 
+// resizePlan holds the per-axis bilinear sample indices and weights
+// for one (src → dst) geometry. Per-output-column positions are shared
+// by every row and channel; per-output-row likewise.
+type resizePlan struct {
+	x0s, x1s []int
+	fxs      []float32
+	y0s, y1s []int
+	fys      []float32
+}
+
+type resizePlanKey struct {
+	srcH, srcW, dstH, dstW int
+}
+
+// maxResizePlans bounds the plan cache. A serving process sees one
+// model resolution and a handful of source sizes; a client sending
+// pathologically many distinct sizes stops populating the cache at the
+// cap (later geometries build a throwaway plan, costing allocations
+// but never memory growth).
+const maxResizePlans = 256
+
+var resizePlans struct {
+	mu sync.RWMutex
+	m  map[resizePlanKey]*resizePlan
+}
+
+func getResizePlan(srcH, srcW, dstH, dstW int) *resizePlan {
+	key := resizePlanKey{srcH, srcW, dstH, dstW}
+	resizePlans.mu.RLock()
+	p := resizePlans.m[key]
+	resizePlans.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = buildResizePlan(srcH, srcW, dstH, dstW)
+	resizePlans.mu.Lock()
+	if resizePlans.m == nil {
+		resizePlans.m = make(map[resizePlanKey]*resizePlan, 16)
+	}
+	if prev := resizePlans.m[key]; prev != nil {
+		p = prev // lost a race; keep the canonical plan
+	} else if len(resizePlans.m) < maxResizePlans {
+		resizePlans.m[key] = p
+	}
+	resizePlans.mu.Unlock()
+	return p
+}
+
+// buildResizePlan computes half-pixel-centred bilinear sample points
+// (the OpenCV/torch "align_corners=false" convention) for both axes.
+func buildResizePlan(srcH, srcW, dstH, dstW int) *resizePlan {
+	p := &resizePlan{
+		x0s: make([]int, dstW), x1s: make([]int, dstW), fxs: make([]float32, dstW),
+		y0s: make([]int, dstH), y1s: make([]int, dstH), fys: make([]float32, dstH),
+	}
+	scaleX := float64(srcW) / float64(dstW)
+	for x := 0; x < dstW; x++ {
+		sx := (float64(x)+0.5)*scaleX - 0.5
+		if sx < 0 {
+			sx = 0
+		}
+		x0 := int(sx)
+		x1 := x0 + 1
+		if x1 > srcW-1 {
+			x1 = srcW - 1
+			if x0 > x1 {
+				x0 = x1
+			}
+		}
+		p.x0s[x], p.x1s[x], p.fxs[x] = x0, x1, float32(sx-float64(x0))
+	}
+	scaleY := float64(srcH) / float64(dstH)
+	for y := 0; y < dstH; y++ {
+		sy := (float64(y)+0.5)*scaleY - 0.5
+		if sy < 0 {
+			sy = 0
+		}
+		y0 := int(sy)
+		y1 := y0 + 1
+		if y1 > srcH-1 {
+			y1 = srcH - 1
+			if y0 > y1 {
+				y0 = y1
+			}
+		}
+		p.y0s[y], p.y1s[y], p.fys[y] = y0, y1, float32(sy-float64(y0))
+	}
+	return p
+}
+
+// resizeWithPlan resamples src ([c, h, w] planes in srcData) into dst,
+// where output row y of channel ch starts at ch*chanStride +
+// y*rowStride + offset. Passing canvas strides lets LetterboxImageInto
+// write resampled rows straight into the padded canvas window with no
+// intermediate tensor.
+//
+//rtoss:noalloc
+func resizeWithPlan(p *resizePlan, srcData []float32, c, h, w int, dst []float32, outH, outW, chanStride, rowStride, offset int) {
+	for ch := 0; ch < c; ch++ {
+		plane := srcData[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < outH; y++ {
+			y0, y1, fy := p.y0s[y], p.y1s[y], p.fys[y]
+			row0 := plane[y0*w : (y0+1)*w]
+			row1 := plane[y1*w : (y1+1)*w]
+			out := dst[ch*chanStride+y*rowStride+offset : ch*chanStride+y*rowStride+offset+outW]
+			for x := 0; x < outW; x++ {
+				x0, x1, fx := p.x0s[x], p.x1s[x], p.fxs[x]
+				top := row0[x0] + (row0[x1]-row0[x0])*fx
+				bot := row1[x0] + (row1[x1]-row1[x0])*fx
+				out[x] = top + (bot-top)*fy
+			}
+		}
+	}
+}
+
 // LetterboxImage scales a [C, H, W] (or [1, C, H, W]) image to fit a
 // dstH x dstW canvas preserving aspect ratio (bilinear), centres it,
 // and fills the border with fill (use LetterboxFill for the canonical
 // gray). It returns the [C, dstH, dstW] canvas and the mapping
 // metadata.
 func LetterboxImage(src *Tensor, dstH, dstW int, fill float32) (*Tensor, LetterboxMeta) {
+	return LetterboxImageInto(nil, src, dstH, dstW, fill)
+}
+
+// LetterboxImageInto is LetterboxImage filling dst's buffer when it
+// has the capacity (dst may be nil, and must not alias src). With a
+// retained dst and a cached resize plan the steady state allocates
+// nothing. The returned tensor is dst when it was reused — callers
+// keep the result, exactly like append.
+func LetterboxImageInto(dst, src *Tensor, dstH, dstW int, fill float32) (*Tensor, LetterboxMeta) {
 	img := src
 	if img.Rank() == 4 && img.Dim(0) == 1 {
 		img = img.Reshape(img.Dim(1), img.Dim(2), img.Dim(3))
@@ -77,10 +210,6 @@ func LetterboxImage(src *Tensor, dstH, dstW int, fill float32) (*Tensor, Letterb
 	if newH > dstH {
 		newH = dstH
 	}
-	resized := img
-	if newW != srcW || newH != srcH {
-		resized = ResizeBilinear(img, newH, newW)
-	}
 	meta := LetterboxMeta{
 		SrcW: srcW, SrcH: srcH,
 		DstW: dstW, DstH: dstH,
@@ -89,13 +218,21 @@ func LetterboxImage(src *Tensor, dstH, dstW int, fill float32) (*Tensor, Letterb
 		PadX:   (dstW - newW) / 2,
 		PadY:   (dstH - newH) / 2,
 	}
-	out := Full(fill, c, dstH, dstW)
-	for ch := 0; ch < c; ch++ {
-		for y := 0; y < newH; y++ {
-			srcRow := resized.Data[(ch*newH+y)*newW : (ch*newH+y+1)*newW]
-			dstRow := out.Data[(ch*dstH+y+meta.PadY)*dstW+meta.PadX:]
-			copy(dstRow[:newW], srcRow)
+	out := sizedInto(dst, c, dstH, dstW)
+	for i := range out.Data {
+		out.Data[i] = fill
+	}
+	offset := meta.PadY*dstW + meta.PadX
+	if newW == srcW && newH == srcH {
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < newH; y++ {
+				srcRow := img.Data[(ch*srcH+y)*srcW : (ch*srcH+y+1)*srcW]
+				copy(out.Data[ch*dstH*dstW+y*dstW+offset:], srcRow)
+			}
 		}
+	} else {
+		p := getResizePlan(srcH, srcW, newH, newW)
+		resizeWithPlan(p, img.Data, c, srcH, srcW, out.Data, newH, newW, dstH*dstW, dstW, offset)
 	}
 	return out, meta
 }
@@ -104,6 +241,13 @@ func LetterboxImage(src *Tensor, dstH, dstW int, fill float32) (*Tensor, Letterb
 // bilinear interpolation over half-pixel-centred sample points (the
 // OpenCV/torch "align_corners=false" convention).
 func ResizeBilinear(src *Tensor, outH, outW int) *Tensor {
+	return ResizeBilinearInto(nil, src, outH, outW)
+}
+
+// ResizeBilinearInto is ResizeBilinear with dst-buffer reuse (dst may
+// be nil, and must not alias src). Sample tables come from the shared
+// plan cache, so repeated same-geometry resizes are allocation-free.
+func ResizeBilinearInto(dst, src *Tensor, outH, outW int) *Tensor {
 	if src.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: ResizeBilinear wants a [C, H, W] image, got %v", src.Shape()))
 	}
@@ -111,54 +255,8 @@ func ResizeBilinear(src *Tensor, outH, outW int) *Tensor {
 		panic(fmt.Sprintf("tensor: ResizeBilinear target %dx%d must be positive", outH, outW))
 	}
 	c, h, w := src.Dim(0), src.Dim(1), src.Dim(2)
-	out := New(c, outH, outW)
-	scaleY := float64(h) / float64(outH)
-	scaleX := float64(w) / float64(outW)
-	// Per-output-column sample positions are shared by every row/channel.
-	x0s := make([]int, outW)
-	x1s := make([]int, outW)
-	fxs := make([]float32, outW)
-	for x := 0; x < outW; x++ {
-		sx := (float64(x)+0.5)*scaleX - 0.5
-		if sx < 0 {
-			sx = 0
-		}
-		x0 := int(sx)
-		x1 := x0 + 1
-		if x1 > w-1 {
-			x1 = w - 1
-			if x0 > x1 {
-				x0 = x1
-			}
-		}
-		x0s[x], x1s[x], fxs[x] = x0, x1, float32(sx-float64(x0))
-	}
-	for ch := 0; ch < c; ch++ {
-		plane := src.Data[ch*h*w : (ch+1)*h*w]
-		for y := 0; y < outH; y++ {
-			sy := (float64(y)+0.5)*scaleY - 0.5
-			if sy < 0 {
-				sy = 0
-			}
-			y0 := int(sy)
-			y1 := y0 + 1
-			if y1 > h-1 {
-				y1 = h - 1
-				if y0 > y1 {
-					y0 = y1
-				}
-			}
-			fy := float32(sy - float64(y0))
-			row0 := plane[y0*w : (y0+1)*w]
-			row1 := plane[y1*w : (y1+1)*w]
-			dst := out.Data[(ch*outH+y)*outW : (ch*outH+y+1)*outW]
-			for x := 0; x < outW; x++ {
-				fx := fxs[x]
-				top := row0[x0s[x]] + (row0[x1s[x]]-row0[x0s[x]])*fx
-				bot := row1[x0s[x]] + (row1[x1s[x]]-row1[x0s[x]])*fx
-				dst[x] = top + (bot-top)*fy
-			}
-		}
-	}
+	out := sizedInto(dst, c, outH, outW)
+	p := getResizePlan(h, w, outH, outW)
+	resizeWithPlan(p, src.Data, c, h, w, out.Data, outH, outW, outH*outW, outW, 0)
 	return out
 }

@@ -1,0 +1,278 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"image/png"
+	"io"
+	"sync"
+)
+
+// png.go decodes PNG images. The common serving shapes — 8-bit
+// grayscale, gray+alpha, RGB and RGBA without interlacing — take a
+// pooled fast path: a hand-rolled chunk walk, the in-repo inflater
+// (inflate.go) decompressing into pooled scanline scratch, defiltering
+// in place and filling the float planes directly, with zero
+// steady-state allocations. Everything else (palette, 16-bit,
+// interlaced) falls back to the stdlib image/png decoder, which
+// allocates but stays bit-for-bit compatible with the fast path's
+// premultiplied-alpha float conversion.
+//
+// The fast path skips CRC and Adler-32 verification: serving treats
+// the image body as untrusted anyway (every length and dimension is
+// bounds-checked), and a flipped pixel bit is not a safety issue for a
+// detector input.
+
+const pngSig = "\x89PNG\r\n\x1a\n"
+
+// pngScratch is the pooled per-decode state: the concatenated IDAT
+// stream, the raw (filtered) scanline buffer, and the inflater with
+// its Huffman tables. All of it is sized once for a given image
+// geometry and then reused allocation-free.
+type pngScratch struct {
+	comp []byte // concatenated IDAT payloads
+	raw  []byte // (1 + w*bpp) * h filtered scanlines
+	inf  inflater
+}
+
+var pngPool = sync.Pool{New: func() any { return new(pngScratch) }}
+
+// DecodePNG decodes a PNG stream into a [3, H, W] tensor in [0, 1].
+// Alpha, when present, is premultiplied and then dropped (the 16-bit
+// color.RGBA() convention); grayscale replicates to all channels.
+func DecodePNG(r io.Reader) (*Tensor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("tensor: reading PNG: %w", err)
+	}
+	return DecodePNGInto(nil, data)
+}
+
+// DecodePNGInto is DecodePNG over in-memory bytes with dst-buffer
+// reuse (see DecodeImageInto for the contract). 8-bit non-interlaced
+// gray/gray+alpha/RGB/RGBA images decode with zero steady-state
+// allocations; palette, 16-bit and interlaced images fall back to the
+// stdlib decoder.
+func DecodePNGInto(dst *Tensor, data []byte) (*Tensor, error) {
+	if len(data) < len(pngSig)+25 || string(data[:len(pngSig)]) != pngSig {
+		return nil, fmt.Errorf("tensor: not a PNG stream: %w", io.ErrUnexpectedEOF)
+	}
+	// IHDR must be the first chunk.
+	if binary.BigEndian.Uint32(data[8:12]) != 13 || string(data[12:16]) != "IHDR" {
+		return nil, fmt.Errorf("tensor: PNG missing IHDR")
+	}
+	ihdr := data[16 : 16+13]
+	w := int(int32(binary.BigEndian.Uint32(ihdr[0:4])))
+	h := int(int32(binary.BigEndian.Uint32(ihdr[4:8])))
+	bitDepth, colorType := int(ihdr[8]), int(ihdr[9])
+	compression, filter, interlace := int(ihdr[10]), int(ihdr[11]), int(ihdr[12])
+	// Same pre-allocation guard as PNM/JPEG: reject hostile headers
+	// before sizing any buffer from them.
+	if w <= 0 || h <= 0 || w > maxImagePixels/h {
+		return nil, fmt.Errorf("tensor: unreasonable PNG dimensions %dx%d", w, h)
+	}
+	if compression != 0 || filter != 0 {
+		return nil, fmt.Errorf("tensor: PNG compression/filter method %d/%d unsupported", compression, filter)
+	}
+	var bpp int // bytes per pixel on the fast path
+	switch colorType {
+	case 0:
+		bpp = 1
+	case 4:
+		bpp = 2
+	case 2:
+		bpp = 3
+	case 6:
+		bpp = 4
+	}
+	if bitDepth != 8 || bpp == 0 || interlace != 0 {
+		return decodePNGStdlib(dst, data)
+	}
+
+	sc := pngPool.Get().(*pngScratch)
+	defer pngPool.Put(sc)
+	comp := sc.comp[:0]
+	pos := 16 + 13 + 4 // past IHDR payload and its CRC
+	for {
+		if len(data)-pos < 8 {
+			return nil, fmt.Errorf("tensor: PNG chunk stream truncated: %w", io.ErrUnexpectedEOF)
+		}
+		n := int(int32(binary.BigEndian.Uint32(data[pos : pos+4])))
+		t0, t1, t2, t3 := data[pos+4], data[pos+5], data[pos+6], data[pos+7]
+		if n < 0 || len(data)-(pos+8) < n+4 {
+			return nil, fmt.Errorf("tensor: PNG chunk %c%c%c%c truncated: %w", t0, t1, t2, t3, io.ErrUnexpectedEOF)
+		}
+		body := data[pos+8 : pos+8+n]
+		pos += 8 + n + 4 // skip CRC
+		if t0 == 'I' && t1 == 'D' && t2 == 'A' && t3 == 'T' {
+			comp = append(comp, body...)
+			continue
+		}
+		if t0 == 'I' && t1 == 'E' && t2 == 'N' && t3 == 'D' {
+			break
+		}
+		// tRNS would add transparency to an image whose alpha we drop
+		// anyway; every other ancillary chunk is metadata. Skip them all.
+	}
+	sc.comp = comp // keep the grown buffer for reuse
+	if len(comp) == 0 {
+		return nil, fmt.Errorf("tensor: PNG has no IDAT chunks")
+	}
+
+	stride := 1 + w*bpp
+	need := stride * h
+	if cap(sc.raw) < need {
+		sc.raw = make([]byte, need)
+	}
+	raw := sc.raw[:need]
+	if err := sc.inf.zlibInflate(raw, comp); err != nil {
+		return nil, fmt.Errorf("tensor: PNG pixel data: %w", err)
+	}
+	if err := pngDefilter(raw, h, stride, bpp); err != nil {
+		return nil, err
+	}
+
+	out := sizedInto(dst, 3, h, w)
+	plane := h * w
+	r0, g0, b0 := out.Data[:plane], out.Data[plane:2*plane], out.Data[2*plane:]
+	for y := 0; y < h; y++ {
+		row := raw[y*stride+1 : (y+1)*stride]
+		switch colorType {
+		case 2: // RGB
+			for x := 0; x < w; x++ {
+				r0[y*w+x] = float32(row[3*x]) / 255
+				g0[y*w+x] = float32(row[3*x+1]) / 255
+				b0[y*w+x] = float32(row[3*x+2]) / 255
+			}
+		case 6: // RGBA: premultiply exactly like color.NRGBA.RGBA()
+			for x := 0; x < w; x++ {
+				a := uint32(row[4*x+3])
+				r0[y*w+x] = pngPremul(row[4*x], a)
+				g0[y*w+x] = pngPremul(row[4*x+1], a)
+				b0[y*w+x] = pngPremul(row[4*x+2], a)
+			}
+		case 0: // grayscale
+			for x := 0; x < w; x++ {
+				v := float32(row[x]) / 255
+				r0[y*w+x], g0[y*w+x], b0[y*w+x] = v, v, v
+			}
+		case 4: // gray + alpha
+			for x := 0; x < w; x++ {
+				v := pngPremul(row[2*x], uint32(row[2*x+1]))
+				r0[y*w+x], g0[y*w+x], b0[y*w+x] = v, v, v
+			}
+		}
+	}
+	return out, nil
+}
+
+// pngPremul converts an 8-bit non-premultiplied sample to the [0, 1]
+// float the stdlib path would produce: NRGBA.RGBA() widens to 16 bits
+// premultiplying by alpha, FromImage divides by 65535. Keeping the
+// integer intermediate makes fast and fallback paths bitwise equal.
+//
+//rtoss:noalloc
+func pngPremul(v byte, a uint32) float32 {
+	v16 := uint32(v)
+	v16 |= v16 << 8
+	v16 = v16 * a / 0xff
+	return float32(v16) / 65535
+}
+
+// pngDefilter reverses the per-scanline PNG filters in place. Each row
+// is [filterType, bytes...]; filters reference the previous row, which
+// is already reconstructed when its successor is processed.
+func pngDefilter(raw []byte, h, stride, bpp int) error {
+	for y := 0; y < h; y++ {
+		ft := raw[y*stride]
+		row := raw[y*stride+1 : (y+1)*stride]
+		var prev []byte
+		if y > 0 {
+			prev = raw[(y-1)*stride+1 : y*stride]
+		}
+		switch ft {
+		case 0: // None
+		case 1: // Sub
+			for i := bpp; i < len(row); i++ {
+				row[i] += row[i-bpp]
+			}
+		case 2: // Up
+			if prev != nil {
+				for i := range row {
+					row[i] += prev[i]
+				}
+			}
+		case 3: // Average
+			if prev == nil {
+				for i := bpp; i < len(row); i++ {
+					row[i] += row[i-bpp] / 2
+				}
+			} else {
+				for i := 0; i < bpp; i++ {
+					row[i] += prev[i] / 2
+				}
+				for i := bpp; i < len(row); i++ {
+					row[i] += byte((int(row[i-bpp]) + int(prev[i])) / 2)
+				}
+			}
+		case 4: // Paeth
+			if prev == nil {
+				for i := bpp; i < len(row); i++ {
+					row[i] += row[i-bpp] // paeth(left,0,0) = left
+				}
+			} else {
+				for i := 0; i < bpp; i++ {
+					row[i] += prev[i] // paeth(0,up,0) = up
+				}
+				for i := bpp; i < len(row); i++ {
+					row[i] += paethPredict(row[i-bpp], prev[i], prev[i-bpp])
+				}
+			}
+		default:
+			return fmt.Errorf("tensor: PNG scanline %d has invalid filter type %d", y, ft)
+		}
+	}
+	return nil
+}
+
+//rtoss:noalloc
+func paethPredict(a, b, c byte) byte {
+	p := int(a) + int(b) - int(c)
+	pa, pb, pc := p-int(a), p-int(b), p-int(c)
+	if pa < 0 {
+		pa = -pa
+	}
+	if pb < 0 {
+		pb = -pb
+	}
+	if pc < 0 {
+		pc = -pc
+	}
+	if pa <= pb && pa <= pc {
+		return a
+	}
+	if pb <= pc {
+		return b
+	}
+	return c
+}
+
+// decodePNGStdlib handles the shapes the fast path does not (palette,
+// 16-bit, interlaced) via image/png. It re-validates the header with
+// DecodeConfig first so dimension bombs are rejected before the
+// decoder allocates pixel storage.
+func decodePNGStdlib(dst *Tensor, data []byte) (*Tensor, error) {
+	cfg, err := png.DecodeConfig(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("tensor: reading PNG header: %w", err)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width > maxImagePixels/cfg.Height {
+		return nil, fmt.Errorf("tensor: unreasonable PNG dimensions %dx%d", cfg.Width, cfg.Height)
+	}
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("tensor: decoding PNG: %w", err)
+	}
+	return fromImageInto(dst, img), nil
+}

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"testing"
+)
+
+// png_test.go pins the hand-rolled PNG fast path (chunk walk + pooled
+// zlib + defilter) bitwise against the stdlib image/png fallback on
+// every color type the fast path claims, including noisy content that
+// makes the encoder exercise all five scanline filters.
+
+func pngNoiseImage(w, h int, alpha bool, seed int64) *image.NRGBA {
+	rng := rand.New(rand.NewSource(seed))
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a := uint8(255)
+			if alpha {
+				a = uint8(rng.Intn(256))
+			}
+			img.SetNRGBA(x, y, color.NRGBA{
+				R: uint8(rng.Intn(256)), G: uint8(x * 3), B: uint8(y * 5), A: a,
+			})
+		}
+	}
+	return img
+}
+
+func TestDecodePNGFastMatchesStdlib(t *testing.T) {
+	gray := image.NewGray(image.Rect(0, 0, 31, 17))
+	for i := range gray.Pix {
+		gray.Pix[i] = uint8(i * 13)
+	}
+	cases := []struct {
+		name string
+		img  image.Image
+	}{
+		{"rgb-opaque", pngNoiseImage(33, 21, false, 1)}, // encoder emits color type 2
+		{"rgba", pngNoiseImage(19, 27, true, 2)},        // color type 6, premultiplied on decode
+		{"gray", gray},                                  // color type 0
+		{"tiny", pngNoiseImage(1, 1, false, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := png.Encode(&buf, tc.img); err != nil {
+				t.Fatal(err)
+			}
+			fast, err := DecodePNGInto(nil, buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := decodePNGStdlib(nil, buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !fast.SameShape(slow) {
+				t.Fatalf("shape %v vs stdlib %v", fast.Shape(), slow.Shape())
+			}
+			for i := range fast.Data {
+				if fast.Data[i] != slow.Data[i] {
+					t.Fatalf("sample %d: fast %v != stdlib %v", i, fast.Data[i], slow.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDecodePNGFallbackShapes pins that shapes outside the fast path
+// (palette here) still decode through the stdlib fallback.
+func TestDecodePNGFallbackShapes(t *testing.T) {
+	pal := image.NewPaletted(image.Rect(0, 0, 9, 7), color.Palette{
+		color.NRGBA{R: 255, A: 255}, color.NRGBA{G: 255, A: 255}, color.NRGBA{B: 255, A: 255},
+	})
+	for i := range pal.Pix {
+		pal.Pix[i] = uint8(i % 3)
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, pal); err != nil {
+		t.Fatal(err)
+	}
+	img, err := DecodePNG(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Dim(0) != 3 || img.Dim(1) != 7 || img.Dim(2) != 9 {
+		t.Fatalf("shape = %v, want [3 7 9]", img.Shape())
+	}
+	if img.At(0, 0, 0) != 1 || img.At(1, 0, 1) != 1 || img.At(2, 0, 2) != 1 {
+		t.Error("palette colors did not round-trip")
+	}
+}
+
+func TestDecodePNGErrors(t *testing.T) {
+	var valid bytes.Buffer
+	if err := png.Encode(&valid, pngNoiseImage(8, 8, false, 4)); err != nil {
+		t.Fatal(err)
+	}
+	vb := valid.Bytes()
+
+	truncated := append([]byte(nil), vb[:len(vb)-8]...) // drop IEND
+
+	corruptZlib := append([]byte(nil), vb...)
+	if i := bytes.Index(corruptZlib, []byte("IDAT")); i >= 0 {
+		corruptZlib[i+6] ^= 0xa5
+	}
+
+	bomb := append([]byte(nil), vb...)
+	bomb[16], bomb[17], bomb[18], bomb[19] = 0x7f, 0xff, 0xff, 0xff // width
+	bomb[20], bomb[21], bomb[22], bomb[23] = 0x7f, 0xff, 0xff, 0xff // height
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad-signature", []byte("\x89PNGnope....................................")},
+		{"truncated", truncated},
+		{"corrupt-zlib", corruptZlib},
+		{"dimension-bomb", bomb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if img, err := DecodePNGInto(nil, tc.data); err == nil {
+				t.Errorf("decode succeeded (shape %v), want error", img.Shape())
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// raceEnabled reports that this binary was built with -race, under
+// which sync.Pool deliberately drops items and the runtime itself
+// allocates — zero-alloc measurements are meaningless there.
+const raceEnabled = true

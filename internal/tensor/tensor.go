@@ -23,10 +23,14 @@ type Tensor struct {
 // New returns a zero-filled tensor with the given shape.
 // It panics on negative dimensions.
 func New(shape ...int) *Tensor {
+	// The panic formats only the offending value, not `shape` itself:
+	// referencing the slice would mark the parameter as escaping and
+	// heap-allocate the variadic argument at every New call site (and,
+	// transitively, every Arena.Get call site on the alloc path).
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in New", d))
 		}
 		n *= d
 	}
@@ -124,6 +128,35 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	r := &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
 	r.computeStrides()
 	return r
+}
+
+// reshapeInPlace re-points t's own metadata at shape, reusing the
+// header and the shape/stride slice capacity. Unlike Reshape it does
+// NOT return a fresh view, so it is only safe when the caller owns t
+// exclusively — the arena's buffer-recycling path (see Arena.Get).
+//
+//rtoss:noalloc
+func (t *Tensor) reshapeInPlace(shape []int) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		// shape deliberately not formatted: see Arena.Get.
+		panic(fmt.Sprintf("tensor: cannot reshape %d elems to %d elems in place", len(t.Data), n)) //rtoss:allow noalloc (panic path; never fires on the arena reuse path)
+	}
+	if cap(t.shape) < len(shape) || cap(t.strides) < len(shape) {
+		t.shape = make([]int, len(shape))   //rtoss:allow noalloc (amortized rank grow)
+		t.strides = make([]int, len(shape)) //rtoss:allow noalloc (amortized rank grow)
+	}
+	t.shape = t.shape[:len(shape)]
+	copy(t.shape, shape)
+	t.strides = t.strides[:len(shape)]
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		t.strides[i] = s
+		s *= shape[i]
+	}
 }
 
 // SameShape reports whether two tensors have identical shapes.

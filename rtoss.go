@@ -261,7 +261,7 @@ type (
 	BenchReport = serve.BenchReport
 	// DetectBenchConfig parameterises RunDetectBench.
 	DetectBenchConfig = serve.DetectBenchConfig
-	// DetectBenchReport is a detection benchmark report (the BENCH_PR5
+	// DetectBenchReport is a detection benchmark report (the BENCH_PR7
 	// JSON format).
 	DetectBenchReport = serve.DetectBenchReport
 )
@@ -277,11 +277,13 @@ func NewServer(prog *Program, cfg ServeConfig) *Server { return serve.NewServer(
 // with the same harness as `rtoss bench` and the CI artifact.
 func RunServeBench(cfg BenchConfig) (*BenchReport, error) { return serve.RunBench(cfg) }
 
-// RunDetectBench measures the detection pipeline: the allocation-free
-// postprocess stage alone, end-to-end image -> boxes under dense vs
-// sparse kernels, and concurrent encoded-image streams through the
-// batched Server.Detect path — the same harness as `rtoss bench`'s
-// detect stage and the BENCH_PR5.json CI artifact.
+// RunDetectBench measures the detection pipeline: the pooled ingest
+// stages (per-format decode and letterbox, with steady-state allocs
+// per image), the allocation-free postprocess stage alone, end-to-end
+// image -> boxes under dense vs sparse kernels, and concurrent
+// encoded-image streams through the batched Server.Detect path — the
+// same harness as `rtoss bench`'s detect stage and the BENCH_PR7.json
+// CI artifact.
 func RunDetectBench(cfg DetectBenchConfig) (*DetectBenchReport, error) {
 	return serve.RunDetectBench(cfg)
 }
@@ -391,6 +393,25 @@ func (d *Detector) Detect(img *Tensor) (*DetectResult, error) {
 	}, nil
 }
 
+// DetectBytes runs the full pipeline on an encoded image (PPM/PGM, PNG
+// or baseline JPEG bytes — the same formats the /detect endpoint
+// accepts), reporting the decode stage as Timing.Ingest. This is the
+// in-process equivalent of one served /detect request.
+func (d *Detector) DetectBytes(img []byte) (*DetectResult, error) {
+	t0 := time.Now()
+	decoded, err := tensor.DecodeImageInto(nil, img)
+	if err != nil {
+		return nil, err
+	}
+	ingest := time.Since(t0)
+	res, err := d.Detect(decoded)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Ingest = ingest
+	return res, nil
+}
+
 // ---------------------------------------------------------------------
 // Evaluation harness (mAP over the synthetic-KITTI set, any backend).
 
@@ -438,8 +459,9 @@ func HeadSpecFor(arch string, classes int) (HeadSpec, error) {
 	return models.HeadByName(arch, classes)
 }
 
-// DecodeImage decodes a PPM/PGM (P2/P3/P5/P6) or PNG stream into a
-// [3, H, W] tensor in [0, 1] — the Detector's input format.
+// DecodeImage decodes a PPM/PGM (P2/P3/P5/P6), PNG or baseline-JPEG
+// stream into a [3, H, W] tensor in [0, 1] — the Detector's input
+// format. The format is sniffed from the leading magic bytes.
 func DecodeImage(r io.Reader) (*Tensor, error) { return tensor.DecodeImage(r) }
 
 // EncodePPM writes a [3, H, W] tensor as a binary PPM image.
