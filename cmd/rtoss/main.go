@@ -10,16 +10,19 @@
 //	rtoss serve [flags]       serve a compiled model over HTTP with micro-batching
 //	rtoss bench [flags]       single vs batched vs served throughput (optionally as JSON)
 //	rtoss eval [flags]        mAP + latency over the synthetic-KITTI set, via any backend
+//	rtoss stream [flags]      streaming eval: deadline-hit-rate + mAP over rendered videos
 //
 // Run any subcommand with -h for its flags.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"rtoss"
@@ -30,6 +33,8 @@ import (
 	"rtoss/internal/report"
 	"rtoss/internal/rng"
 	"rtoss/internal/serve"
+	"rtoss/internal/stream"
+	"rtoss/internal/tensor"
 )
 
 func main() {
@@ -59,6 +64,8 @@ func main() {
 		err = benchCmd(os.Args[2:])
 	case "eval":
 		err = evalCmd(os.Args[2:])
+	case "stream":
+		err = streamCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -73,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval|stream> [flags]")
 }
 
 // evalCmd scores the detection stack with the real mAP evaluator over
@@ -129,6 +136,90 @@ func evalCmd(args []string) error {
 	return nil
 }
 
+// streamCmd replays deterministic moving-scene videos through the
+// streaming subsystem (sessions -> deadline-aware scheduler -> batch
+// executors) and reports timeliness alongside accuracy. With -golden
+// it instead regenerates the committed sample motion frames under
+// examples/data (run from the repository root).
+func streamCmd(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	modelName := fs.String("model", "yolov5s", "model to evaluate (yolov5s|retinanet)")
+	variant := fs.String("variant", "rtoss-3ep", "pruning variant (dense|rtoss-2ep..rtoss-5ep)")
+	engineMode := fs.String("mode", "sparse", "kernel dispatch: dense|sparse|auto")
+	fs.StringVar(engineMode, "engine", "sparse", "alias of -mode (matches forward/detect/serve)")
+	streams := fs.Int("streams", 2, "concurrent video sessions")
+	frames := fs.Int("frames", 30, "frames per stream")
+	fps := fs.Float64("fps", 30, "per-stream frame rate (paced mode)")
+	budgetMS := fs.Float64("budget-ms", 0, "per-frame deadline budget in ms (0 = 4 frame intervals, <0 = no deadline)")
+	lockstep := fs.Bool("lockstep", false, "push each frame only after the previous resolved (drop-free parity mode)")
+	seed := fs.Uint64("seed", 1, "video generation seed (stream i renders seed+i)")
+	sceneW := fs.Int("scene-w", 320, "rendered frame width")
+	sceneH := fs.Int("scene-h", 192, "rendered frame height")
+	res := fs.Int("res", 256, "model input resolution (letterboxed; multiple of the head stride)")
+	score := fs.Float64("score", 0.25, "confidence threshold in (0, 1]")
+	iou := fs.Float64("iou", 0.45, "NMS IoU threshold in (0, 1]")
+	evalIoU := fs.Float64("eval-iou", 0.5, "mAP matching IoU threshold")
+	exact := fs.Bool("exact", false, "decode with exact float64 math instead of the fast float32 path")
+	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	golden := fs.Bool("golden", false, "regenerate examples/data/kitti_motion_NN.ppm and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *golden {
+		return regenMotionGoldens()
+	}
+	arch, err := zooName(*modelName)
+	if err != nil {
+		return err
+	}
+	mode, err := rtoss.ParseEngineMode(*engineMode)
+	if err != nil {
+		return err
+	}
+	budget := time.Duration(*budgetMS * float64(time.Millisecond))
+	if *budgetMS < 0 {
+		budget = -1
+	}
+	rep, err := rtoss.EvalStream(rtoss.StreamEvalConfig{
+		Streams: *streams, Frames: *frames, FPS: *fps,
+		Budget: budget, Lockstep: *lockstep,
+		Seed: *seed, SceneW: *sceneW, SceneH: *sceneH,
+		Arch: arch, Variant: *variant, Mode: mode, Res: *res,
+		Detect:  detect.Config{ScoreThreshold: *score, IoUThreshold: *iou, ExactMath: *exact},
+		EvalIoU: *evalIoU,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// regenMotionGoldens rewrites the committed sample motion frames that
+// TestMotionSequenceMatchesGoldenFrames byte-compares against.
+func regenMotionGoldens() error {
+	const goldenFrames = 4
+	seq := kitti.RenderedSequence(kitti.SampleMotionSeed, goldenFrames, 160, 96)
+	for i, rs := range seq {
+		path := filepath.Join("examples", "data", fmt.Sprintf("kitti_motion_%02d.ppm", i))
+		var buf bytes.Buffer
+		if err := tensor.EncodePPM(&buf, rs.Image); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, buf.Len())
+	}
+	return nil
+}
+
 // zooName maps a CLI model flag to its zoo display name.
 func zooName(cli string) (string, error) {
 	switch cli {
@@ -155,6 +246,7 @@ func serveCmd(args []string) error {
 	queue := fs.Int("queue", 64, "pending request queue bound")
 	shed := fs.Bool("shed", false, "reject with 503 when the queue is full instead of blocking")
 	exact := fs.Bool("exact", false, "/detect decodes with exact float64 math instead of the fast float32 path")
+	budget := fs.Duration("budget", 0, "default per-frame deadline budget for /stream sessions (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,16 +282,24 @@ func serveCmd(args []string) error {
 	})
 	defer srv.Close()
 	inC, hw := prog.Model().InputC, *res
+	pipe := detect.Config{Spec: spec, ExactMath: *exact}
+	hub := stream.NewHub(srv, stream.Config{Pipe: pipe, ResH: hw, ResW: hw, Budget: *budget})
+	defer hub.Close()
 	fmt.Printf("serving on http://%s\n", *addr)
 	fmt.Printf("  POST /infer   %d float32 LE = %dx%dx%d image\n", inC*hw*hw, inC, hw, hw)
 	fmt.Printf("  POST /detect  PPM/PGM/PNG/JPEG image -> JSON detections\n")
+	fmt.Printf("  POST /stream  MJPEG multipart or length-prefixed frame sequence -> JSON summary\n")
 	fmt.Printf("  GET  /stats, /healthz\n")
-	return http.ListenAndServe(*addr, serve.NewHandler(srv, serve.HandlerConfig{
+	mux := http.NewServeMux()
+	mux.Handle("/", serve.NewHandler(srv, serve.HandlerConfig{
 		InputC: inC, InputH: hw, InputW: hw,
-		Detect:   &detect.Config{Spec: spec, ExactMath: *exact},
-		Labels:   kitti.ClassNames[:],
-		ShedLoad: *shed,
+		Detect:     &pipe,
+		Labels:     kitti.ClassNames[:],
+		ShedLoad:   *shed,
+		ExtraStats: hub.StatsMap,
 	}))
+	mux.Handle("POST /stream", hub.Handler())
+	return http.ListenAndServe(*addr, mux)
 }
 
 // benchCmd measures single-stream vs batched vs served throughput,
@@ -219,7 +319,8 @@ func benchCmd(args []string) error {
 	jsonPath := fs.String("json", "", "also write the forward report to this JSON file")
 	detectStage := fs.Bool("detect", true, "also run the detection-pipeline stage")
 	detectRes := fs.Int("detect-res", 256, "letterbox resolution for the detect stage")
-	detectJSON := fs.String("detect-json", "", "also write the detect report to this JSON file (BENCH_PR7 format)")
+	detectJSON := fs.String("detect-json", "", "also write the detect report to this JSON file (BENCH_PR8 format)")
+	streamStage := fs.Bool("stream", true, "also run the paced streaming scenario (detect stage only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -250,6 +351,13 @@ func benchCmd(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *streamStage {
+		row, err := stream.RunStreamBench(stream.BenchConfig{Arch: arch, Entries: *entries})
+		if err != nil {
+			return err
+		}
+		drep.Results = append(drep.Results, row)
 	}
 	fmt.Print(drep.Render())
 	if *detectJSON != "" {

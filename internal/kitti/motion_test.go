@@ -1,0 +1,116 @@
+package kitti
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rtoss/internal/tensor"
+)
+
+// goldenMotionPath locates the committed sample motion frames.
+func goldenMotionPath(i int) string {
+	return filepath.Join("..", "..", "examples", "data", fmt.Sprintf("kitti_motion_%02d.ppm", i))
+}
+
+// goldenMotionFrames is how many frames of the sample sequence are
+// committed under examples/data.
+const goldenMotionFrames = 4
+
+// TestMotionSequenceMatchesGoldenFrames re-renders the bundled sample
+// motion sequence and byte-compares each frame against its committed
+// PPM — the moving-scene twin of TestRenderSceneMatchesGoldenSample.
+// Neither the track integrator, the scene generator, the RNG, the
+// rasteriser, nor the PPM encoder may drift from the committed
+// artifacts. To regenerate after an intentional change:
+//
+//	go run ./cmd/rtoss stream -golden
+func TestMotionSequenceMatchesGoldenFrames(t *testing.T) {
+	seq := RenderedSequence(SampleMotionSeed, goldenMotionFrames, 160, 96)
+	for i, rs := range seq {
+		want, err := os.ReadFile(goldenMotionPath(i))
+		if err != nil {
+			t.Fatalf("reading golden frame %d: %v", i, err)
+		}
+		var got bytes.Buffer
+		if err := tensor.EncodePPM(&got, rs.Image); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("frame %d renders %d bytes that differ from the %d-byte golden file %s; "+
+				"if the motion renderer changed intentionally, regenerate with `rtoss stream -golden`",
+				i, got.Len(), len(want), goldenMotionPath(i))
+		}
+	}
+}
+
+// TestMovingScenesDeterministic: identical parameters reproduce
+// identical sequences; different seeds differ.
+func TestMovingScenesDeterministic(t *testing.T) {
+	a := MovingScenes(7, 5, 160, 96)
+	b := MovingScenes(7, 5, 160, 96)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("sequence lengths %d, %d, want 5", len(a), len(b))
+	}
+	for k := range a {
+		if len(a[k].Truth) != len(b[k].Truth) {
+			t.Fatalf("frame %d: truth counts differ", k)
+		}
+		for j := range a[k].Truth {
+			if a[k].Truth[j] != b[k].Truth[j] {
+				t.Fatalf("frame %d object %d differs across identical seeds", k, j)
+			}
+		}
+	}
+	c := MovingScenes(8, 5, 160, 96)
+	if len(c[0].Truth) == len(a[0].Truth) {
+		same := true
+		for j := range c[0].Truth {
+			if c[0].Truth[j] != a[0].Truth[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("seeds 7 and 8 produced identical first frames; generator ignores the seed")
+		}
+	}
+}
+
+// TestMovingScenesActuallyMove: across the sequence at least one
+// object's box must change frame over frame (a static "video" would
+// make the streaming harness vacuous), and every box must stay inside
+// the frame.
+func TestMovingScenesActuallyMove(t *testing.T) {
+	const w, h = 160, 96
+	seq := MovingScenes(SampleMotionSeed, 10, w, h)
+	if len(seq[0].Truth) == 0 {
+		t.Fatal("first frame has no objects")
+	}
+	moved := false
+	for k := 1; k < len(seq); k++ {
+		prev, cur := seq[k-1], seq[k]
+		if len(prev.Truth) == len(cur.Truth) {
+			for j := range cur.Truth {
+				if cur.Truth[j].Box != prev.Truth[j].Box {
+					moved = true
+				}
+			}
+		} else {
+			moved = true // an object dropped out or re-entered: motion
+		}
+		for j, g := range cur.Truth {
+			if g.Box.X1 < 0 || g.Box.Y1 < 0 || g.Box.X2 > w || g.Box.Y2 > h {
+				t.Fatalf("frame %d object %d box %v escapes the %dx%d frame", k, j, g.Box, w, h)
+			}
+			if g.Box.Area() < 4 {
+				t.Fatalf("frame %d object %d has area %v below the generator's floor", k, j, g.Box.Area())
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no box changed across 10 frames; motion integrator is inert")
+	}
+}

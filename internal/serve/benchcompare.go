@@ -9,7 +9,7 @@ import (
 
 // benchcompare.go is the perf-regression gate over committed
 // DetectBenchReport artifacts: CI emits a fresh report, then compares
-// it against the BENCH_PR7.json checked into the repository root and
+// it against the BENCH_PR8.json checked into the repository root and
 // fails the build when the serving path got meaningfully slower or the
 // zero-alloc ingest path started allocating again.
 
@@ -58,6 +58,19 @@ func ReadDetectBenchJSON(path string) (*DetectBenchReport, error) {
 // GOMAXPROCS or tolerance (beyond ±0.5 rounding). A scenario present
 // in the baseline but missing from the current report also fails — a
 // gate that silently narrows is no gate.
+//
+// Mode "stream" scenarios (the paced streaming bench that
+// internal/stream appends) are likewise exempt from the throughput
+// yardstick — their img/s is pinned by the pacing clock, not the code
+// — and gate on two invariants of their own. Allocs/frame is compared
+// hard like ingest, but against the lockstep serving path's count
+// (tens of allocations, request/response plumbing) rather than zero,
+// with 25%+8 slack for pool churn across GCs. The deadline hit rate
+// is compared only at matching GOMAXPROCS (it is a capacity ratio,
+// so a different core count legitimately moves it): the current rate
+// must stay above baseline*(1-tol) - 0.02, a relative floor that
+// scales from near-1.0 underload baselines down to heavily-overloaded
+// fractional ones.
 func CompareDetectBench(baseline, current *DetectBenchReport, tol float64) []string {
 	if tol <= 0 {
 		tol = DefaultDetectBenchTolerance
@@ -82,7 +95,7 @@ func CompareDetectBench(baseline, current *DetectBenchReport, tol float64) []str
 			regs = append(regs, fmt.Sprintf("%s: scenario missing from current report", key))
 			continue
 		}
-		if throughput && key != detectBenchYardstick && b.Mode != "ingest" &&
+		if throughput && key != detectBenchYardstick && b.Mode != "ingest" && b.Mode != "stream" &&
 			b.ImagesPerSec > 0 && c.ImagesPerSec > 0 {
 			br := b.ImagesPerSec / bYard.ImagesPerSec
 			cr := c.ImagesPerSec / cYard.ImagesPerSec
@@ -96,6 +109,19 @@ func CompareDetectBench(baseline, current *DetectBenchReport, tol float64) []str
 			regs = append(regs, fmt.Sprintf(
 				"%s: %.1f allocs/image vs baseline %.1f — the pooled ingest path regressed",
 				key, c.AllocsPerImage, b.AllocsPerImage))
+		}
+		if b.Mode == "stream" {
+			if c.AllocsPerImage > b.AllocsPerImage*1.25+8 {
+				regs = append(regs, fmt.Sprintf(
+					"%s: %.1f allocs/frame vs baseline %.1f — the streaming serving path regressed",
+					key, c.AllocsPerImage, b.AllocsPerImage))
+			}
+			if floor := b.DeadlineHitRate*(1-tol) - 0.02; baseline.GOMAXPROCS == current.GOMAXPROCS &&
+				c.DeadlineHitRate < floor {
+				regs = append(regs, fmt.Sprintf(
+					"%s: deadline hit rate %.3f below the %.3f floor (baseline %.3f at GOMAXPROCS %d)",
+					key, c.DeadlineHitRate, floor, b.DeadlineHitRate, baseline.GOMAXPROCS))
+			}
 		}
 	}
 	sort.Strings(regs)

@@ -8,7 +8,8 @@ import (
 )
 
 // compareFixture is a plausible committed baseline: ingest decoders at
-// zero allocs, sparse ahead of dense, served path between the two.
+// zero allocs, sparse ahead of dense, served path between the two, and
+// the paced streaming scenario with its timeliness counters.
 func compareFixture() *DetectBenchReport {
 	return &DetectBenchReport{
 		Model: "YOLOv5s", Variant: "rtoss-3ep", Res: 256, Streams: 8, GOMAXPROCS: 1,
@@ -21,6 +22,8 @@ func compareFixture() *DetectBenchReport {
 			{Name: "e2e-inprocess", Mode: "dense", Images: 16, ImagesPerSec: 2, SpeedupVsDense: 1},
 			{Name: "e2e-inprocess", Mode: "sparse", Images: 16, ImagesPerSec: 4, SpeedupVsDense: 2},
 			{Name: "served-detect", Mode: "sparse", Images: 16, ImagesPerSec: 3.6, SpeedupVsDense: 1.8, AvgBatch: 2},
+			{Name: "stream-30fps", Mode: "stream", Images: 120, ImagesPerSec: 55,
+				AllocsPerImage: 40, DeadlineHitRate: 0.995, DropsPerSec: 0.2},
 		},
 	}
 }
@@ -49,12 +52,15 @@ func TestCompareDetectBenchInjectedRegression(t *testing.T) {
 
 	// Ingest micro-scenario throughput swinging either way must not
 	// fire: sub-millisecond decode loops move ±30% run to run with
-	// allocation alignment, so only their alloc counts gate them.
+	// allocation alignment, so only their alloc counts gate them. The
+	// stream scenario's img/s is pinned by its pacing clock, so it is
+	// likewise trajectory-only.
 	noisy := compareFixture()
 	noisy.Results[0].ImagesPerSec *= 0.6
 	noisy.Results[3].ImagesPerSec *= 1.5
+	noisy.Results[8].ImagesPerSec *= 0.5
 	if regs := CompareDetectBench(base, noisy, 0.10); len(regs) != 0 {
-		t.Errorf("ingest throughput swing must not trip the gate, got: %v", regs)
+		t.Errorf("ingest/stream throughput swing must not trip the gate, got: %v", regs)
 	}
 
 	// Served path 20% slower relative to dense: beyond the 10% budget.
@@ -73,12 +79,32 @@ func TestCompareDetectBenchInjectedRegression(t *testing.T) {
 		t.Errorf("injected ingest allocation not caught: %v", regs)
 	}
 
-	// Different GOMAXPROCS: throughput ratios are incomparable and must
-	// be skipped, but the machine-independent alloc gate still fires.
+	// The streaming serving path starts allocating well beyond its
+	// baseline: hard failure, like ingest but with pool-churn slack.
+	streamAlloc := compareFixture()
+	streamAlloc.Results[8].AllocsPerImage = base.Results[8].AllocsPerImage*1.25 + 9
+	regs = CompareDetectBench(base, streamAlloc, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "stream-30fps/stream") || !strings.Contains(regs[0], "allocs") {
+		t.Errorf("injected stream allocation regression not caught: %v", regs)
+	}
+
+	// Deadline hit rate collapsing at the same GOMAXPROCS: the
+	// scheduler or the session layer is sitting on frames.
+	late := compareFixture()
+	late.Results[8].DeadlineHitRate = 0.85
+	regs = CompareDetectBench(base, late, 0.10)
+	if len(regs) != 1 || !strings.Contains(regs[0], "hit rate") {
+		t.Errorf("injected hit-rate regression not caught: %v", regs)
+	}
+
+	// Different GOMAXPROCS: throughput ratios and the hit rate (a
+	// capacity ratio) are incomparable and must be skipped, but the
+	// machine-independent alloc gates still fire.
 	cross := compareFixture()
 	cross.GOMAXPROCS = 4
 	cross.Results[7].ImagesPerSec *= 0.5
 	cross.Results[0].AllocsPerImage = 7
+	cross.Results[8].DeadlineHitRate = 0.1
 	regs = CompareDetectBench(base, cross, 0.10)
 	if len(regs) != 1 || !strings.Contains(regs[0], "decode-ppm/ingest") {
 		t.Errorf("cross-machine compare: want only the alloc failure, got: %v", regs)
@@ -86,7 +112,7 @@ func TestCompareDetectBenchInjectedRegression(t *testing.T) {
 
 	// A scenario vanishing from the report is itself a failure.
 	missing := compareFixture()
-	missing.Results = missing.Results[:7]
+	missing.Results = missing.Results[:8]
 	regs = CompareDetectBench(base, missing, 0.10)
 	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
 		t.Errorf("dropped scenario not caught: %v", regs)
@@ -114,7 +140,7 @@ func TestReadDetectBenchJSONRoundTrip(t *testing.T) {
 }
 
 // TestDetectBenchRegressionGate is the CI entry point: with
-// RTOSS_DETECT_BENCH_BASELINE naming the committed BENCH_PR7.json and
+// RTOSS_DETECT_BENCH_BASELINE naming the committed BENCH_PR8.json and
 // RTOSS_DETECT_BENCH_CURRENT the freshly emitted report, it fails on
 // any regression CompareDetectBench finds.
 func TestDetectBenchRegressionGate(t *testing.T) {

@@ -27,7 +27,7 @@ import (
 // boxes pipeline under dense vs sparse kernels, and the served
 // batched-detect path (encoded bytes through Server.Detect). The same
 // harness backs `rtoss bench` and the CI JSON artifact
-// (BENCH_PR7.json) — the perf trajectory record for the serving path,
+// (BENCH_PR8.json) — the perf trajectory record for the serving path,
 // alongside the PR2 forward-pass bench. CompareDetectBench (see
 // benchcompare.go) gates CI on the committed artifact.
 
@@ -73,8 +73,14 @@ type DetectBenchResult struct {
 	AvgBatch       float64 `json:"avg_batch,omitempty"` // served scenario only
 	// AllocsPerImage is the steady-state heap allocation count per
 	// image. It is measured (and meaningful, including an explicit 0)
-	// only for mode "ingest" scenarios; elsewhere it is absent.
+	// only for mode "ingest" and mode "stream" scenarios; elsewhere it
+	// is absent.
 	AllocsPerImage float64 `json:"allocs_per_image,omitempty"`
+	// DeadlineHitRate and DropsPerSec are the timeliness counters of
+	// mode "stream" scenarios (the paced streaming-serving bench that
+	// internal/stream appends to this report); absent elsewhere.
+	DeadlineHitRate float64 `json:"deadline_hit_rate,omitempty"`
+	DropsPerSec     float64 `json:"drops_per_sec,omitempty"`
 }
 
 // DetectServeStats echoes the served scenario's per-stage postprocess
@@ -89,7 +95,7 @@ type DetectServeStats struct {
 }
 
 // DetectBenchReport is the full output of one RunDetectBench call — the
-// BENCH_PR7.json artifact format (a superset of the PR5 shape: the
+// BENCH_PR8.json artifact format (a superset of the PR5 shape: the
 // ingest scenarios and their allocation counts are new).
 type DetectBenchReport struct {
 	Model      string              `json:"model"`
@@ -407,11 +413,15 @@ func (r *DetectBenchReport) Render() string {
 		if res.AvgBatch > 0 {
 			avgBatch = fmt.Sprintf("%.2f", res.AvgBatch)
 		}
-		if res.Mode == "ingest" {
+		if res.Mode == "ingest" || res.Mode == "stream" {
 			allocs = fmt.Sprintf("%.1f", res.AllocsPerImage)
 		}
 		fmt.Fprintf(&b, "%-16s %-7s %7d %9.2f %11s %9s %11s\n",
 			res.Name, res.Mode, res.Images, res.ImagesPerSec, speedup, avgBatch, allocs)
+		if res.Mode == "stream" {
+			fmt.Fprintf(&b, "  %s: deadline hit rate %.3f, %.1f drops/s\n",
+				res.Name, res.DeadlineHitRate, res.DropsPerSec)
+		}
 	}
 	if r.Server != nil {
 		fmt.Fprintf(&b, "served postprocess: preprocess %.3f ms, decode %.3f ms, nms %.3f ms per image; %d candidates -> %d boxes\n",

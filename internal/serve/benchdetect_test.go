@@ -7,7 +7,7 @@ import (
 
 // TestRunDetectBench smoke-tests the detection benchmark harness on the
 // smallest possible workload (it powers `rtoss bench` and the
-// BENCH_PR7.json CI artifact).
+// BENCH_PR8.json CI artifact).
 func TestRunDetectBench(t *testing.T) {
 	if testing.Short() {
 		t.Skip("detect bench harness runs zoo-scale models; skipped in -short")
@@ -37,7 +37,7 @@ func TestRunDetectBench(t *testing.T) {
 	}
 }
 
-// TestEmitDetectBenchJSON writes the BENCH_PR7.json CI artifact when
+// TestEmitDetectBenchJSON writes the BENCH_PR8.json CI artifact when
 // RTOSS_DETECT_BENCH_JSON names the output path. CI invokes exactly
 // this test (go test -run TestEmitDetectBenchJSON ./internal/serve/) so
 // the artifact is produced with the library's own methodology; the

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// edf.go is the deadline-aware admission scheduler behind the batch
+// executors. Requests may carry a deadline (the caller's latency
+// budget) and, for streaming video, a (stream, seq) frame identity.
+// Every gathered batch passes through one shared earliest-deadline-
+// first queue before execution:
+//
+//   - admission is ordered by slack, not arrival: the request whose
+//     deadline expires soonest runs first, deadline-less requests keep
+//     FIFO order behind all deadline traffic (their slack is infinite);
+//   - a frame whose slack is already negative at admission time is
+//     shed with ErrDeadline instead of wasting a forward pass on a
+//     result nobody can use any more;
+//   - a frame that has been superseded by a fresher frame from the
+//     same stream is shed with ErrSuperseded — the newest-frame-wins
+//     half of the drop policy, so a 30 fps stream under load degrades
+//     by skipping stale frames rather than serving an ever-older
+//     backlog.
+//
+// The queue is a plain binary heap keyed by (deadline, admission seq)
+// with a per-stream freshness table for lazy supersession, and it is
+// deliberately free of goroutines, timers, and wall-clock reads: every
+// decision takes `now` as an argument, so the tier-1 property tests in
+// edf_test.go drive it under a virtual clock with zero sleeps. The
+// workers feed it under edfQueue.mu in Server.admit.
+//
+// Two conservation properties make the concurrent use safe: each
+// worker pops exactly as many entries as it pushed while holding the
+// lock once, so the heap returns to its prior size after every admit
+// call and no request is ever stranded; and every pushed request is
+// popped exactly once — as admitted, deadline-shed, or superseded —
+// so every caller always gets a reply.
+
+// noDeadline is the heap key of a request without a deadline: it sorts
+// after every real deadline, recovering FIFO (by admission seq) for
+// plain Infer/Detect traffic.
+const noDeadline = math.MaxInt64
+
+// edfEntry is one queued request inside the EDF heap.
+type edfEntry struct {
+	req *request
+	// key is the request deadline in UnixNanos (noDeadline when none):
+	// the primary heap order.
+	key int64
+	// seq is the request's admission sequence number: the FIFO
+	// tiebreak, and the total order when no deadlines are in play.
+	seq uint64
+}
+
+// streamPending tracks the pending frames of one stream inside the
+// queue: how many are queued and the freshest frame seq pushed. An
+// entry older than maxSeq at pop time has been superseded.
+type streamPending struct {
+	n      int
+	maxSeq uint64
+}
+
+// edfQueue is the slack-ordered admission queue. All methods assume
+// the caller holds the owning Server's scheduler lock (or, in the
+// virtual-clock tests, that access is single-threaded). The heap slice
+// and the pending map retain capacity across batches, so steady-state
+// admission allocates nothing.
+type edfQueue struct {
+	heap []edfEntry
+	// pending maps a stream ID to its in-queue freshness state; empty
+	// streams are deleted eagerly so the map stays bounded by the
+	// number of streams with frames actually waiting.
+	pending map[uint64]streamPending
+}
+
+func newEDFQueue() *edfQueue {
+	return &edfQueue{pending: make(map[uint64]streamPending)}
+}
+
+// len reports how many entries (live or superseded) are queued.
+func (q *edfQueue) len() int { return len(q.heap) }
+
+// push inserts one request, keyed by its deadline. For stream frames
+// (req.stream != 0) it also advances the stream's freshness watermark,
+// lazily superseding any older frame of the same stream still queued.
+func (q *edfQueue) push(req *request) {
+	key := int64(noDeadline)
+	if !req.deadline.IsZero() {
+		key = req.deadline.UnixNano()
+	}
+	q.heap = append(q.heap, edfEntry{req: req, key: key, seq: req.seq})
+	q.siftUp(len(q.heap) - 1)
+	if req.stream != 0 {
+		p := q.pending[req.stream]
+		p.n++
+		if req.frameSeq > p.maxSeq || p.n == 1 {
+			p.maxSeq = req.frameSeq
+		}
+		q.pending[req.stream] = p
+	}
+}
+
+// pop removes and returns the earliest-deadline entry, reporting
+// whether a fresher frame from the same stream was pushed after it
+// (stale == newest-frame-wins says drop it). Returns nil when empty.
+func (q *edfQueue) pop() (req *request, stale bool) {
+	n := len(q.heap)
+	if n == 0 {
+		return nil, false
+	}
+	e := q.heap[0]
+	q.heap[0] = q.heap[n-1]
+	q.heap[n-1] = edfEntry{} // drop the request pointer
+	q.heap = q.heap[:n-1]
+	if len(q.heap) > 0 {
+		q.siftDown(0)
+	}
+	if e.req.stream != 0 {
+		p := q.pending[e.req.stream]
+		stale = e.req.frameSeq < p.maxSeq
+		p.n--
+		if p.n <= 0 {
+			delete(q.pending, e.req.stream)
+		} else {
+			q.pending[e.req.stream] = p
+		}
+	}
+	return e.req, stale
+}
+
+// expired reports whether req's slack was already negative at `now`:
+// its deadline passed before a worker could admit it.
+//
+//rtoss:noalloc
+func expired(req *request, now time.Time) bool {
+	return !req.deadline.IsZero() && now.After(req.deadline)
+}
+
+//rtoss:noalloc
+func (q *edfQueue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+//rtoss:noalloc
+func (q *edfQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+//rtoss:noalloc
+func (q *edfQueue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && q.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		i = least
+	}
+}

@@ -105,6 +105,11 @@ type HandlerConfig struct {
 	// server's queue is full instead of blocking the connection —
 	// the right choice when a load balancer can retry elsewhere.
 	ShedLoad bool
+	// ExtraStats, when set, contributes extra top-level sections to
+	// the GET /stats document — the hook internal/stream uses to merge
+	// its per-stream drop/deadline counters into the same snapshot.
+	// Keys must not collide with the server's own stats keys.
+	ExtraStats func() map[string]any
 }
 
 // DetectionJSON is one detection on the /detect wire (and in `rtoss
@@ -166,7 +171,13 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, statsJSON(s.Stats()))
+		doc := statsJSON(s.Stats())
+		if cfg.ExtraStats != nil {
+			for k, v := range cfg.ExtraStats() {
+				doc[k] = v
+			}
+		}
+		writeJSON(w, doc)
 	})
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
 		in, err := readImage(r, cfg.InputC, cfg.InputH, cfg.InputW)
@@ -218,16 +229,29 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	budget, err := queryBudget(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	body, err := readBody(r, maxImageBody)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	doDetect := s.Detect
-	if cfg.ShedLoad {
-		doDetect = s.TryDetect
+	// A ?budget_ms= deadline rides the EDF scheduler via DetectFrame;
+	// without one the request keeps the plain FIFO Detect path.
+	var res *detect.Result
+	if budget > 0 {
+		res, err = s.DetectFrame(*body, pipe, cfg.InputH, cfg.InputW, FrameOptions{
+			Deadline: time.Now().Add(budget),
+			Block:    !cfg.ShedLoad,
+		})
+	} else if cfg.ShedLoad {
+		res, err = s.TryDetect(*body, pipe, cfg.InputH, cfg.InputW)
+	} else {
+		res, err = s.Detect(*body, pipe, cfg.InputH, cfg.InputW)
 	}
-	res, err := doDetect(*body, pipe, cfg.InputH, cfg.InputW)
 	// Detect never retains the image bytes past its return (preprocess
 	// copies them into pooled tensors before the response is sent), so
 	// the body buffer can serve the next request immediately.
@@ -350,15 +374,36 @@ func appendJSONString(b []byte, s string) []byte {
 
 // serveErrCode maps server errors to HTTP statuses: 503 when closed or
 // shedding load, 400 when the request body was not a decodable image,
-// 500 otherwise.
+// 504 when the request's deadline budget expired before execution (the
+// scheduler shed it), 409 when a fresher frame superseded it, 500
+// otherwise.
 func serveErrCode(err error) int {
 	switch {
 	case errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadImage):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrSuperseded):
+		return http.StatusConflict
 	}
 	return http.StatusInternalServerError
+}
+
+// queryBudget parses the optional ?budget_ms= deadline budget of a
+// /detect request: the frame must complete within this many
+// milliseconds of arrival or the scheduler sheds it with 504.
+func queryBudget(r *http.Request) (time.Duration, error) {
+	s := r.URL.Query().Get("budget_ms")
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || v > 3600_000 {
+		return 0, fmt.Errorf("serve: query budget_ms=%q must be a positive millisecond count", s)
+	}
+	return time.Duration(v * float64(time.Millisecond)), nil
 }
 
 // queryFloat parses a threshold override. Zero is rejected rather than
@@ -443,7 +488,26 @@ func statsJSON(st Stats) map[string]any {
 		"avg_preprocess_ms": ms(st.AvgPreprocess),
 		"avg_decode_ms":     ms(st.AvgDecode),
 		"avg_nms_ms":        ms(st.AvgNMS),
+		// Deadline-scheduler counters (DetectFrame / ?budget_ms
+		// requests). Snapshotted atomically alongside everything else:
+		// each field is one atomic load, so no torn reads under -race.
+		"deadline_shed":     st.DeadlineShed,
+		"superseded":        st.Superseded,
+		"deadline_hits":     st.DeadlineHits,
+		"deadline_misses":   st.DeadlineMisses,
+		"deadline_hit_rate": deadlineHitRate(st),
 	}
+}
+
+// deadlineHitRate is the fraction of deadline-carrying frames that
+// were served within budget, over everything that was shed or served
+// late instead; 1 when no deadline traffic has been seen.
+func deadlineHitRate(st Stats) float64 {
+	total := st.DeadlineHits + st.DeadlineMisses + st.DeadlineShed + st.Superseded
+	if total == 0 {
+		return 1
+	}
+	return float64(st.DeadlineHits) / float64(total)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -27,6 +27,11 @@ type Config struct {
 	// QueueCap bounds the pending-request queue (default 64). Infer
 	// blocks when the queue is full; TryInfer sheds load instead.
 	QueueCap int
+
+	// clock overrides the scheduler's time source (nil = time.Now).
+	// Unexported: only in-package tests drive the deadline scheduler
+	// under a virtual clock; production servers always run wall time.
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +46,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 64
+	}
+	if c.clock == nil {
+		c.clock = time.Now
 	}
 	return c
 }
@@ -74,6 +82,15 @@ type Server struct {
 	// decode+letterbox stage allocation-free in steady state.
 	scratchPool sync.Pool
 
+	// sched is the shared deadline-aware admission queue (see edf.go):
+	// every gathered batch is pushed through it so urgent frames jump
+	// ahead of slack-rich ones across all workers, and stale or
+	// already-expired frames are shed before they cost a forward pass.
+	schedMu sync.Mutex
+	sched   *edfQueue
+	// seq numbers admissions for the EDF queue's FIFO tiebreak.
+	seq atomic.Uint64
+
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -98,6 +115,15 @@ var (
 	// request was accepted but its body is not a decodable image. The
 	// HTTP front end maps it to 400.
 	ErrBadImage = errors.New("serve: undecodable image")
+	// ErrDeadline is returned for a request whose deadline had already
+	// expired when the scheduler admitted it: the frame was shed
+	// without a forward pass (its slack was negative, so the result
+	// could not have been useful). The HTTP front end maps it to 504.
+	ErrDeadline = errors.New("serve: deadline expired before execution")
+	// ErrSuperseded is returned for a stream frame that a fresher
+	// frame of the same stream overtook in the queue: newest-frame-
+	// wins shed it unserved.
+	ErrSuperseded = errors.New("serve: frame superseded by a fresher frame")
 )
 
 // reqKind selects what a queued request wants back.
@@ -131,6 +157,16 @@ type request struct {
 	pp     time.Duration
 	sc     *ingestScratch
 
+	// deadline, stream, frameSeq and seq drive the EDF admission
+	// scheduler: deadline is the caller's latency budget (zero = none,
+	// schedule FIFO behind deadline traffic), stream/frameSeq identify
+	// a video frame for newest-frame-wins supersession, and seq is the
+	// server-wide admission number used as the FIFO tiebreak.
+	deadline time.Time
+	stream   uint64
+	frameSeq uint64
+	seq      uint64
+
 	resp chan response
 	enq  time.Time
 }
@@ -152,6 +188,7 @@ func NewServer(prog *engine.Program, cfg Config) *Server {
 		cfg:       cfg,
 		queue:     make(chan *request, cfg.QueueCap),
 		headArena: tensor.NewArena(),
+		sched:     newEDFQueue(),
 	}
 	s.scratchPool.New = func() any { return new(ingestScratch) }
 	s.wg.Add(cfg.Workers)
@@ -214,17 +251,48 @@ func (s *Server) TryInferHeads(in *tensor.Tensor) ([]*tensor.Tensor, error) {
 // (descending score) and the per-stage timing (Forward is the whole
 // co-batched forward pass).
 func (s *Server) Detect(img []byte, pipe detect.Config, resH, resW int) (*detect.Result, error) {
-	return s.detect(img, pipe, resH, resW, true)
+	return s.detect(img, pipe, resH, resW, FrameOptions{Block: true})
 }
 
 // TryDetect is Detect, except it returns ErrQueueFull instead of
 // blocking when the queue is saturated — the load-shedding entry point
 // the HTTP front end uses for /detect when ShedLoad is on.
 func (s *Server) TryDetect(img []byte, pipe detect.Config, resH, resW int) (*detect.Result, error) {
-	return s.detect(img, pipe, resH, resW, false)
+	return s.detect(img, pipe, resH, resW, FrameOptions{})
 }
 
-func (s *Server) detect(img []byte, pipe detect.Config, resH, resW int, wait bool) (*detect.Result, error) {
+// FrameOptions parameterises a deadline-aware detection submission
+// (DetectFrame). The zero value reproduces TryDetect.
+type FrameOptions struct {
+	// Deadline is the caller's absolute latency budget: the EDF
+	// scheduler admits earlier deadlines first and sheds the request
+	// with ErrDeadline if the deadline has already expired when a
+	// worker picks it up. Zero means no deadline (FIFO, never shed).
+	Deadline time.Time
+	// Stream and Seq identify a video frame: a frame is superseded
+	// (shed with ErrSuperseded) when a frame of the same Stream with a
+	// higher Seq enters the queue behind it — newest-frame-wins.
+	// Stream 0 disables supersession.
+	Stream uint64
+	// Seq is the frame number within Stream; it must increase
+	// monotonically for supersession to mean "fresher".
+	Seq uint64
+	// Block makes the submission wait for queue space like Detect;
+	// false sheds with ErrQueueFull like TryDetect.
+	Block bool
+}
+
+// DetectFrame is Detect with a deadline budget and an optional stream
+// identity: the request rides the same micro-batching queue, but the
+// EDF scheduler orders its admission by slack, sheds it with
+// ErrDeadline once the deadline passes unserved, and sheds it with
+// ErrSuperseded when a fresher frame of the same stream overtakes it.
+// This is the entry point internal/stream's sessions drive.
+func (s *Server) DetectFrame(img []byte, pipe detect.Config, resH, resW int, opt FrameOptions) (*detect.Result, error) {
+	return s.detect(img, pipe, resH, resW, opt)
+}
+
+func (s *Server) detect(img []byte, pipe detect.Config, resH, resW int, opt FrameOptions) (*detect.Result, error) {
 	if len(pipe.Spec.Levels) == 0 {
 		return nil, fmt.Errorf("serve: Detect needs a head spec in pipe.Spec")
 	}
@@ -232,7 +300,10 @@ func (s *Server) detect(img []byte, pipe detect.Config, resH, resW int, wait boo
 	if st := pipe.Spec.MaxStride(); resH <= 0 || resH%st != 0 || resW <= 0 || resW%st != 0 {
 		return nil, fmt.Errorf("serve: detect resolution %dx%d must be positive multiples of the head stride %d", resH, resW, st)
 	}
-	r, err := s.submit(&request{kind: kindDetect, img: img, pipe: pipe, resH: resH, resW: resW}, wait)
+	r, err := s.submit(&request{
+		kind: kindDetect, img: img, pipe: pipe, resH: resH, resW: resW,
+		deadline: opt.Deadline, stream: opt.Stream, frameSeq: opt.Seq,
+	}, opt.Block)
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +313,7 @@ func (s *Server) detect(img []byte, pipe detect.Config, resH, resW int, wait boo
 func (s *Server) submit(req *request, wait bool) (response, error) {
 	req.resp = make(chan response, 1)
 	req.enq = time.Now()
+	req.seq = s.seq.Add(1)
 	// The read lock holds Close's channel close off until the send has
 	// completed, so submit never sends on a closed channel.
 	s.closeMu.RLock()
@@ -286,23 +358,83 @@ func (s *Server) Close() {
 }
 
 // workerScratch is one executor's reusable state: the gather timer and
-// the batch/group/input slices, all retained across batches so the
-// steady-state executor loop allocates nothing of its own.
+// the batch/group/input/admission slices, all retained across batches
+// so the steady-state executor loop allocates nothing of its own.
 type workerScratch struct {
-	timer *time.Timer
-	batch []*request
-	ins   []*tensor.Tensor
+	timer    *time.Timer
+	batch    []*request
+	ins      []*tensor.Tensor
+	admitted []*request
+	shed     []shedRequest
+}
+
+// shedRequest pairs a request the scheduler dropped with the reason it
+// reports to the caller.
+type shedRequest struct {
+	req *request
+	err error
 }
 
 // worker pulls a request, tops the batch up to MaxBatch (waiting at
-// most MaxDelay), runs one batched forward, and replies to every caller.
+// most MaxDelay), reorders the batch through the shared EDF queue
+// (shedding expired and superseded frames), runs one batched forward,
+// and replies to every caller.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	ws := &workerScratch{timer: time.NewTimer(time.Hour)}
 	ws.timer.Stop()
 	for first := range s.queue {
-		s.execute(ws, s.gather(ws, first))
+		if batch := s.admit(ws, s.gather(ws, first)); len(batch) > 0 {
+			s.execute(ws, batch)
+		}
 	}
+}
+
+// admit routes one gathered batch through the shared EDF queue: every
+// request is pushed, then exactly as many entries are popped in
+// earliest-deadline-first order while the scheduler lock is held once.
+// Because pushes and pops are balanced under a single lock hold, the
+// queue returns to its prior size after every call no matter how many
+// workers interleave — no request is ever stranded — while urgent
+// frames gathered by one worker may run in the batch of another that
+// pops first. Entries whose deadline already expired are shed with
+// ErrDeadline, entries superseded by a fresher frame of their stream
+// with ErrSuperseded; the survivors, in EDF order, become the batch.
+func (s *Server) admit(ws *workerScratch, batch []*request) []*request {
+	now := s.cfg.clock()
+	admitted, shed := ws.admitted[:0], ws.shed[:0]
+	s.schedMu.Lock()
+	for _, req := range batch {
+		s.sched.push(req)
+	}
+	for range batch {
+		req, stale := s.sched.pop()
+		if req == nil {
+			break // counts are balanced; only a bug leaves the queue short
+		}
+		switch {
+		case stale:
+			shed = append(shed, shedRequest{req, ErrSuperseded})
+		case expired(req, now):
+			shed = append(shed, shedRequest{req, ErrDeadline})
+		default:
+			admitted = append(admitted, req)
+		}
+	}
+	s.schedMu.Unlock()
+	ws.admitted, ws.shed = admitted, shed
+	// Reply to the shed requests outside the scheduler lock: the
+	// response channels are buffered, but lock discipline keeps sends
+	// out of critical sections.
+	for _, sr := range shed {
+		if sr.err == ErrSuperseded {
+			atomic.AddUint64(&s.stats.superseded, 1)
+		} else {
+			atomic.AddUint64(&s.stats.deadlineShed, 1)
+		}
+		sr.req.resp <- response{err: sr.err}
+	}
+	return admitted
 }
 
 // gather collects up to MaxBatch-1 additional requests behind first
@@ -489,6 +621,13 @@ func (s *Server) executeGroup(ws *workerScratch, group []*request) {
 			r.out = outs[i]
 		}
 		s.stats.recordLatency(time.Since(req.enq))
+		if !req.deadline.IsZero() && r.err == nil {
+			if s.cfg.clock().After(req.deadline) {
+				atomic.AddUint64(&s.stats.deadlineMisses, 1)
+			} else {
+				atomic.AddUint64(&s.stats.deadlineHits, 1)
+			}
+		}
 		req.resp <- r
 		s.release(req)
 	}
@@ -562,6 +701,17 @@ type serverStats struct {
 	ingestNS              int64
 	preprocessNS          int64
 	decodeNS, nmsNS       int64
+
+	// Deadline-scheduler counters (DetectFrame requests). All four are
+	// plain atomics so /stats snapshots cannot tear under -race:
+	// deadlineShed counts frames dropped at admission with negative
+	// slack, superseded counts frames overtaken by a fresher frame of
+	// their stream, and hits/misses split the frames that were served
+	// by whether they finished inside their budget.
+	deadlineShed   uint64
+	superseded     uint64
+	deadlineHits   uint64
+	deadlineMisses uint64
 }
 
 // The record* helpers run on the batch executor for every request, so
@@ -638,6 +788,16 @@ type Stats struct {
 	AvgPreprocess time.Duration
 	AvgDecode     time.Duration
 	AvgNMS        time.Duration
+
+	// Deadline-scheduler counters (DetectFrame requests): how many
+	// frames were shed unserved because their deadline had already
+	// expired (DeadlineShed) or a fresher frame of the same stream
+	// overtook them (Superseded), and how the served ones split into
+	// on-budget (DeadlineHits) vs late (DeadlineMisses).
+	DeadlineShed   uint64
+	Superseded     uint64
+	DeadlineHits   uint64
+	DeadlineMisses uint64
 }
 
 func (st *serverStats) snapshot() Stats {
@@ -652,6 +812,11 @@ func (st *serverStats) snapshot() Stats {
 		Detects:    atomic.LoadUint64(&st.detects),
 		Candidates: atomic.LoadUint64(&st.candidates),
 		Boxes:      atomic.LoadUint64(&st.boxes),
+
+		DeadlineShed:   atomic.LoadUint64(&st.deadlineShed),
+		Superseded:     atomic.LoadUint64(&st.superseded),
+		DeadlineHits:   atomic.LoadUint64(&st.deadlineHits),
+		DeadlineMisses: atomic.LoadUint64(&st.deadlineMisses),
 	}
 	if out.Batches > 0 {
 		out.AvgBatch = float64(out.Completed) / float64(out.Batches)

@@ -1,0 +1,62 @@
+package stream
+
+import (
+	"os"
+	"testing"
+
+	"rtoss/internal/serve"
+)
+
+// TestRunStreamBench smoke-tests the streaming benchmark harness on
+// the smallest zoo-scale workload that still paces and sheds.
+func TestRunStreamBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream bench harness runs zoo-scale models; skipped in -short")
+	}
+	row, err := RunStreamBench(BenchConfig{Streams: 1, Frames: 8, SceneW: 128, SceneH: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "stream-30fps" || row.Mode != "stream" {
+		t.Fatalf("row identity %s/%s, want stream-30fps/stream", row.Name, row.Mode)
+	}
+	if row.Images != 8 {
+		t.Errorf("row counts %d frames, want 8", row.Images)
+	}
+	if row.DeadlineHitRate < 0 || row.DeadlineHitRate > 1 {
+		t.Errorf("hit rate %v out of range", row.DeadlineHitRate)
+	}
+	if row.AllocsPerImage <= 0 {
+		t.Errorf("allocs/frame %v: the serving path allocates request plumbing; zero means the counter is broken", row.AllocsPerImage)
+	}
+	if row.Seconds <= 0 {
+		t.Errorf("no wall time measured: %+v", row)
+	}
+}
+
+// TestEmitStreamBenchJSON appends the stream-30fps row to the
+// detection benchmark artifact when RTOSS_STREAM_BENCH_JSON names a
+// report previously written by serve's TestEmitDetectBenchJSON. CI
+// invokes exactly this test after the serve emitter so BENCH_PR8
+// carries the streaming trajectory; the regression gate in serve then
+// compares the combined report against the committed baseline.
+func TestEmitStreamBenchJSON(t *testing.T) {
+	path := os.Getenv("RTOSS_STREAM_BENCH_JSON")
+	if path == "" {
+		t.Skip("set RTOSS_STREAM_BENCH_JSON=<detect bench report> to append the stream scenario")
+	}
+	row, err := AppendStreamBench(path, BenchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stream bench: %d frames in %.2fs, hit rate %.3f, %.1f drops/s, %.1f allocs/frame",
+		row.Images, row.Seconds, row.DeadlineHitRate, row.DropsPerSec, row.AllocsPerImage)
+	rep, err := serve.ReadDetectBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Results[len(rep.Results)-1]
+	if last.Mode != "stream" || last.Name != row.Name {
+		t.Fatalf("appended row not last in %s: %+v", path, last)
+	}
+}

@@ -1,0 +1,80 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// FuzzStreamFraming throws arbitrary bytes at both frame parsers — the
+// POST /stream attack surface. The parsers must never panic, never
+// return a frame larger than MaxFrameBytes, always terminate within a
+// bounded number of frames for bounded input, and behave identically
+// whether the input arrives in one read or one byte at a time. The
+// seed corpus covers the interesting malformed shapes: truncated
+// boundary, oversized frame header, zero-length part, bogus
+// content-length, bare terminator, and valid streams of both formats.
+func FuzzStreamFraming(f *testing.F) {
+	// Valid two-frame multipart stream.
+	valid := AppendMultipartFrame(nil, "b", []byte("frame-one"))
+	valid = AppendMultipartFrame(valid, "b", []byte("frame-two"))
+	valid = FinishMultipart(valid, "b")
+	f.Add(valid, true)
+	// Truncated boundary: terminator cut mid-token.
+	f.Add(valid[:len(valid)-4], true)
+	// Oversized part header.
+	f.Add(append([]byte("--b\r\nX: "), bytes.Repeat([]byte{'h'}, maxPartHeader+64)...), true)
+	// Zero-length part, explicit and scanned.
+	f.Add([]byte("--b\r\nContent-Length: 0\r\n\r\n\r\n--b--\r\n"), true)
+	f.Add([]byte("--b\r\n\r\n\r\n--b--\r\n"), true)
+	// Huge/absurd Content-Length values.
+	f.Add([]byte("--b\r\nContent-Length: 184467440737095516150\r\n\r\nx\r\n--b--\r\n"), true)
+	f.Add([]byte("--b\r\nContent-Length: 17000000\r\n\r\nx\r\n--b--\r\n"), true)
+	// Bare terminator, no parts.
+	f.Add([]byte("--b--\r\n"), true)
+	// Boundary-like bytes inside a scanned body.
+	f.Add([]byte("--b\r\n\r\npayload\r\n--bX not a boundary\r\n--b--\r\n"), true)
+	// Valid raw stream and raw corruptions.
+	raw := FinishRaw(AppendRawFrame(AppendRawFrame(nil, []byte("one")), []byte("two")))
+	f.Add(raw, false)
+	f.Add(raw[:len(raw)-3], false)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, multipart bool) {
+		run := func(r io.Reader) (frames int, sizes int, err error) {
+			var fr *Framer
+			if multipart {
+				fr = NewMultipartFramer(r, "b")
+			} else {
+				fr = NewRawFramer(r)
+			}
+			// Bounded input can only contain a bounded number of frames:
+			// every frame costs at least one input byte.
+			for i := 0; i <= len(data)+1; i++ {
+				frame, ferr := fr.Next()
+				if ferr != nil {
+					return frames, sizes, ferr
+				}
+				if len(frame) > MaxFrameBytes {
+					t.Fatalf("frame of %d bytes exceeds MaxFrameBytes", len(frame))
+				}
+				if len(frame) == 0 {
+					t.Fatal("parser returned an empty frame without error")
+				}
+				frames++
+				sizes += len(frame)
+			}
+			t.Fatalf("parser did not terminate after %d frames on %d input bytes", frames, len(data))
+			return frames, sizes, nil
+		}
+		n1, s1, err1 := run(bytes.NewReader(data))
+		n2, s2, err2 := run(iotest.OneByteReader(bytes.NewReader(data)))
+		// Chunking must not change the parse: same frame count, same
+		// total bytes, same clean/error classification.
+		if n1 != n2 || s1 != s2 || (err1 == io.EOF) != (err2 == io.EOF) {
+			t.Fatalf("chunking changed the parse: (%d frames, %d bytes, %v) vs (%d, %d, %v)",
+				n1, s1, err1, n2, s2, err2)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// framing_test.go pins the frame parsers against their own encoders
+// and against hand-built malformed inputs. Every multipart case also
+// runs through a one-byte-at-a-time reader so the incremental fill
+// paths (partial lines, split delimiters) are exercised, not just the
+// whole-buffer fast path.
+
+func testFrames() [][]byte {
+	return [][]byte{
+		[]byte("first frame bytes"),
+		bytes.Repeat([]byte{0xAB, 0x00, '\r', '\n', '-'}, 2000), // binary, delimiter-ish bytes
+		[]byte("z"),
+	}
+}
+
+// collect drains a framer, copying each frame (Next reuses buffers).
+func collect(f *Framer) ([][]byte, error) {
+	var out [][]byte
+	for {
+		frame, err := f.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), frame...))
+	}
+}
+
+func checkFrames(t *testing.T, got [][]byte, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d mismatch: %d bytes vs %d bytes", i, len(got[i]), len(want[i]))
+		}
+	}
+}
+
+func TestMultipartRoundTrip(t *testing.T) {
+	frames := testFrames()
+	var body []byte
+	for _, fr := range frames {
+		body = AppendMultipartFrame(body, "rtossframe", fr)
+	}
+	body = FinishMultipart(body, "rtossframe")
+
+	for _, tc := range []struct {
+		name string
+		r    io.Reader
+	}{
+		{"whole", bytes.NewReader(body)},
+		{"one-byte", iotest.OneByteReader(bytes.NewReader(body))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := collect(NewMultipartFramer(tc.r, "rtossframe"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkFrames(t, got, frames)
+		})
+	}
+}
+
+// TestMultipartNoContentLength: parts without Content-Length fall back
+// to delimiter scanning, including bodies containing near-boundary
+// byte runs.
+func TestMultipartNoContentLength(t *testing.T) {
+	frames := testFrames()
+	var body bytes.Buffer
+	for _, fr := range frames {
+		body.WriteString("--b\r\nContent-Type: application/octet-stream\r\n\r\n")
+		body.Write(fr)
+		body.WriteString("\r\n")
+	}
+	body.WriteString("--b--\r\n")
+	for _, tc := range []struct {
+		name string
+		r    io.Reader
+	}{
+		{"whole", bytes.NewReader(body.Bytes())},
+		{"one-byte", iotest.OneByteReader(bytes.NewReader(body.Bytes()))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := collect(NewMultipartFramer(tc.r, "b"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkFrames(t, got, frames)
+		})
+	}
+}
+
+// TestMultipartPreamble: bytes before the first boundary are skipped,
+// per MIME convention.
+func TestMultipartPreamble(t *testing.T) {
+	body := []byte("ignore me\r\nand me\r\n--b\r\n\r\npayload\r\n--b--\r\n")
+	got, err := collect(NewMultipartFramer(bytes.NewReader(body), "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFrames(t, got, [][]byte{[]byte("payload")})
+}
+
+func TestMultipartErrors(t *testing.T) {
+	valid := FinishMultipart(AppendMultipartFrame(nil, "b", []byte("x")), "b")
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"truncated boundary", valid[:len(valid)-6], ErrTruncated},
+		{"truncated mid-body", AppendMultipartFrame(nil, "b", []byte("hello"))[:20], ErrTruncated},
+		{"zero-length part", []byte("--b\r\nContent-Length: 0\r\n\r\n\r\n--b--\r\n"), ErrEmptyFrame},
+		{"zero-length scanned part", []byte("--b\r\n\r\n\r\n--b--\r\n"), ErrEmptyFrame},
+		{"oversized header line", append(append([]byte("--b\r\nX-Pad: "), bytes.Repeat([]byte{'a'}, maxPartHeader+10)...), "\r\n\r\nx\r\n--b--\r\n"...), ErrHeaderTooLarge},
+		{"oversized content-length", []byte("--b\r\nContent-Length: 99999999999999\r\n\r\nx\r\n--b--\r\n"), ErrFrameTooLarge},
+		{"bad content-length", []byte("--b\r\nContent-Length: 12abc\r\n\r\nx\r\n--b--\r\n"), ErrBadFraming},
+		{"body boundary mismatch", []byte("--b\r\nContent-Length: 1\r\n\r\nxJUNK\r\n--b--\r\n"), ErrBadFraming},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := collect(NewMultipartFramer(bytes.NewReader(tc.body), "b"))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			// A failed framer stays failed.
+			f := NewMultipartFramer(bytes.NewReader(tc.body), "b")
+			for i := 0; i < 3; i++ {
+				if _, err := f.Next(); err != nil {
+					if _, err2 := f.Next(); err2 != io.EOF {
+						t.Fatalf("Next after error returned %v, want io.EOF", err2)
+					}
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	frames := testFrames()
+	var body []byte
+	for _, fr := range frames {
+		body = AppendRawFrame(body, fr)
+	}
+	body = FinishRaw(body)
+	got, err := collect(NewRawFramer(iotest.OneByteReader(bytes.NewReader(body))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFrames(t, got, frames)
+}
+
+func TestRawErrors(t *testing.T) {
+	full := FinishRaw(AppendRawFrame(nil, []byte("abcdef")))
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"no terminator", AppendRawFrame(nil, []byte("abcdef")), ErrTruncated},
+		{"truncated length", full[:4], ErrTruncated},
+		{"truncated body", full[:10], ErrTruncated},
+		{"oversized length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, ErrFrameTooLarge},
+		{"empty input", nil, ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := collect(NewRawFramer(bytes.NewReader(tc.body)))
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFrameTooLargeScanned: a Content-Length-less body larger than
+// MaxFrameBytes fails without the terminating boundary ever arriving.
+func TestFrameTooLargeScanned(t *testing.T) {
+	header := []byte("--b\r\n\r\n")
+	r := io.MultiReader(
+		bytes.NewReader(header),
+		&zeroReader{n: MaxFrameBytes + (1 << 20)},
+	)
+	_, err := collect(NewMultipartFramer(r, "b"))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// zeroReader yields n zero bytes.
+type zeroReader struct{ n int }
+
+func (z *zeroReader) Read(p []byte) (int, error) {
+	if z.n == 0 {
+		return 0, io.EOF
+	}
+	if len(p) > z.n {
+		p = p[:z.n]
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	z.n -= len(p)
+	return len(p), nil
+}

@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// http.go mounts the hub on the HTTP front end. POST /stream ingests a
+// whole frame sequence on one connection — multipart/x-mixed-replace
+// (MJPEG convention) or application/x-rtoss-frames (length-prefixed) —
+// pushing each frame into a fresh session as it arrives. Backpressure
+// never stalls the connection: a frame that arrives while the previous
+// one is still unserved replaces it (newest-frame-wins). When the
+// sequence ends the session is closed and a JSON summary of the
+// stream's counters is returned; a malformed or truncated sequence
+// gets a 400 with the framing error. The per-frame deadline budget
+// comes from ?budget_ms (falling back to the hub default).
+
+// maxBudgetMS caps ?budget_ms at one hour.
+const maxBudgetMS = 3_600_000
+
+// StreamResponse is the POST /stream response body: the session's
+// counter summary once the sequence has fully drained.
+type StreamResponse struct {
+	Stream uint64 `json:"stream"`
+	Summary
+}
+
+// Handler serves POST /stream against the hub.
+func (h *Hub) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /stream", h.handleStream)
+	return mux
+}
+
+func (h *Hub) handleStream(w http.ResponseWriter, r *http.Request) {
+	framer, err := framerFor(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	budget, err := queryBudget(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess, err := h.Open(SessionConfig{Budget: budget})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var ferr error
+	for {
+		var img []byte
+		img, ferr = framer.Next()
+		if ferr != nil {
+			break
+		}
+		if err := sess.Push(img); err != nil {
+			ferr = err
+			break
+		}
+	}
+	// Close drains the in-flight frame so the summary is final.
+	sess.Close()
+	if ferr != io.EOF {
+		status := http.StatusBadRequest
+		if errors.Is(ferr, ErrHubClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, ferr.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(StreamResponse{Stream: sess.ID(), Summary: sess.Summary()})
+}
+
+// framerFor picks the frame parser from the request Content-Type.
+func framerFor(r *http.Request) (*Framer, error) {
+	ct := r.Header.Get("Content-Type")
+	mt, params, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return nil, errors.New("stream: missing or malformed Content-Type")
+	}
+	switch mt {
+	case "multipart/x-mixed-replace", "multipart/mixed":
+		boundary := params["boundary"]
+		if boundary == "" {
+			return nil, errors.New("stream: multipart Content-Type without boundary")
+		}
+		return NewMultipartFramer(r.Body, boundary), nil
+	case RawContentType:
+		return NewRawFramer(r.Body), nil
+	default:
+		return nil, errors.New("stream: unsupported Content-Type " + mt)
+	}
+}
+
+func queryBudget(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("budget_ms")
+	if raw == "" {
+		return 0, nil
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 || ms > maxBudgetMS {
+		return 0, errors.New("stream: budget_ms must be an integer in (0, 3600000]")
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}

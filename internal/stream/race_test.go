@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// race_test.go hammers the session machinery under the race detector
+// (this package is in the CI race matrix): concurrent pushes into many
+// sessions, sessions closed mid-push, stats snapshots taken
+// throughout, HTTP clients disconnecting mid-stream, and finally the
+// hub and server torn down while traffic is still arriving. The
+// assertions are deliberately weak — no panics, no deadlocks, no
+// torn counters — because the schedule is adversarial by design.
+
+// TestRaceConcurrentSessions: many sessions, each pushed by two
+// goroutines while a third closes it halfway, with stats readers
+// spinning the whole time.
+func TestRaceConcurrentSessions(t *testing.T) {
+	_, hub := newTestHub(t, Config{})
+	ppm := samplePPM(t)
+
+	const sessions = 8
+	const pushes = 30
+	var wg, statsWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Stats readers: snapshots must be consistent at any instant. They
+	// run until the workload drains, on their own WaitGroup.
+	for i := 0; i < 2; i++ {
+		statsWG.Add(1)
+		go func() {
+			defer statsWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := hub.Stats()
+				if out := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; out > sum.FramesIn {
+					panic("stats: more outcomes than pushed frames")
+				}
+				hub.StatsMap()
+			}
+		}()
+	}
+	for i := 0; i < sessions; i++ {
+		sess, err := hub.Open(SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < 2; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := 0; j < pushes; j++ {
+					if err := sess.Push(ppm); err != nil {
+						return // session closed underneath us: expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess.Close()
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	statsWG.Wait()
+	hub.Close()
+
+	sum := hub.Stats()
+	if out := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; out != sum.FramesIn {
+		t.Fatalf("after close: outcomes %d != frames_in %d (%+v)", out, sum.FramesIn, sum)
+	}
+	if hub.Active() != 0 {
+		t.Fatalf("%d sessions still active after Close", hub.Active())
+	}
+}
+
+// TestRaceServerCloseUnderTraffic: the serve.Server is torn down while
+// sessions are still pushing; pushes must drain as errors or drops,
+// never hang or panic.
+func TestRaceServerCloseUnderTraffic(t *testing.T) {
+	srv, hub := newTestHub(t, Config{})
+	ppm := samplePPM(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		sess, err := hub.Open(SessionConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sess.Close()
+			for j := 0; j < 50; j++ {
+				if err := sess.Push(ppm); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	srv.Close() // rug-pull the executor mid-traffic
+	wg.Wait()
+	hub.Close()
+	sum := hub.Stats()
+	if out := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; out != sum.FramesIn {
+		t.Fatalf("outcomes %d != frames_in %d (%+v)", out, sum.FramesIn, sum)
+	}
+}
+
+// TestRaceHTTPDisconnect: HTTP streaming clients that vanish
+// mid-stream (no terminator, closed connection) while other clients
+// stream cleanly.
+func TestRaceHTTPDisconnect(t *testing.T) {
+	_, hub := newTestHub(t, Config{})
+	ts := httptest.NewServer(hub.Handler())
+	defer ts.Close()
+	ppm := samplePPM(t)
+
+	clean := FinishRaw(AppendRawFrame(AppendRawFrame(nil, ppm), ppm))
+	torn := AppendRawFrame(AppendRawFrame(nil, ppm), ppm) // no terminator
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		body := clean
+		if i%2 == 1 {
+			body = torn[:len(torn)-5]
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/stream", RawContentType, bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(body)
+	}
+	wg.Wait()
+	hub.Close()
+	sum := hub.Stats()
+	if out := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; out != sum.FramesIn {
+		t.Fatalf("outcomes %d != frames_in %d (%+v)", out, sum.FramesIn, sum)
+	}
+}

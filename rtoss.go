@@ -261,7 +261,7 @@ type (
 	BenchReport = serve.BenchReport
 	// DetectBenchConfig parameterises RunDetectBench.
 	DetectBenchConfig = serve.DetectBenchConfig
-	// DetectBenchReport is a detection benchmark report (the BENCH_PR7
+	// DetectBenchReport is a detection benchmark report (the BENCH_PR8
 	// JSON format).
 	DetectBenchReport = serve.DetectBenchReport
 )
@@ -282,7 +282,7 @@ func RunServeBench(cfg BenchConfig) (*BenchReport, error) { return serve.RunBenc
 // per image), the allocation-free postprocess stage alone, end-to-end
 // image -> boxes under dense vs sparse kernels, and concurrent
 // encoded-image streams through the batched Server.Detect path — the
-// same harness as `rtoss bench`'s detect stage and the BENCH_PR7.json
+// same harness as `rtoss bench`'s detect stage and the BENCH_PR8.json
 // CI artifact.
 func RunDetectBench(cfg DetectBenchConfig) (*DetectBenchReport, error) {
 	return serve.RunDetectBench(cfg)
@@ -452,6 +452,25 @@ func Eval(cfg EvalConfig) (*EvalReport, error) { return eval.Run(cfg) }
 
 // EvalBackends lists the accepted EvalConfig.Backend values.
 func EvalBackends() []string { return eval.Backends() }
+
+type (
+	// StreamEvalConfig parameterises one streaming-evaluation run.
+	StreamEvalConfig = eval.StreamConfig
+	// StreamEvalReport is one streaming run's scored outcome: mAP over
+	// served frames plus deadline-hit-rate and drop-rate.
+	StreamEvalReport = eval.StreamReport
+	// StreamFrameOutcome records what happened to one pushed frame.
+	StreamFrameOutcome = eval.FrameOutcome
+)
+
+// EvalStream scores the streaming serving stack: it replays
+// deterministic moving-scene videos through per-stream sessions into
+// the micro-batching server's deadline-aware scheduler, then reports
+// timeliness (deadline-hit-rate, drop-rate) alongside accuracy (mAP
+// over the frames that were actually served). In lockstep mode the run
+// is drop-free and its detections are bitwise-identical to the
+// single-shot backends on the same frames (see `rtoss stream`).
+func EvalStream(cfg StreamEvalConfig) (*StreamEvalReport, error) { return eval.RunStream(cfg) }
 
 // HeadSpecFor returns the decode metadata for a zoo model by display
 // name ("YOLOv5s" or "RetinaNet").
