@@ -11,12 +11,15 @@
 //	rtoss bench [flags]       single vs batched vs served throughput (optionally as JSON)
 //	rtoss eval [flags]        mAP + latency over the synthetic-KITTI set, via any backend
 //	rtoss stream [flags]      streaming eval: deadline-hit-rate + mAP over rendered videos
+//	rtoss route [flags]       consistent-hash failover router over N serve shards
+//	rtoss loadtest [flags]    closed-loop /detect load generator with tail-latency report
 //
 // Run any subcommand with -h for its flags.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +30,7 @@ import (
 
 	"rtoss"
 	"rtoss/internal/detect"
+	"rtoss/internal/engine"
 	"rtoss/internal/experiments"
 	"rtoss/internal/kitti"
 	"rtoss/internal/models"
@@ -66,6 +70,10 @@ func main() {
 		err = evalCmd(os.Args[2:])
 	case "stream":
 		err = streamCmd(os.Args[2:])
+	case "route":
+		err = routeCmd(os.Args[2:])
+	case "loadtest":
+		err = loadtestCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -80,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval|stream> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval|stream|route|loadtest> [flags]")
 }
 
 // evalCmd scores the detection stack with the real mAP evaluator over
@@ -247,6 +255,8 @@ func serveCmd(args []string) error {
 	shed := fs.Bool("shed", false, "reject with 503 when the queue is full instead of blocking")
 	exact := fs.Bool("exact", false, "/detect decodes with exact float64 math instead of the fast float32 path")
 	budget := fs.Duration("budget", 0, "default per-frame deadline budget for /stream sessions (0 = no deadline)")
+	memBudget := fs.Int64("mem-budget", 0, "max bytes of cached Programs before LRU eviction (0 = unlimited)")
+	warmFrom := fs.String("warm-from", "", "peer base URL to fetch a warm Program snapshot from before cold building")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -268,11 +278,28 @@ func serveCmd(args []string) error {
 		return fmt.Errorf("-res %d must be a positive multiple of the %s head stride %d", *res, arch, s)
 	}
 	key := serve.Key{Arch: arch, Variant: *variant, Mode: mode}
-	fmt.Printf("compiling %v ...\n", key)
+	reg := serve.NewRegistry()
+	if *memBudget > 0 {
+		reg.SetBudget(*memBudget)
+	}
 	start := time.Now()
-	prog, err := serve.NewRegistry().Program(key)
-	if err != nil {
-		return err
+	var prog *engine.Program
+	if *warmFrom != "" {
+		// Warm handoff: skip the multi-second prune by installing the
+		// peer's snapshot; fall back to a cold build if the peer is
+		// down or doesn't have the key yet.
+		fmt.Printf("fetching %v snapshot from %s ...\n", key, *warmFrom)
+		if snap, err := serve.FetchSnapshot(context.Background(), *warmFrom, key, 0); err != nil {
+			fmt.Printf("warm handoff unavailable (%v); cold building\n", err)
+		} else if prog, err = reg.Install(key, snap); err != nil {
+			return err
+		}
+	}
+	if prog == nil {
+		fmt.Printf("compiling %v ...\n", key)
+		if prog, err = reg.Program(key); err != nil {
+			return err
+		}
 	}
 	p, c := prog.SparseLayers()
 	fmt.Printf("compiled in %.2fs (%d pattern-sparse layers, %d CSR layers)\n",
@@ -289,14 +316,15 @@ func serveCmd(args []string) error {
 	fmt.Printf("  POST /infer   %d float32 LE = %dx%dx%d image\n", inC*hw*hw, inC, hw, hw)
 	fmt.Printf("  POST /detect  PPM/PGM/PNG/JPEG image -> JSON detections\n")
 	fmt.Printf("  POST /stream  MJPEG multipart or length-prefixed frame sequence -> JSON summary\n")
-	fmt.Printf("  GET  /stats, /healthz\n")
+	fmt.Printf("  GET  /stats, /healthz, /program (warm-handoff snapshot)\n")
 	mux := http.NewServeMux()
 	mux.Handle("/", serve.NewHandler(srv, serve.HandlerConfig{
 		InputC: inC, InputH: hw, InputW: hw,
-		Detect:     &pipe,
-		Labels:     kitti.ClassNames[:],
-		ShedLoad:   *shed,
-		ExtraStats: hub.StatsMap,
+		Detect:      &pipe,
+		Labels:      kitti.ClassNames[:],
+		ShedLoad:    *shed,
+		ExtraStats:  hub.StatsMap,
+		SnapshotKey: &key,
 	}))
 	mux.Handle("POST /stream", hub.Handler())
 	return http.ListenAndServe(*addr, mux)

@@ -98,6 +98,41 @@ func (p *Program) Model() *nn.Model { return p.model }
 // Workers returns the per-level worker pool bound.
 func (p *Program) Workers() int { return p.workers }
 
+// MemoryBytes estimates the resident footprint of the Program: the
+// model's parameter tensors plus the compiled sparse-kernel payloads.
+// Per-run activation arenas are excluded — they are pooled per server,
+// scale with resolution rather than with the model, and a registry
+// budgeting which Programs to keep cares about the irreducible
+// per-model cost. The estimate is deterministic for a given model, so
+// LRU eviction decisions are reproducible.
+func (p *Program) MemoryBytes() int64 {
+	var n int64
+	for _, l := range p.model.Layers {
+		if l.Weight != nil {
+			n += int64(len(l.Weight.Data)) * 4
+		}
+		if l.LinW != nil {
+			n += int64(len(l.LinW.Data)) * 4
+		}
+		n += int64(len(l.Bias)+len(l.Gamma)+len(l.Beta)+len(l.LinB)) * 4
+	}
+	for _, cc := range p.compiled {
+		if cc == nil {
+			continue
+		}
+		if pc := cc.Pattern; pc != nil {
+			n += int64(len(pc.Index)) + int64(len(pc.ValPtr))*4 + int64(len(pc.Values))*4
+			for _, taps := range pc.DictTaps {
+				n += int64(len(taps)) * 4
+			}
+		}
+		if cs := cc.CSR; cs != nil {
+			n += int64(len(cs.RowPtr))*4 + int64(len(cs.ColIdx))*4 + int64(len(cs.Values))*4
+		}
+	}
+	return n
+}
+
 // SparseLayers returns how many conv layers were compiled to a sparse
 // kernel (pattern-grouped and CSR counted separately).
 func (p *Program) SparseLayers() (patternLayers, csrLayers int) {

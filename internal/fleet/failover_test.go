@@ -1,0 +1,194 @@
+package fleet
+
+// failover_test.go is the fleet acceptance gate: a shard dies under
+// live load and the client must never see it (zero 5xx, zero transport
+// errors), and routed evaluation must stay bitwise identical to a
+// single shard across a kill and a restart.
+
+import (
+	"testing"
+	"time"
+
+	"rtoss/internal/detect"
+	"rtoss/internal/eval"
+	"rtoss/internal/serve"
+)
+
+// fleetUnderTest assembles three restartable shards (all hosting the
+// same tiny model) behind a router tuned for fast failover.
+func fleetUnderTest(t testing.TB, k serve.Key) (*Router, []*restartableShard, func()) {
+	t.Helper()
+	shards := []*restartableShard{
+		startRestartableShard(t, k),
+		startRestartableShard(t, k),
+		startRestartableShard(t, k),
+	}
+	backends := make([]string, len(shards))
+	for i, s := range shards {
+		backends[i] = s.url()
+	}
+	rt, err := NewRouter(RouterConfig{
+		Backends:       backends,
+		Default:        k,
+		Backoff:        2 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		Probe:          ProberConfig{Interval: 25 * time.Millisecond, Timeout: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		rt.Close()
+		for _, s := range shards {
+			s.kill()
+			s.sh.Close()
+		}
+	}
+	return rt, shards, cleanup
+}
+
+// TestFleetFailoverUnderLoad kills one shard in the middle of a load
+// test and restarts it before the end: the client-side report must
+// show zero 5xx responses and zero transport errors (the router ate
+// the failure), and the router counters must balance.
+func TestFleetFailoverUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load test")
+	}
+	k := tinyKey("A")
+	rt, shards, cleanup := fleetUnderTest(t, k)
+	defer cleanup()
+	front := startRestartable(t, rt.Handler())
+	defer front.kill()
+
+	victim := shards[0]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(600 * time.Millisecond)
+		victim.kill()
+		time.Sleep(600 * time.Millisecond)
+		victim.restart()
+	}()
+
+	rep, err := RunLoad(LoadConfig{
+		URL:         front.url(),
+		Duration:    2 * time.Second,
+		Concurrency: 3,
+		Keys:        []serve.Key{k},
+		Scenes:      2,
+		SceneW:      96, SceneH: 64,
+		Timeout: 8 * time.Second,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", rep.Render())
+	if rep.Requests == 0 || rep.Success == 0 {
+		t.Fatalf("load test sent nothing: %+v", rep)
+	}
+	if rep.ServerErr != 0 {
+		t.Fatalf("%d 5xx responses leaked to the client across the shard kill", rep.ServerErr)
+	}
+	if rep.NetErr != 0 {
+		t.Fatalf("%d transport errors leaked to the client across the shard kill", rep.NetErr)
+	}
+	st := rt.Stats()
+	if st["requests"] != st["success"]+st["passthrough"]+st["exhausted"]+st["rejected"] {
+		t.Fatalf("router stats %v are not conservation-consistent", st)
+	}
+	if st["exhausted"] != 0 {
+		t.Fatalf("router stats %v: %d requests exhausted every replica", st, st["exhausted"])
+	}
+	if uint64(rep.Success) != st["success"] {
+		t.Fatalf("client saw %d successes, router counted %d", rep.Success, st["success"])
+	}
+	// The restarted shard must rejoin: wait for its probe to pass and
+	// confirm all three backends are healthy again.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		healthy := 0
+		for _, s := range rt.prober.Statuses() {
+			if s.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(shards) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard never rejoined: %+v", rt.prober.Statuses())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestFleetEvalParityAcrossKillAndRestart runs the real mAP evaluator
+// through the router in three fleet states — all shards up, the
+// default key's owner killed, and the owner restarted — and requires
+// the score to be bitwise identical to evaluating one shard directly.
+// The router forwards bodies and responses untouched and detection is
+// deterministic, so any drift here means the fleet tier corrupted a
+// request.
+func TestFleetEvalParityAcrossKillAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second eval runs")
+	}
+	k := tinyKey("A")
+	rt, shards, cleanup := fleetUnderTest(t, k)
+	defer cleanup()
+	front := startRestartable(t, rt.Handler())
+	defer front.kill()
+
+	prog := tinyProgram(t)
+	run := func(url string) float64 {
+		rep, err := eval.Run(eval.Config{
+			Scenes: 4, Seed: 3, SceneW: 96, SceneH: 64,
+			Res:     32,
+			Detect:  detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05},
+			Backend: eval.BackendHTTP, URL: url,
+			Program: prog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MAP
+	}
+
+	direct := run(shards[1].url()) // any single shard, no router
+	viaFleet := run(front.url())
+	if viaFleet != direct {
+		t.Fatalf("routed mAP %v != direct shard mAP %v (all shards up)", viaFleet, direct)
+	}
+
+	// Kill the key's ring owner: traffic fails over, score must not move.
+	owner := rt.ring.owner(k.String())
+	var victim *restartableShard
+	for _, s := range shards {
+		if s.url() == owner {
+			victim = s
+			break
+		}
+	}
+	victim.kill()
+	afterKill := run(front.url())
+	if afterKill != direct {
+		t.Fatalf("routed mAP %v != %v after killing the owner shard", afterKill, direct)
+	}
+
+	victim.restart()
+	// Wait for the probe to re-promote the restarted shard so the run
+	// below exercises it again.
+	deadline := time.Now().Add(3 * time.Second)
+	for !rt.prober.Healthy(owner) {
+		if time.Now().After(deadline) {
+			t.Fatalf("owner %s never re-promoted after restart", owner)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	afterRestart := run(front.url())
+	if afterRestart != direct {
+		t.Fatalf("routed mAP %v != %v after restarting the owner shard", afterRestart, direct)
+	}
+}

@@ -1,0 +1,495 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"rtoss/internal/core"
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/kitti"
+	"rtoss/internal/nn"
+	"rtoss/internal/serve"
+	"rtoss/internal/tensor"
+)
+
+// tinyProgram compiles a small pruned detector (the same shape the
+// serve tests use) so fleet tests never pay for zoo-scale models.
+func tinyProgram(t testing.TB) *engine.Program {
+	t.Helper()
+	b := nn.NewBuilder("tinydet", 3, 32, 32, 2)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 8, 3, 2, 1, nn.SiLU)
+	c3 := b.C3("c3", x, 8, 8, 1, true, nn.SiLU)
+	x = b.ConvBNAct("down", c3, 8, 16, 3, 2, 1, nn.SiLU)
+	head := b.Conv("head", x, 16, 14, 1, 1, 0, true)
+	b.Detect("detect", head)
+	m := b.MustBuild()
+	m.InitWeights(3)
+	if _, err := core.NewVariant(3).Prune(m); err != nil {
+		t.Fatal(err)
+	}
+	p, err := engine.Compile(m, engine.Options{Mode: engine.ModeSparse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func tinySpec() detect.HeadSpec {
+	return detect.HeadSpec{
+		Kind:    detect.HeadYOLOv5,
+		Classes: 2,
+		Levels:  []detect.HeadLevel{{Stride: 4, Anchors: [][2]float64{{8, 8}, {16, 16}}}},
+	}
+}
+
+func tinyPipe(serve.Key, *engine.Program) (detect.Config, error) {
+	return detect.Config{Spec: tinySpec(), ScoreThreshold: 0.05}, nil
+}
+
+func tinyKey(arch string) serve.Key {
+	return serve.Key{Arch: arch, Variant: "dense", Mode: engine.ModeSparse}
+}
+
+// ppmImage renders one deterministic synthetic scene as PPM bytes.
+func ppmImage(t testing.TB, seed uint64) []byte {
+	t.Helper()
+	rs := kitti.RenderedDataset(seed, 1, 96, 64)
+	var buf bytes.Buffer
+	if err := tensor.EncodePPM(&buf, rs[0].Image); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newTinyShard builds a Shard pre-installed with tiny programs under
+// the given keys; the first key is the default.
+func newTinyShard(t testing.TB, keys ...serve.Key) *Shard {
+	t.Helper()
+	sh := NewShard(ShardConfig{
+		Default: keys[0], Res: 32, PipeFor: tinyPipe,
+		Serve: serve.Config{Workers: 1, MaxBatch: 2, QueueCap: 16},
+	})
+	for _, k := range keys {
+		if _, err := sh.Registry().Install(k, tinyProgram(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sh
+}
+
+func TestRingOrderIsDeterministicAndComplete(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := newRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("Model%d/dense/sparse", i)
+		o1, o2 := r.order(key), r.order(key)
+		if len(o1) != len(backends) {
+			t.Fatalf("order(%q) has %d entries, want %d", key, len(o1), len(backends))
+		}
+		seen := map[string]bool{}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("order(%q) not deterministic", key)
+			}
+			if seen[o1[j]] {
+				t.Fatalf("order(%q) repeats %q", key, o1[j])
+			}
+			seen[o1[j]] = true
+		}
+		hits[o1[0]]++
+	}
+	// Consistent hashing must spread owners across the fleet: with 200
+	// keys over 4 backends, every backend should own a decent share.
+	for _, b := range backends {
+		if hits[b] < 20 {
+			t.Errorf("backend %s owns only %d/200 keys (imbalanced ring)", b, hits[b])
+		}
+	}
+	if _, err := newRing(nil, 0); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+	if _, err := newRing([]string{"x", "x"}, 0); err == nil {
+		t.Fatal("duplicate backends must be rejected")
+	}
+}
+
+func TestKeyFromQuery(t *testing.T) {
+	def := tinyKey("YOLOv5s")
+	q := url.Values{}
+	if k, err := KeyFromQuery(q, def); err != nil || k != def {
+		t.Fatalf("empty query -> %v, %v; want default", k, err)
+	}
+	q.Set("model", "RetinaNet")
+	q.Set("variant", "rtoss-3ep")
+	q.Set("engine", "auto")
+	k, err := KeyFromQuery(q, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serve.Key{Arch: "RetinaNet", Variant: "rtoss-3ep", Mode: engine.ModeAuto}
+	if k != want {
+		t.Fatalf("got %v, want %v", k, want)
+	}
+	full := url.Values{"key": []string{want.String()}}
+	if k, err := KeyFromQuery(full, def); err != nil || k != want {
+		t.Fatalf("key= form -> %v, %v", k, err)
+	}
+	for _, bad := range []url.Values{
+		{"variant": []string{"nope"}},
+		{"engine": []string{"warp"}},
+		{"key": []string{"just-one-part"}},
+	} {
+		if _, err := KeyFromQuery(bad, def); err == nil {
+			t.Fatalf("query %v accepted, want error", bad)
+		}
+	}
+}
+
+// TestShardServesMultipleModels drives two model keys through one
+// shard handler and checks per-key dispatch plus the merged stats doc.
+func TestShardServesMultipleModels(t *testing.T) {
+	a, b := tinyKey("A"), tinyKey("B")
+	sh := newTinyShard(t, a, b)
+	defer sh.Close()
+	ts := httptest.NewServer(sh.Handler())
+	defer ts.Close()
+
+	img := ppmImage(t, 3)
+	for _, k := range []serve.Key{a, b} {
+		resp, err := http.Post(ts.URL+"/detect?key="+url.QueryEscape(k.String()), "image/x-portable-pixmap", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect %v: %d %s", k, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Shard struct {
+			Resident  []string `json:"resident"`
+			Evictions uint64   `json:"evictions"`
+		} `json:"shard"`
+		Models map[string]json.RawMessage `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(doc.Shard.Resident) != 2 || len(doc.Models) != 2 {
+		t.Fatalf("stats resident=%v models=%d, want both keys", doc.Shard.Resident, len(doc.Models))
+	}
+	// /stream is refused cleanly at the fleet tier.
+	sresp, err := http.Post(ts.URL+"/stream", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/stream answered %d, want 501", sresp.StatusCode)
+	}
+}
+
+// TestShardEvictsUnderBudget bounds the registry to two programs and
+// touches a third key: the LRU one must be evicted, its serving stack
+// closed, and the shard must keep serving the survivors.
+func TestShardEvictsUnderBudget(t *testing.T) {
+	a, b, c := tinyKey("A"), tinyKey("B"), tinyKey("C")
+	sh := newTinyShard(t, a, b)
+	defer sh.Close()
+	one := tinyProgram(t).MemoryBytes()
+	sh.Registry().SetBudget(2*one + one/2)
+	ts := httptest.NewServer(sh.Handler())
+	defer ts.Close()
+
+	img := ppmImage(t, 3)
+	post := func(k serve.Key) int {
+		resp, err := http.Post(ts.URL+"/detect?key="+url.QueryEscape(k.String()), "image/x-portable-pixmap", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(a); code != http.StatusOK {
+		t.Fatalf("detect A: %d", code)
+	}
+	if code := post(b); code != http.StatusOK {
+		t.Fatalf("detect B: %d", code)
+	}
+	// Install C (as a router-directed warm add would) and serve it:
+	// the budget forces A out — it was least recently used.
+	if _, err := sh.Registry().Install(c, tinyProgram(t)); err != nil {
+		t.Fatal(err)
+	}
+	if code := post(c); code != http.StatusOK {
+		t.Fatalf("detect C: %d", code)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		keys := sh.Registry().Keys()
+		if len(keys) == 2 && keys[0] == b && keys[1] == c {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry keys %v, want [B C] after eviction", keys)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sh.resident(a) != nil {
+		t.Fatal("evicted key A still has a serving stack")
+	}
+	if code := post(b); code != http.StatusOK {
+		t.Fatalf("detect B after eviction: %d", code)
+	}
+}
+
+// TestShardWarmHandoffBitwise starts a donor shard, then a joiner that
+// warm-starts from it, and checks the joiner's /detect responses are
+// byte-identical to the donor's — the snapshot really transplanted the
+// model.
+func TestShardWarmHandoffBitwise(t *testing.T) {
+	k := tinyKey("A")
+	donor := newTinyShard(t, k)
+	defer donor.Close()
+	donorTS := httptest.NewServer(donor.Handler())
+	defer donorTS.Close()
+
+	// The joiner has no program installed and a fake arch, so a cold
+	// build would fail: serving at all proves the warm handoff worked.
+	joiner := NewShard(ShardConfig{
+		Default: k, Res: 32, PipeFor: tinyPipe,
+		WarmFrom: []string{"http://127.0.0.1:1", donorTS.URL}, // first peer is dead: must be skipped
+		Serve:    serve.Config{Workers: 1},
+	})
+	defer joiner.Close()
+	joinerTS := httptest.NewServer(joiner.Handler())
+	defer joinerTS.Close()
+
+	img := ppmImage(t, 7)
+	get := func(base string) []byte {
+		resp, err := http.Post(base+"/detect", "image/x-portable-pixmap", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s/detect: %d %s", base, resp.StatusCode, body)
+		}
+		return body
+	}
+	// The detections must be bitwise identical; only the wall-clock
+	// timing_ms section may differ between the two servers.
+	want := stripTiming(t, get(donorTS.URL))
+	got := stripTiming(t, get(joinerTS.URL))
+	if !bytes.Equal(want, got) {
+		t.Fatalf("joiner response differs from donor:\n donor: %s\njoiner: %s", want, got)
+	}
+}
+
+// stripTiming drops the "timing_ms" member from a /detect response so
+// bitwise comparisons cover only the deterministic payload.
+func stripTiming(t *testing.T, body []byte) []byte {
+	t.Helper()
+	i := bytes.LastIndex(body, []byte(`,"timing_ms":`))
+	if i < 0 {
+		t.Fatalf("response has no timing_ms section: %s", body)
+	}
+	return body[:i]
+}
+
+// TestRouterFailsOverOnDeadBackend routes through a two-backend ring
+// where one backend is dead; every request must still succeed, the
+// prober must mark the dead backend down, and the router counters must
+// stay conservation-consistent.
+func TestRouterFailsOverOnDeadBackend(t *testing.T) {
+	k := tinyKey("A")
+	sh := newTinyShard(t, k)
+	defer sh.Close()
+	live := httptest.NewServer(sh.Handler())
+	defer live.Close()
+
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection-refused backend
+
+	rt, err := NewRouter(RouterConfig{
+		Backends: []string{dead.URL, live.URL},
+		Default:  k,
+		Backoff:  time.Millisecond,
+		Probe:    ProberConfig{Interval: 20 * time.Millisecond, Timeout: 250 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	img := ppmImage(t, 5)
+	const n = 6
+	for i := 0; i < n; i++ {
+		resp, err := http.Post(front.URL+"/detect", "image/x-portable-pixmap", bytes.NewReader(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	st := rt.Stats()
+	if st["requests"] != n || st["success"] != n {
+		t.Fatalf("stats %v: want requests=success=%d", st, n)
+	}
+	if st["requests"] != st["success"]+st["passthrough"]+st["exhausted"]+st["rejected"] {
+		t.Fatalf("stats %v are not conservation-consistent", st)
+	}
+	// After the passive MarkDown, the dead backend must no longer be
+	// attempted first: at most the first request pays a retry.
+	if st["retries"] > 2 {
+		t.Errorf("stats %v: %d retries for %d requests — passive health not applied", st, st["retries"], n)
+	}
+	// /healthz reflects the one live backend; /stream is refused.
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", hresp.StatusCode)
+	}
+	sresp, err := http.Post(front.URL+"/stream", "application/octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/stream: %d, want 501", sresp.StatusCode)
+	}
+}
+
+// TestRouterPassesThroughClientErrors pins the non-retryable path: a
+// 4xx from the shard must reach the client as-is (no failover storm)
+// and count as passthrough.
+func TestRouterPassesThroughClientErrors(t *testing.T) {
+	k := tinyKey("A")
+	sh := newTinyShard(t, k)
+	defer sh.Close()
+	live := httptest.NewServer(sh.Handler())
+	defer live.Close()
+	rt, err := NewRouter(RouterConfig{
+		Backends: []string{live.URL},
+		Default:  k,
+		Probe:    ProberConfig{Interval: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/detect", "image/x-portable-pixmap", strings.NewReader("not an image"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage image answered %d, want 400", resp.StatusCode)
+	}
+	st := rt.Stats()
+	if st["passthrough"] != 1 || st["attempts"] != 1 {
+		t.Fatalf("stats %v: want one passthrough in one attempt", st)
+	}
+}
+
+// restartableServer hosts a handler on a fixed port so it can be
+// killed and brought back at the same address — the ring keys off the
+// URL, so a restart rejoins the fleet without router reconfiguration.
+type restartableServer struct {
+	t       testing.TB
+	handler http.Handler
+	addr    string
+	hs      *http.Server
+	ln      net.Listener
+}
+
+func startRestartable(t testing.TB, h http.Handler) *restartableServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &restartableServer{t: t, handler: h, addr: ln.Addr().String(), ln: ln}
+	rs.serve()
+	return rs
+}
+
+func (rs *restartableServer) serve() {
+	rs.hs = &http.Server{Handler: rs.handler}
+	go rs.hs.Serve(rs.ln)
+}
+
+func (rs *restartableServer) url() string { return "http://" + rs.addr }
+
+// kill drops the listener and every open connection mid-flight.
+func (rs *restartableServer) kill() {
+	rs.hs.Close()
+	rs.ln.Close()
+}
+
+// restart re-listens on the same address with the same handler state.
+func (rs *restartableServer) restart() {
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rs.ln, err = net.Listen("tcp", rs.addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			rs.t.Fatalf("re-listening on %s: %v", rs.addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rs.serve()
+}
+
+// restartableShard pairs a Shard with its restartable listener.
+type restartableShard struct {
+	sh *Shard
+	*restartableServer
+}
+
+func startRestartableShard(t testing.TB, keys ...serve.Key) *restartableShard {
+	t.Helper()
+	sh := newTinyShard(t, keys...)
+	return &restartableShard{sh: sh, restartableServer: startRestartable(t, sh.Handler())}
+}

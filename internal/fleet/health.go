@@ -1,0 +1,224 @@
+package fleet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Prober tracks per-backend health with two signals: an active loop
+// that polls each backend's GET /healthz on an interval, and passive
+// feedback from the router (MarkDown) when a forward attempt fails at
+// the transport level. Passive marks take effect immediately — the
+// very next request routes around the dead shard instead of waiting
+// out a probe interval — and one successful probe restores the
+// backend, so a bounced shard rejoins within one interval.
+type Prober struct {
+	interval time.Duration
+	timeout  time.Duration
+	failN    int
+	client   *http.Client
+
+	mu     sync.Mutex
+	states map[string]*backendState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type backendState struct {
+	healthy   bool
+	fails     int // consecutive probe failures
+	lastErr   string
+	lastProbe time.Time
+}
+
+// BackendStatus is one backend's health snapshot for /stats.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Fails   int    `json:"consecutive_failures"`
+	LastErr string `json:"last_error,omitempty"`
+}
+
+// ProberConfig tunes the probe loop. Zero values select the defaults.
+type ProberConfig struct {
+	// Interval between probe rounds (default 250ms).
+	Interval time.Duration
+	// Timeout per probe request (default 2s).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive probe failures demote a
+	// healthy backend (default 2, so one dropped probe on a loaded
+	// shard does not trigger a failover storm).
+	FailThreshold int
+}
+
+// NewProber starts probing the given backend base URLs. All backends
+// start healthy (optimistic, so traffic flows before the first round);
+// the first round corrects any that are already down. Close stops the
+// loop.
+func NewProber(backends []string, cfg ProberConfig) *Prober {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	p := &Prober{
+		interval: cfg.Interval,
+		timeout:  cfg.Timeout,
+		failN:    cfg.FailThreshold,
+		client:   &http.Client{},
+		states:   map[string]*backendState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, b := range backends {
+		p.states[b] = &backendState{healthy: true}
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Prober) loop() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	p.probeAll()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+func (p *Prober) probeAll() {
+	p.mu.Lock()
+	urls := make([]string, 0, len(p.states))
+	for u := range p.states {
+		urls = append(urls, u)
+	}
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			p.probe(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (p *Prober) probe(base string) {
+	err := p.ping(base)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.states[base]
+	if s == nil {
+		return
+	}
+	s.lastProbe = time.Now()
+	if err == nil {
+		s.healthy, s.fails, s.lastErr = true, 0, ""
+		return
+	}
+	s.fails++
+	s.lastErr = err.Error()
+	if s.fails >= p.failN {
+		s.healthy = false
+	}
+}
+
+func (p *Prober) ping(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &probeStatusError{status: resp.Status}
+	}
+	return nil
+}
+
+type probeStatusError struct{ status string }
+
+func (e *probeStatusError) Error() string { return "healthz answered " + e.status }
+
+// Healthy reports the current verdict for a backend. Unknown backends
+// are reported unhealthy.
+func (p *Prober) Healthy(base string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.states[base]
+	return s != nil && s.healthy
+}
+
+// MarkDown is the router's passive signal: a forward attempt failed at
+// the transport level, so stop routing to this backend now rather than
+// after FailThreshold probe rounds. The probe loop re-promotes the
+// backend on its next successful /healthz.
+func (p *Prober) MarkDown(base string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.states[base]; s != nil {
+		s.healthy = false
+		if s.fails < p.failN {
+			s.fails = p.failN
+		}
+		if err != nil {
+			s.lastErr = err.Error()
+		}
+	}
+}
+
+// AnyHealthy reports whether at least one backend is healthy.
+func (p *Prober) AnyHealthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.states {
+		if s.healthy {
+			return true
+		}
+	}
+	return false
+}
+
+// Statuses snapshots every backend's health, sorted by URL.
+func (p *Prober) Statuses() []BackendStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]BackendStatus, 0, len(p.states))
+	for u, s := range p.states {
+		out = append(out, BackendStatus{URL: u, Healthy: s.healthy, Fails: s.fails, LastErr: s.lastErr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Close stops the probe loop and waits for it to exit.
+func (p *Prober) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend base URLs. Each backend
+// contributes vnodes virtual points so a small fleet still spreads
+// model keys evenly, and the ring yields a full failover order (every
+// backend exactly once, starting at the key's successor) rather than
+// just a primary — the router walks that order when replicas fail.
+//
+// The ring is immutable after construction: membership changes mean a
+// new ring. Health is the prober's concern, not the ring's, so a
+// bounced shard keeps its ring position (and therefore its keys) —
+// consistent hashing's whole point.
+type ring struct {
+	backends []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	idx  int // index into backends
+}
+
+// newRing builds the ring. vnodes <= 0 selects the default (64 per
+// backend, plenty below 1% imbalance for single-digit fleets).
+func newRing(backends []string, vnodes int) (*ring, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("fleet: a ring needs at least one backend")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[string]bool{}
+	r := &ring{backends: backends, points: make([]ringPoint, 0, len(backends)*vnodes)}
+	for i, b := range backends {
+		if seen[b] {
+			return nil, fmt.Errorf("fleet: duplicate backend %q", b)
+		}
+		seen[b] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashString(fmt.Sprintf("%s#%d", b, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// order returns every backend exactly once, in failover order for a
+// key: the owner (first distinct backend at or after the key's hash,
+// wrapping) first, then each successor. Deterministic for a fixed
+// membership, so every router instance agrees on placement.
+func (r *ring) order(key string) []string {
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.backends))
+	seen := make([]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(out) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, r.backends[p.idx])
+		}
+	}
+	return out
+}
+
+// owner is the primary backend for a key.
+func (r *ring) owner(key string) string { return r.order(key)[0] }
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,23 +20,41 @@ import (
 // mAP runs through it, so a served stack is scored over the exact
 // bytes a real caller would exchange.
 
+// DefaultClientTimeout bounds one request when neither Client.Timeout
+// nor a context deadline narrows it. 60 s accommodates a cold zoo-scale
+// forward pass at high resolution while still surfacing dead hosts.
+const DefaultClientTimeout = 60 * time.Second
+
+// maxErrBodyDrain caps how much of an oversized error body the client
+// reads to keep the connection reusable; anything larger is cheaper to
+// abandon (closing the connection) than to download.
+const maxErrBodyDrain = 1 << 20
+
 // Client calls a running detection server's /detect endpoint.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient overrides the default client (60 s timeout) when
-	// set. The default is deliberately finite so an evaluation run
-	// against a dead host fails instead of hanging forever.
+	// HTTPClient overrides the default client when set. The default
+	// shares one keep-alive transport across all Clients so failover
+	// retries reuse warm connections.
 	HTTPClient *http.Client
+	// Timeout bounds one request when no context deadline is tighter
+	// (zero = DefaultClientTimeout). Loadtest callers set it well below
+	// the default so a dead shard is detected at traffic speed;
+	// long-haul callers may raise it. The bound is applied per call via
+	// a context deadline, so it composes with DetectBytesContext.
+	Timeout time.Duration
 	// Score and IoU are optional threshold overrides sent as query
 	// parameters; zero leaves the server's configured defaults.
 	Score, IoU float64
 }
 
-// defaultHTTPClient bounds request lifetimes when the caller does not
-// supply a client. 60 s accommodates a cold zoo-scale forward pass at
-// high resolution while still surfacing dead hosts.
-var defaultHTTPClient = &http.Client{Timeout: 60 * time.Second}
+// defaultHTTPClient carries no client-level timeout of its own: request
+// lifetimes are bounded per call by a context deadline (Client.Timeout
+// or the caller's context), which keeps one shared keep-alive transport
+// usable for both sub-second loadtest probes and minute-long cold
+// forwards.
+var defaultHTTPClient = &http.Client{}
 
 // httpClient returns the effective underlying client.
 func (c *Client) httpClient() *http.Client {
@@ -43,6 +62,14 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return defaultHTTPClient
+}
+
+// timeout returns the effective per-request budget.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultClientTimeout
 }
 
 // detectURL assembles the /detect request URL with threshold overrides.
@@ -63,29 +90,60 @@ func (c *Client) detectURL() (string, error) {
 	return u.String(), nil
 }
 
+// drainBody consumes what remains of a response body so the underlying
+// keep-alive connection returns to the transport's idle pool instead of
+// being torn down — under failover retries a torn-down connection per
+// error turns every retry into a fresh TCP+handshake. Bodies larger
+// than maxErrBodyDrain are left unread (closing is cheaper then).
+func drainBody(body io.Reader) {
+	io.Copy(io.Discard, io.LimitReader(body, maxErrBodyDrain))
+}
+
 // DetectBytes posts an already-encoded image (PPM/PGM/PNG/JPEG bytes)
-// to /detect and decodes the response. Non-2xx statuses become errors
-// carrying the server's message. bytes.Reader bodies carry a
-// Content-Length, so the server reads them into an exactly-sized pooled
-// buffer instead of growth-copying.
+// to /detect and decodes the response, bounded by Client.Timeout.
 func (c *Client) DetectBytes(img []byte) (*DetectResponse, error) {
+	return c.DetectBytesContext(context.Background(), img)
+}
+
+// DetectBytesContext is DetectBytes under a caller context: the request
+// is cancelled at the earlier of the context's deadline and
+// Client.Timeout. Non-2xx statuses become errors carrying the server's
+// message. bytes.Reader bodies carry a Content-Length, so the server
+// reads them into an exactly-sized pooled buffer instead of
+// growth-copying.
+func (c *Client) DetectBytesContext(ctx context.Context, img []byte) (*DetectResponse, error) {
 	u, err := c.detectURL()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.httpClient().Post(u, "application/octet-stream", bytes.NewReader(img))
+	ctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(img))
+	if err != nil {
+		return nil, fmt.Errorf("serve: building /detect request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: POST /detect: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		// Error bodies can exceed the 1KB we surface; drain the rest so
+		// the connection is reused — the failover path hits this for
+		// every 5xx and must not leak a dying connection per retry.
+		drainBody(resp.Body)
 		return nil, fmt.Errorf("serve: /detect returned %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 	var out DetectResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("serve: decoding /detect response: %w", err)
 	}
+	// The decoder stops at the end of the JSON value; the handler's
+	// trailing newline (and any future framing) would otherwise strand
+	// the connection out of the idle pool.
+	drainBody(resp.Body)
 	return &out, nil
 }
 

@@ -42,15 +42,41 @@ const maxImageBody = 32 << 20
 // traffic near zero.
 var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
+// Body-read failure classes. errBodyTooLarge maps to 413 (the client
+// must shrink the payload, retrying elsewhere won't help) and
+// errBodyMismatch to 400 (the declared Content-Length lied about the
+// bytes actually sent — truncating or over-reading silently would feed
+// the decoder a frankenstein image).
+var (
+	errBodyTooLarge = errors.New("serve: request body exceeds the size limit")
+	errBodyMismatch = errors.New("serve: request body does not match its Content-Length")
+)
+
+// bodyErrCode maps a readBody failure to its HTTP status.
+func bodyErrCode(err error) int {
+	if errors.Is(err, errBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // readBody reads a request body into a pooled buffer. When the client
 // sent a Content-Length (the common case) the buffer is sized to it up
 // front and filled with one ReadFull — no io.ReadAll growth copies;
 // chunked bodies fall back to append-style growth into the same pooled
-// buffer. Bodies over limit are rejected. The caller must hand the
-// buffer back to bufPool once it is done with the bytes.
+// buffer. The declared length is verified, never trusted: a
+// Content-Length above the limit is rejected with errBodyTooLarge
+// before any allocation (so a lying header cannot over-allocate), a
+// body shorter or longer than its declaration is rejected with
+// errBodyMismatch instead of being silently truncated or padded, and a
+// chunked body that outgrows the limit is rejected with
+// errBodyTooLarge. Negative lengths other than -1 never reach here (Go
+// normalises unknown lengths to -1), and the chunked path bounds reads
+// at limit+1 bytes regardless. The caller must hand the buffer back to
+// bufPool once it is done with the bytes.
 func readBody(r *http.Request, limit int64) (*[]byte, error) {
 	if r.ContentLength > limit {
-		return nil, fmt.Errorf("serve: request body of %d bytes exceeds the %d-byte limit", r.ContentLength, limit)
+		return nil, fmt.Errorf("%w: declared %d bytes, limit %d", errBodyTooLarge, r.ContentLength, limit)
 	}
 	bp := bufPool.Get().(*[]byte)
 	if n := r.ContentLength; n >= 0 {
@@ -60,7 +86,17 @@ func readBody(r *http.Request, limit int64) (*[]byte, error) {
 		*bp = (*bp)[:n]
 		if _, err := io.ReadFull(r.Body, *bp); err != nil {
 			bufPool.Put(bp)
-			return nil, fmt.Errorf("serve: reading request body: %w", err)
+			return nil, fmt.Errorf("%w: declared %d bytes, body ended early (%v)", errBodyMismatch, n, err)
+		}
+		// Probe one byte past the declaration: the Go server caps
+		// Content-Length bodies for us, but handlers behind other
+		// plumbing (tests, proxies) may see the raw stream — a body
+		// running past its declaration must fail loudly, not feed a
+		// silently truncated image to the decoder.
+		var probe [1]byte
+		if k, _ := r.Body.Read(probe[:]); k > 0 {
+			bufPool.Put(bp)
+			return nil, fmt.Errorf("%w: body continues past the declared %d bytes", errBodyMismatch, n)
 		}
 		return bp, nil
 	}
@@ -86,7 +122,7 @@ func readBody(r *http.Request, limit int64) (*[]byte, error) {
 	*bp = b
 	if int64(len(b)) > limit {
 		bufPool.Put(bp)
-		return nil, fmt.Errorf("serve: request body exceeds the %d-byte limit", limit)
+		return nil, fmt.Errorf("%w: chunked body ran past the %d-byte limit", errBodyTooLarge, limit)
 	}
 	return bp, nil
 }
@@ -110,6 +146,10 @@ type HandlerConfig struct {
 	// its per-stream drop/deadline counters into the same snapshot.
 	// Keys must not collide with the server's own stats keys.
 	ExtraStats func() map[string]any
+	// SnapshotKey, when set, mounts GET /program serving the Program's
+	// gob snapshot under this key — the warm-handoff donor side. Nil
+	// disables the endpoint (404).
+	SnapshotKey *Key
 }
 
 // DetectionJSON is one detection on the /detect wire (and in `rtoss
@@ -182,7 +222,7 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /infer", func(w http.ResponseWriter, r *http.Request) {
 		in, err := readImage(r, cfg.InputC, cfg.InputH, cfg.InputW)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), bodyErrCode(err))
 			return
 		}
 		start := time.Now()
@@ -208,6 +248,12 @@ func NewHandler(s *Server, cfg HandlerConfig) http.Handler {
 	if cfg.Detect != nil {
 		mux.HandleFunc("POST /detect", func(w http.ResponseWriter, r *http.Request) {
 			handleDetect(w, r, s, cfg)
+		})
+	}
+	if cfg.SnapshotKey != nil {
+		k := *cfg.SnapshotKey
+		mux.HandleFunc("GET /program", func(w http.ResponseWriter, r *http.Request) {
+			handleSnapshot(w, r, k, s.Program())
 		})
 	}
 	return mux
@@ -236,7 +282,7 @@ func handleDetect(w http.ResponseWriter, r *http.Request, s *Server, cfg Handler
 	}
 	body, err := readBody(r, maxImageBody)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), bodyErrCode(err))
 		return
 	}
 	// A ?budget_ms= deadline rides the EDF scheduler via DetectFrame;
@@ -467,6 +513,11 @@ func readImage(r *http.Request, c, h, w int) (*tensor.Tensor, error) {
 	}
 	return in, nil
 }
+
+// StatsJSON renders a Stats snapshot as the GET /stats JSON document —
+// exported so the fleet shard can publish one section per resident
+// model under the same key names a single-model server uses.
+func StatsJSON(st Stats) map[string]any { return statsJSON(st) }
 
 func statsJSON(st Stats) map[string]any {
 	return map[string]any{

@@ -1,12 +1,13 @@
 // Package serve is the concurrent serving subsystem built on the
 // compile-once / run-many engine: a registry that prunes and compiles
 // each requested model variant exactly once and caches the immutable
-// Program, a micro-batching scheduler that coalesces concurrent
-// requests into batched forwards, and per-model latency/throughput
-// accounting.
+// Program (with optional per-shard memory budgeting and LRU eviction),
+// a micro-batching scheduler that coalesces concurrent requests into
+// batched forwards, and per-model latency/throughput accounting.
 package serve
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"strconv"
@@ -52,30 +53,96 @@ func ParseVariant(s string) (entries int, err error) {
 	return 0, fmt.Errorf("serve: unknown variant %q (dense|rtoss-2ep..rtoss-5ep)", s)
 }
 
+// ParseKey parses an "Arch/variant/mode" string (Key.String's format)
+// back into a Key — the wire form fleet routers and shards exchange.
+func ParseKey(s string) (Key, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return Key{}, fmt.Errorf("serve: key %q is not Arch/variant/mode", s)
+	}
+	if _, err := ParseVariant(parts[1]); err != nil {
+		return Key{}, err
+	}
+	mode, err := engine.ParseMode(parts[2])
+	if err != nil {
+		return Key{}, fmt.Errorf("serve: key %q: %w", s, err)
+	}
+	return Key{Arch: parts[0], Variant: parts[1], Mode: mode}, nil
+}
+
 // Registry lazily builds and caches one Program per Key. Concurrent
 // requests for the same key block on a single build (the multi-second
 // prune+compile runs once); requests for distinct keys build
-// independently. A Registry is safe for concurrent use.
+// independently. With a memory budget set, the registry evicts the
+// least-recently-used Programs once the cached footprint exceeds the
+// budget — the mechanism that lets one shard host a subset of the model
+// zoo and page variants in and out under routing changes. A Registry is
+// safe for concurrent use.
 type Registry struct {
 	mu      sync.Mutex
 	entries map[Key]*registryEntry
+	lru     *list.List // front = most recently used; element value is Key
+	bytes   int64      // footprint of cached (successfully built) programs
+	budget  int64      // 0 = unlimited
+	onEvict func(Key, *engine.Program)
+
+	evictions uint64
 }
 
 type registryEntry struct {
 	once sync.Once
 	prog *engine.Program
 	err  error
+	size int64
+	elem *list.Element // position in the LRU list (nil until built)
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with no memory budget.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[Key]*registryEntry{}}
+	return &Registry{entries: map[Key]*registryEntry{}, lru: list.New()}
+}
+
+// SetBudget bounds the total MemoryBytes of cached Programs; once the
+// sum exceeds maxBytes the least-recently-used entries are evicted
+// (the most recently requested Program is never evicted, so a single
+// over-budget model still serves). Zero removes the bound. Shrinking
+// the budget evicts immediately.
+func (r *Registry) SetBudget(maxBytes int64) {
+	r.mu.Lock()
+	r.budget = maxBytes
+	evicted := r.evictOverBudgetLocked(Key{}, false)
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+}
+
+// OnEvict registers a hook called (outside the registry lock) with each
+// evicted key and Program — the shard layer uses it to close the
+// serving stack built on the Program. Must be set before traffic.
+func (r *Registry) OnEvict(fn func(Key, *engine.Program)) {
+	r.mu.Lock()
+	r.onEvict = fn
+	r.mu.Unlock()
 }
 
 // Program returns the compiled Program for a key, building (prune +
 // compile) on first request and caching the result — including a build
-// error, which callers see on every subsequent request for that key.
+// error, which callers see on every subsequent request for that key
+// until the entry is evicted. Each request marks the key most recently
+// used.
 func (r *Registry) Program(k Key) (*engine.Program, error) {
+	return r.program(k, func() (*engine.Program, error) { return buildProgram(k) })
+}
+
+// Install caches a pre-built Program under a key — the warm-handoff
+// entry point: a late-joining shard installs a Program decoded from a
+// peer's snapshot and skips the prune+compile entirely. An existing
+// entry for the key is left in place (first build wins; both are
+// immutable and equivalent).
+func (r *Registry) Install(k Key, prog *engine.Program) (*engine.Program, error) {
+	return r.program(k, func() (*engine.Program, error) { return prog, nil })
+}
+
+func (r *Registry) program(k Key, build func() (*engine.Program, error)) (*engine.Program, error) {
 	r.mu.Lock()
 	e := r.entries[k]
 	if e == nil {
@@ -83,8 +150,82 @@ func (r *Registry) Program(k Key) (*engine.Program, error) {
 		r.entries[k] = e
 	}
 	r.mu.Unlock()
-	e.once.Do(func() { e.prog, e.err = buildProgram(k) })
-	return e.prog, e.err
+	e.once.Do(func() {
+		e.prog, e.err = build()
+		if e.err != nil {
+			return
+		}
+		e.size = e.prog.MemoryBytes()
+		r.mu.Lock()
+		// The entry may have been evicted between the map insert and
+		// the build finishing; only account for it while it is live.
+		if r.entries[k] == e {
+			e.elem = r.lru.PushFront(k)
+			r.bytes += e.size
+		}
+		r.mu.Unlock()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	r.mu.Lock()
+	if e.elem != nil {
+		r.lru.MoveToFront(e.elem)
+	}
+	evicted := r.evictOverBudgetLocked(k, true)
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+	return e.prog, nil
+}
+
+type evictedEntry struct {
+	key  Key
+	prog *engine.Program
+}
+
+// evictOverBudgetLocked drops LRU entries until the footprint fits the
+// budget, sparing `spare` when protect is set (the key being served
+// right now must survive its own admission). Caller holds r.mu; the
+// evicted programs are returned so OnEvict hooks run lock-free.
+func (r *Registry) evictOverBudgetLocked(spare Key, protect bool) []evictedEntry {
+	if r.budget <= 0 {
+		return nil
+	}
+	var out []evictedEntry
+	for r.bytes > r.budget {
+		el := r.lru.Back()
+		if el == nil {
+			break
+		}
+		k := el.Value.(Key)
+		if protect && k == spare {
+			// The LRU tail is the key being served: nothing older to
+			// evict, and evicting the in-flight key would thrash.
+			break
+		}
+		e := r.entries[k]
+		r.lru.Remove(el)
+		delete(r.entries, k)
+		r.bytes -= e.size
+		r.evictions++
+		out = append(out, evictedEntry{key: k, prog: e.prog})
+	}
+	return out
+}
+
+func (r *Registry) notifyEvicted(evicted []evictedEntry) {
+	if len(evicted) == 0 {
+		return
+	}
+	r.mu.Lock()
+	fn := r.onEvict
+	r.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, ev := range evicted {
+		fn(ev.key, ev.prog)
+	}
 }
 
 // Keys returns the registered keys in deterministic order.
@@ -97,6 +238,14 @@ func (r *Registry) Keys() []Key {
 	}
 	sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
 	return ks
+}
+
+// Footprint returns the summed MemoryBytes of the cached Programs and
+// the eviction count so far.
+func (r *Registry) Footprint() (bytes int64, evictions uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes, r.evictions
 }
 
 // buildProgram assembles the model for a key and compiles it. The dense

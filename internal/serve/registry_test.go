@@ -1,0 +1,198 @@
+package serve
+
+// registry_test.go covers the per-shard memory budgeting / LRU
+// eviction added for the serving fleet, and the gob Program snapshot
+// used for warm handoff between shards.
+
+import (
+	"sync"
+	"testing"
+
+	"rtoss/internal/engine"
+	"rtoss/internal/rng"
+	"rtoss/internal/tensor"
+)
+
+// testKey builds distinct keys for registry tests; the arch names are
+// fake because the programs are installed, never built from the zoo.
+func testKey(arch string) Key { return Key{Arch: arch, Variant: "dense", Mode: engine.ModeSparse} }
+
+func TestRegistryLRUEviction(t *testing.T) {
+	r := NewRegistry()
+	var evicted []Key
+	var mu sync.Mutex
+	r.OnEvict(func(k Key, _ *engine.Program) {
+		mu.Lock()
+		evicted = append(evicted, k)
+		mu.Unlock()
+	})
+
+	progs := map[string]*engine.Program{}
+	for _, arch := range []string{"A", "B", "C"} {
+		progs[arch] = tinyProgram(t)
+	}
+	one := progs["A"].MemoryBytes()
+	if one <= 0 {
+		t.Fatalf("MemoryBytes = %d, want > 0", one)
+	}
+	// Budget for two programs: installing a third must evict the LRU.
+	r.SetBudget(2*one + one/2)
+
+	for _, arch := range []string{"A", "B"} {
+		if _, err := r.Install(testKey(arch), progs[arch]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A so B becomes the least recently used.
+	if _, err := r.Install(testKey("A"), progs["A"]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Install(testKey("C"), progs["C"]); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 || evicted[0] != testKey("B") {
+		t.Fatalf("evicted %v, want exactly [B]", evicted)
+	}
+	bytes, evictions := r.Footprint()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	if bytes != 2*one {
+		t.Fatalf("footprint = %d, want %d (two programs)", bytes, 2*one)
+	}
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != testKey("A") || keys[1] != testKey("C") {
+		t.Fatalf("surviving keys %v, want [A C]", keys)
+	}
+}
+
+func TestRegistryNeverEvictsTheKeyBeingServed(t *testing.T) {
+	r := NewRegistry()
+	prog := tinyProgram(t)
+	// A budget below one program: the sole entry must still serve.
+	r.SetBudget(1)
+	got, err := r.Install(testKey("A"), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != prog {
+		t.Fatal("Install returned a different program")
+	}
+	if keys := r.Keys(); len(keys) != 1 {
+		t.Fatalf("keys %v, want the in-flight key to survive", keys)
+	}
+}
+
+func TestRegistryShrinkingBudgetEvicts(t *testing.T) {
+	r := NewRegistry()
+	a, b := tinyProgram(t), tinyProgram(t)
+	if _, err := r.Install(testKey("A"), a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Install(testKey("B"), b); err != nil {
+		t.Fatal(err)
+	}
+	r.SetBudget(a.MemoryBytes() + 1)
+	if keys := r.Keys(); len(keys) != 1 || keys[0] != testKey("B") {
+		t.Fatalf("keys after shrink %v, want [B] (A was LRU)", keys)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	for _, k := range []Key{
+		{Arch: "YOLOv5s", Variant: "rtoss-3ep", Mode: engine.ModeSparse},
+		{Arch: "RetinaNet", Variant: "dense", Mode: engine.ModeAuto},
+	} {
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("ParseKey(%q) = %v", k.String(), got)
+		}
+	}
+	for _, bad := range []string{"", "a/b", "YOLOv5s/nope/sparse", "YOLOv5s/dense/warp"} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSnapshotRoundTripBitwise proves the warm handoff preserves
+// behaviour exactly: a Program decoded from a peer's snapshot computes
+// bitwise-identical outputs to the donor.
+func TestSnapshotRoundTripBitwise(t *testing.T) {
+	donor := tinyProgram(t)
+	k := testKey("tiny")
+	data, err := EncodeSnapshot(k, donor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := DecodeSnapshot(k, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Mode() != donor.Mode() {
+		t.Fatalf("mode %v, want %v", joined.Mode(), donor.Mode())
+	}
+
+	in := testImage(17)
+	want, err := donor.Output(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := joined.Output(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("output sizes differ: %d vs %d", len(got.Data), len(want.Data))
+	}
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("output[%d] = %v, donor computed %v (snapshot not bitwise)", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	// Key mismatch must fail loudly, not compile the wrong model.
+	if _, err := DecodeSnapshot(testKey("other"), data); err == nil {
+		t.Fatal("DecodeSnapshot accepted a mismatched key")
+	}
+	// Corrupt payloads must fail, not panic.
+	if _, err := DecodeSnapshot(k, data[:len(data)/2]); err == nil {
+		t.Fatal("DecodeSnapshot accepted a truncated snapshot")
+	}
+}
+
+// TestTensorGobRoundTrip pins the tensor wire format underneath the
+// snapshot: shape, strides (derived) and bits all survive.
+func TestTensorGobRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	src := tensor.New(2, 3, 4, 5)
+	for i := range src.Data {
+		src.Data[i] = float32(r.Range(-10, 10))
+	}
+	raw, err := src.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst tensor.Tensor
+	if err := dst.GobDecode(raw); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Rank() != 4 || dst.Dim(0) != 2 || dst.Dim(1) != 3 || dst.Dim(2) != 4 || dst.Dim(3) != 5 {
+		t.Fatalf("decoded shape %v", dst.Shape())
+	}
+	for i := range src.Data {
+		if dst.Data[i] != src.Data[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, dst.Data[i], src.Data[i])
+		}
+	}
+	var bad tensor.Tensor
+	if err := bad.GobDecode(raw[:3]); err == nil {
+		t.Fatal("GobDecode accepted a truncated header")
+	}
+}

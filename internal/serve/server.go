@@ -677,6 +677,11 @@ func imageDims(t *tensor.Tensor) (c, h, w int, ok bool) {
 	return 0, 0, 0, false
 }
 
+// Program returns the immutable Program the server executes — the
+// snapshot endpoint's donor and a cheap way for shard plumbing to reach
+// model metadata.
+func (s *Server) Program() *engine.Program { return s.prog }
+
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	st := s.stats.snapshot()

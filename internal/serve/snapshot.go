@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"rtoss/internal/engine"
+	"rtoss/internal/nn"
+)
+
+// snapshot.go is the warm Program handoff: a shard that has already
+// paid the multi-second prune for a model variant serves the resulting
+// weights as a gob snapshot (GET /program), and a late-joining shard
+// installs the snapshot instead of re-pruning. Only the immutable
+// inputs of Compile travel — the pruned model and the dispatch mode —
+// so the receiver recompiles its kernels locally (cheap, deterministic)
+// and the two shards end up with bitwise-identical Programs.
+
+// SnapshotContentType is the media type of a Program snapshot body.
+const SnapshotContentType = "application/x-rtoss-program"
+
+// maxSnapshotBytes bounds a fetched snapshot (weights of the zoo models
+// are tens of MB; 1 GiB is far above any legitimate model).
+const maxSnapshotBytes = 1 << 30
+
+// programSnapshot is the gob wire form of a compiled Program: gob
+// resolves the layer graph and weight tensors (tensor.Tensor implements
+// GobEncoder) without a custom codec per layer kind.
+type programSnapshot struct {
+	Key   string // Key.String(), echoed for sanity checking
+	Mode  engine.Mode
+	Model *nn.Model
+}
+
+// EncodeSnapshot serialises a Program's immutable inputs for handoff.
+func EncodeSnapshot(k Key, prog *engine.Program) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(programSnapshot{Key: k.String(), Mode: prog.Mode(), Model: prog.Model()}); err != nil {
+		return nil, fmt.Errorf("serve: encoding %v snapshot: %w", k, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot reconstructs a Program from a snapshot: the model is
+// validated and recompiled under the snapshot's mode. The expected key
+// is checked against the snapshot's — installing shard A's YOLOv5s
+// under shard B's RetinaNet slot must fail loudly, not serve garbage.
+func DecodeSnapshot(k Key, data []byte) (*engine.Program, error) {
+	var snap programSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("serve: decoding snapshot: %w", err)
+	}
+	if snap.Key != k.String() {
+		return nil, fmt.Errorf("serve: snapshot is for %q, want %q", snap.Key, k)
+	}
+	if snap.Model == nil {
+		return nil, fmt.Errorf("serve: snapshot for %q carries no model", snap.Key)
+	}
+	if err := snap.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: snapshot model: %w", err)
+	}
+	return engine.Compile(snap.Model, engine.Options{Mode: snap.Mode})
+}
+
+// FetchSnapshot downloads a peer's Program snapshot for a key
+// (GET <baseURL>/program?key=...) and compiles it. timeout bounds the
+// whole fetch (zero = DefaultClientTimeout).
+func FetchSnapshot(ctx context.Context, baseURL string, k Key, timeout time.Duration) (*engine.Program, error) {
+	if timeout <= 0 {
+		timeout = DefaultClientTimeout
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot base URL %q: %w", baseURL, err)
+	}
+	u = u.JoinPath("program")
+	q := u.Query()
+	q.Set("key", k.String())
+	u.RawQuery = q.Encode()
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := defaultHTTPClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: fetching snapshot from %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		drainBody(resp.Body)
+		return nil, fmt.Errorf("serve: snapshot fetch returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot body: %w", err)
+	}
+	return DecodeSnapshot(k, data)
+}
+
+// handleSnapshot answers GET /program with the gob snapshot of the
+// handler's Program. The ?key= parameter (when present) must match the
+// served key — a router proxying handoffs relies on the mismatch being
+// a 404, so the requester falls back to a cold build instead of
+// compiling the wrong model.
+func handleSnapshot(w http.ResponseWriter, r *http.Request, k Key, prog *engine.Program) {
+	if want := r.URL.Query().Get("key"); want != "" && want != k.String() {
+		http.Error(w, fmt.Sprintf("serve: this shard serves %q, not %q", k, want), http.StatusNotFound)
+		return
+	}
+	data, err := EncodeSnapshot(k, prog)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", SnapshotContentType)
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Write(data)
+}

@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// gob.go makes Tensor self-describing on the wire so model snapshots
+// (the fleet's warm Program handoff) can gob-encode whole nn.Models.
+// The format is deliberately minimal and versioned by its magic byte:
+//
+//	[1]   magic 0x74 ('t')
+//	[4]   rank, uint32 LE
+//	[8*r] dims, int64 LE each
+//	[4*n] data, float32 LE raw bits
+//
+// Strides are derived, not transmitted: Tensors are stored row-major
+// contiguous, and any view with exotic strides has no business on the
+// wire.
+
+const gobMagic = 0x74
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	rank := len(t.shape)
+	out := make([]byte, 0, 1+4+8*rank+4*len(t.Data))
+	out = append(out, gobMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(rank))
+	n := 1
+	for _, d := range t.shape {
+		out = binary.LittleEndian.AppendUint64(out, uint64(d))
+		n *= d
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("tensor: gob-encoding a non-contiguous view (shape %v over %d elements)", t.shape, len(t.Data))
+	}
+	for _, v := range t.Data {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(v))
+	}
+	return out, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(b []byte) error {
+	if len(b) < 5 || b[0] != gobMagic {
+		return fmt.Errorf("tensor: bad gob header")
+	}
+	rank := int(binary.LittleEndian.Uint32(b[1:]))
+	// A rank this high is never legitimate; reject before the dim loop
+	// so a corrupt length cannot drive a huge allocation.
+	if rank < 0 || rank > 8 {
+		return fmt.Errorf("tensor: gob rank %d out of range", rank)
+	}
+	b = b[5:]
+	if len(b) < 8*rank {
+		return fmt.Errorf("tensor: gob shape truncated")
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		d := int64(binary.LittleEndian.Uint64(b[8*i:]))
+		if d < 0 || d > 1<<31 {
+			return fmt.Errorf("tensor: gob dimension %d out of range", d)
+		}
+		shape[i] = int(d)
+		n *= int(d)
+	}
+	b = b[8*rank:]
+	if len(b) != 4*n {
+		return fmt.Errorf("tensor: gob data is %d bytes, shape %v needs %d", len(b), shape, 4*n)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	t.shape = shape
+	t.Data = data
+	t.strides = nil
+	t.computeStrides()
+	return nil
+}
