@@ -3,16 +3,18 @@ package main
 // Fleet subcommands: `rtoss route` fronts N serve processes with the
 // consistent-hash failover router, `rtoss loadtest` drives a router
 // (or a single shard) with closed-loop /detect traffic and reports
-// tail latency.
+// tail latency, and `rtoss chaos` runs the seeded fault-injection
+// harness against an in-process fleet and gates on the robustness
+// acceptance invariants.
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
 	"strings"
 	"time"
 
 	"rtoss"
+	"rtoss/internal/faultinject"
 	"rtoss/internal/fleet"
 	"rtoss/internal/serve"
 )
@@ -59,7 +61,7 @@ func routeCmd(args []string) error {
 	}
 	fmt.Printf("  POST /detect, /infer  consistent-hash by model key, failover on 5xx\n")
 	fmt.Printf("  GET  /stats, /healthz, /program\n")
-	return http.ListenAndServe(*addr, rt.Handler())
+	return serveGracefully(*addr, rt.Handler(), rt.Close)
 }
 
 func loadtestCmd(args []string) error {
@@ -104,6 +106,64 @@ func loadtestCmd(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// chaosCmd runs the seeded fault-injection harness: an in-process
+// 3-shard fleet behind the failover router, every injection point
+// armed from one schedule, and the acceptance invariants checked at
+// the end. A run with violations exits nonzero so CI can gate on it.
+func chaosCmd(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "seed for every random draw (injection, jitter, scenes)")
+	schedule := fs.String("schedule", "mixed", "fault schedule: preset (none|panics|network|ingest|registry|mixed) or point:p=..,max=..,after=..,delay=..;... spec")
+	shards := fs.Int("shards", 3, "in-process shard count")
+	modelName := fs.String("model", "tiny", "model to serve: tiny (built-in, fast) | yolov5s | retinanet")
+	variant := fs.String("variant", "dense", "pruning variant for zoo models")
+	engineMode := fs.String("engine", "sparse", "kernel dispatch for zoo models")
+	res := fs.Int("res", 0, "input resolution (0 = 32 for tiny, 64 for zoo models)")
+	duration := fs.Duration("duration", 3*time.Second, "load-phase firing window")
+	conc := fs.Int("concurrency", 4, "load-phase workers")
+	scenes := fs.Int("scenes", 4, "distinct pre-rendered images")
+	sceneW := fs.Int("scene-w", 96, "rendered image width")
+	sceneH := fs.Int("scene-h", 64, "rendered image height")
+	max5xx := fs.Float64("max-5xx-rate", 0.05, "client-visible 5xx rate bound for the load phase")
+	watchdog := fs.Duration("watchdog", 2*time.Second, "per-shard stuck-batch watchdog allowance")
+	streamFrames := fs.Int("stream-frames", 16, "frames per stream-phase session (negative skips the phase)")
+	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faultinject.ParsePlan(*schedule)
+	if err != nil {
+		return err
+	}
+	cfg := fleet.ChaosConfig{
+		Seed: *seed, Plan: plan, Shards: *shards, Res: *res,
+		Duration: *duration, Concurrency: *conc,
+		Scenes: *scenes, SceneW: *sceneW, SceneH: *sceneH,
+		Max5xxRate: *max5xx, Watchdog: *watchdog,
+		StreamFrames: *streamFrames,
+	}
+	if *modelName != "tiny" {
+		if cfg.Key, err = fleetKey(*modelName, *variant, *engineMode); err != nil {
+			return err
+		}
+	}
+	rep, err := fleet.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if !rep.OK() {
+		return fmt.Errorf("chaos: %d acceptance invariant(s) violated", len(rep.Violations))
 	}
 	return nil
 }

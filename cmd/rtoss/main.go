@@ -13,6 +13,7 @@
 //	rtoss stream [flags]      streaming eval: deadline-hit-rate + mAP over rendered videos
 //	rtoss route [flags]       consistent-hash failover router over N serve shards
 //	rtoss loadtest [flags]    closed-loop /detect load generator with tail-latency report
+//	rtoss chaos [flags]       seeded fault-injection run against an in-process fleet
 //
 // Run any subcommand with -h for its flags.
 package main
@@ -74,6 +75,8 @@ func main() {
 		err = routeCmd(os.Args[2:])
 	case "loadtest":
 		err = loadtestCmd(os.Args[2:])
+	case "chaos":
+		err = chaosCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -88,7 +91,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval|stream|route|loadtest> [flags]")
+	fmt.Println("usage: rtoss <census|prune|platforms|compare|tradeoff|forward|detect|serve|bench|eval|stream|route|loadtest|chaos> [flags]")
 }
 
 // evalCmd scores the detection stack with the real mAP evaluator over
@@ -257,6 +260,7 @@ func serveCmd(args []string) error {
 	budget := fs.Duration("budget", 0, "default per-frame deadline budget for /stream sessions (0 = no deadline)")
 	memBudget := fs.Int64("mem-budget", 0, "max bytes of cached Programs before LRU eviction (0 = unlimited)")
 	warmFrom := fs.String("warm-from", "", "peer base URL to fetch a warm Program snapshot from before cold building")
+	watchdog := fs.Duration("watchdog", 0, "stuck-batch watchdog allowance: a batch exceeding it is answered with 503 (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,6 +310,7 @@ func serveCmd(args []string) error {
 		time.Since(start).Seconds(), p, c)
 	srv := serve.NewServer(prog, serve.Config{
 		MaxBatch: *maxBatch, MaxDelay: *maxDelay, Workers: *workers, QueueCap: *queue,
+		Watchdog: *watchdog,
 	})
 	defer srv.Close()
 	inC, hw := prog.Model().InputC, *res
@@ -327,7 +332,10 @@ func serveCmd(args []string) error {
 		SnapshotKey: &key,
 	}))
 	mux.Handle("POST /stream", hub.Handler())
-	return http.ListenAndServe(*addr, mux)
+	// Drain order on SIGTERM/SIGINT: stop accepting, close the stream
+	// sessions, drain the batch queue, then evict the registry through
+	// its OnEvict path.
+	return serveGracefully(*addr, mux, hub.Close, srv.Close, reg.Close)
 }
 
 // benchCmd measures single-stream vs batched vs served throughput,

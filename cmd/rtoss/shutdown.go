@@ -1,0 +1,58 @@
+package main
+
+// Graceful shutdown for the long-running serving commands: SIGTERM or
+// SIGINT stops the listener from accepting new connections, lets
+// in-flight requests finish within a drain window, then tears the
+// serving stack down through each layer's Close path (stream hub,
+// batch servers, registry OnEvict). A second signal during the drain
+// kills the process the default way.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 30 * time.Second
+
+// serveGracefully runs an HTTP server until SIGINT/SIGTERM, drains
+// in-flight requests, then runs the drain hooks in order. It returns
+// nil on a clean signal-driven exit.
+func serveGracefully(addr string, h http.Handler, drain ...func()) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (port in use, ...).
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Fprintln(os.Stderr, "shutting down: draining in-flight requests ...")
+
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete after %v: %v\n", drainTimeout, err)
+		hs.Close()
+	}
+	for _, fn := range drain {
+		fn()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "shutdown complete")
+	return nil
+}

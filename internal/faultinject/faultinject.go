@@ -1,0 +1,398 @@
+// Package faultinject is the deterministic, seed-driven fault layer
+// behind `rtoss chaos`: named injection points threaded through the
+// serving stack (ingest, batch executor, registry, fleet transport,
+// stream sessions) fire according to a Plan of per-point rules drawn
+// from a seeded RNG. Every decision is a function of (seed, point,
+// draw ordinal) — never of wall-clock time — so a chaos schedule
+// replays identically under a virtual clock and across runs with the
+// same seed. A disabled layer holds a nil *Injector, and every
+// injection-point method is a method on the nil receiver that returns
+// immediately: the production hot path pays one nil check, no
+// branches, no allocations.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rtoss/internal/rng"
+)
+
+// Point names one injection site in the serving stack. The catalog is
+// closed: an Injector pre-creates state for every point at New, so
+// firing decisions for one point never perturb another's RNG stream.
+type Point string
+
+const (
+	// PointIngestCorrupt truncates a detect request's image bytes on
+	// the batch executor before decode — the request fails decode and
+	// is answered 400, exactly like a client that sent garbage.
+	PointIngestCorrupt Point = "ingest.corrupt"
+	// PointExecPanic panics inside a batch executor while it holds a
+	// whole batch — the panic-isolation path must answer the poisoned
+	// request 500, save its co-batched neighbors, and respawn.
+	PointExecPanic Point = "exec.panic"
+	// PointExecStall sleeps the executor mid-batch for the rule's
+	// Delay — the stuck-batch watchdog's trigger.
+	PointExecStall Point = "exec.stall"
+	// PointRegistryBuild fails a registry Program build. The injected
+	// error is wrapped in ErrInjected and is never cached, so the next
+	// request rebuilds.
+	PointRegistryBuild Point = "registry.buildfail"
+	// PointRegistryEvict force-evicts the registry's LRU entry on a
+	// cache hit — an eviction storm under zero budget pressure.
+	PointRegistryEvict Point = "registry.evict"
+	// PointFleetReset aborts an in-flight HTTP response by closing the
+	// hijacked connection — the client sees a transport-level reset.
+	PointFleetReset Point = "fleet.reset"
+	// PointFleetSlow delays an HTTP response by the rule's Delay.
+	PointFleetSlow Point = "fleet.slow"
+	// PointFleet500 answers an HTTP request with a bare 500 before the
+	// real handler runs.
+	PointFleet500 Point = "fleet.500"
+	// PointFleetHealthFlap fails a /healthz probe with 503 — flapping
+	// health that exercises the breaker's two-strike discipline.
+	PointFleetHealthFlap Point = "fleet.healthflap"
+	// PointStreamDisconnect cuts a streaming session mid-frame: the
+	// framer loop stops as if the client vanished between frames.
+	PointStreamDisconnect Point = "stream.disconnect"
+)
+
+// Points returns the full injection-point catalog in a stable order.
+func Points() []Point {
+	return []Point{
+		PointIngestCorrupt,
+		PointExecPanic,
+		PointExecStall,
+		PointRegistryBuild,
+		PointRegistryEvict,
+		PointFleetReset,
+		PointFleetSlow,
+		PointFleet500,
+		PointFleetHealthFlap,
+		PointStreamDisconnect,
+	}
+}
+
+// ErrInjected marks failures manufactured by this package. Layers that
+// cache errors (the registry's singleflight build) test for it with
+// errors.Is and skip the cache, so an injected fault degrades one
+// request, not every future request on the same key.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Rule schedules one point: each time the instrumented code path asks,
+// the point draws from its own seeded RNG stream and fires with
+// probability P — but never during the first After draws, and never
+// more than Max times total (0 = unlimited). Delay is the injected
+// latency for stall/slow points; it is returned, not slept, so the
+// instrumented layer decides where sleeping is safe (never under a
+// lock).
+type Rule struct {
+	P     float64       // firing probability per draw (1 = always)
+	After uint64        // skip the first After draws
+	Max   uint64        // total firing budget (0 = unlimited)
+	Delay time.Duration // injected latency for stall/slow points
+}
+
+// enabled reports whether the rule can ever fire.
+func (r Rule) enabled() bool { return r.P > 0 }
+
+// Plan maps points to rules; points absent from the plan never fire.
+type Plan map[Point]Rule
+
+// ParsePlan parses the compact schedule syntax used by `rtoss chaos
+// -schedule`:
+//
+//	point:p=0.05[,max=3][,after=10][,delay=50ms][;point:...]
+//
+// A bare preset name (see Preset) is also accepted.
+func ParsePlan(spec string) (Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return Plan{}, nil
+	}
+	if p, err := Preset(spec); err == nil {
+		return p, nil
+	}
+	plan := Plan{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, params, ok := strings.Cut(clause, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: clause %q wants point:params", clause)
+		}
+		pt := Point(strings.TrimSpace(name))
+		if !knownPoint(pt) {
+			return nil, fmt.Errorf("faultinject: unknown point %q (catalog: %v)", pt, Points())
+		}
+		var rule Rule
+		for _, kv := range strings.Split(params, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: parameter %q wants key=value", kv)
+			}
+			var err error
+			switch k {
+			case "p":
+				rule.P, err = strconv.ParseFloat(v, 64)
+				if err == nil && (rule.P < 0 || rule.P > 1) {
+					err = fmt.Errorf("probability %v outside [0, 1]", rule.P)
+				}
+			case "max":
+				rule.Max, err = strconv.ParseUint(v, 10, 64)
+			case "after":
+				rule.After, err = strconv.ParseUint(v, 10, 64)
+			case "delay":
+				rule.Delay, err = time.ParseDuration(v)
+			default:
+				err = fmt.Errorf("unknown parameter %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %s: %v", pt, err)
+			}
+		}
+		plan[pt] = rule
+	}
+	return plan, nil
+}
+
+// String renders the plan back in ParsePlan syntax, points sorted.
+func (p Plan) String() string {
+	pts := make([]string, 0, len(p))
+	for pt := range p {
+		pts = append(pts, string(pt))
+	}
+	sort.Strings(pts)
+	var b strings.Builder
+	for i, name := range pts {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		r := p[Point(name)]
+		fmt.Fprintf(&b, "%s:p=%g", name, r.P)
+		if r.Max > 0 {
+			fmt.Fprintf(&b, ",max=%d", r.Max)
+		}
+		if r.After > 0 {
+			fmt.Fprintf(&b, ",after=%d", r.After)
+		}
+		if r.Delay > 0 {
+			fmt.Fprintf(&b, ",delay=%s", r.Delay)
+		}
+	}
+	return b.String()
+}
+
+// Preset returns a named fault schedule. "mixed" is the chaos CI
+// default: every fault family at a low rate the acceptance invariants
+// must absorb.
+func Preset(name string) (Plan, error) {
+	switch name {
+	case "none":
+		return Plan{}, nil
+	case "panics":
+		return Plan{
+			PointExecPanic: {P: 0.02},
+		}, nil
+	case "network":
+		return Plan{
+			PointFleetReset:      {P: 0.05},
+			PointFleetSlow:       {P: 0.05, Delay: 25 * time.Millisecond},
+			PointFleet500:        {P: 0.05},
+			PointFleetHealthFlap: {P: 0.2},
+		}, nil
+	case "ingest":
+		return Plan{
+			PointIngestCorrupt: {P: 0.05},
+		}, nil
+	case "registry":
+		return Plan{
+			PointRegistryBuild: {P: 0.25, Max: 8},
+			PointRegistryEvict: {P: 0.05},
+		}, nil
+	case "mixed":
+		return Plan{
+			PointIngestCorrupt:    {P: 0.02},
+			PointExecPanic:        {P: 0.01},
+			PointExecStall:        {P: 0.01, Delay: 20 * time.Millisecond},
+			PointRegistryEvict:    {P: 0.01},
+			PointFleetReset:       {P: 0.02},
+			PointFleetSlow:        {P: 0.03, Delay: 25 * time.Millisecond},
+			PointFleet500:         {P: 0.02},
+			PointFleetHealthFlap:  {P: 0.1},
+			PointStreamDisconnect: {P: 0.05},
+		}, nil
+	}
+	return nil, fmt.Errorf("faultinject: unknown preset %q (want none|panics|network|ingest|registry|mixed)", name)
+}
+
+func knownPoint(pt Point) bool {
+	for _, p := range Points() {
+		if p == pt {
+			return true
+		}
+	}
+	return false
+}
+
+// Injector draws firing decisions for every point in the catalog. One
+// Injector is shared by all instrumented layers of a chaos harness;
+// all methods are safe for concurrent use and safe on the nil
+// receiver (a nil Injector never fires — the production configuration).
+type Injector struct {
+	seed uint64
+	mu   sync.Mutex // guards rule swaps (SetPlan) across points
+	pts  map[Point]*pointState
+}
+
+// pointState is one point's private decision stream: its own RNG
+// (seeded from the injector seed and the point name, so points are
+// independent) plus draw/fire ordinals.
+type pointState struct {
+	mu    sync.Mutex
+	rule  Rule
+	rng   *rng.RNG
+	draws uint64
+	fired uint64
+}
+
+// New builds an Injector whose decision streams derive from seed and
+// whose firing rules come from plan (nil = all points disabled until
+// SetPlan). The same seed and plan reproduce the same per-point
+// decision sequence regardless of wall-clock time.
+func New(seed uint64, plan Plan) *Injector {
+	inj := &Injector{seed: seed, pts: make(map[Point]*pointState, len(Points()))}
+	for _, pt := range Points() {
+		inj.pts[pt] = &pointState{rng: rng.New(seed ^ pointSalt(pt))}
+	}
+	inj.SetPlan(plan)
+	return inj
+}
+
+// pointSalt folds a point name into a seed offset (FNV-1a) so each
+// point owns an independent RNG stream under one injector seed.
+func pointSalt(pt Point) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(pt); i++ {
+		h ^= uint64(pt[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SetPlan swaps the firing rules while keeping every point's RNG
+// stream and counters — chaos harnesses use it to phase faults in and
+// out mid-run without losing determinism or the fired totals.
+func (i *Injector) SetPlan(plan Plan) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for pt, st := range i.pts {
+		rule := plan[pt] // zero Rule when absent: disabled
+		st.mu.Lock()
+		st.rule = rule
+		st.mu.Unlock()
+	}
+}
+
+// Seed returns the injector's seed (0 on the nil receiver).
+func (i *Injector) Seed() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.seed
+}
+
+// Should reports whether point pt fires at this call. Each call is
+// one draw: deterministic in (seed, point, ordinal), independent of
+// every other point. Nil receiver: false, no work.
+func (i *Injector) Should(pt Point) bool {
+	if i == nil {
+		return false
+	}
+	st := i.pts[pt]
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.rule.enabled() {
+		return false
+	}
+	st.draws++
+	if st.draws <= st.rule.After {
+		return false
+	}
+	if st.rule.Max > 0 && st.fired >= st.rule.Max {
+		return false
+	}
+	if st.rule.P < 1 && st.rng.Float64() >= st.rule.P {
+		return false
+	}
+	st.fired++
+	return true
+}
+
+// Latency returns the rule's Delay when point pt fires at this call,
+// zero otherwise. The caller sleeps (outside any lock); the injector
+// never blocks.
+func (i *Injector) Latency(pt Point) time.Duration {
+	if i == nil {
+		return 0
+	}
+	if !i.Should(pt) {
+		return 0
+	}
+	i.pts[pt].mu.Lock()
+	d := i.pts[pt].rule.Delay
+	i.pts[pt].mu.Unlock()
+	return d
+}
+
+// Counts is one point's lifetime draw/fire tally.
+type Counts struct {
+	Draws uint64 `json:"draws"`
+	Fired uint64 `json:"fired"`
+}
+
+// Counts snapshots every point's tally (points with zero draws are
+// omitted). Nil receiver: nil.
+func (i *Injector) Counts() map[Point]Counts {
+	if i == nil {
+		return nil
+	}
+	out := make(map[Point]Counts)
+	for pt, st := range i.pts {
+		st.mu.Lock()
+		c := Counts{Draws: st.draws, Fired: st.fired}
+		st.mu.Unlock()
+		if c.Draws > 0 {
+			out[pt] = c
+		}
+	}
+	return out
+}
+
+// Fired returns how many times point pt has fired.
+func (i *Injector) Fired(pt Point) uint64 {
+	if i == nil {
+		return 0
+	}
+	st := i.pts[pt]
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fired
+}

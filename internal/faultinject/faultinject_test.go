@@ -1,0 +1,237 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func firingPattern(seed uint64, pt Point, rule Rule, draws int) []bool {
+	inj := New(seed, Plan{pt: rule})
+	out := make([]bool, draws)
+	for i := range out {
+		out[i] = inj.Should(pt)
+	}
+	return out
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	rule := Rule{P: 0.3}
+	a := firingPattern(42, PointExecPanic, rule, 200)
+	b := firingPattern(42, PointExecPanic, rule, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	c := firingPattern(43, PointExecPanic, rule, 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical firing patterns")
+	}
+}
+
+func TestInjectorPointStreamsIndependent(t *testing.T) {
+	// Drawing heavily on one point must not shift another point's
+	// decisions: each point owns a salted RNG stream.
+	solo := firingPattern(7, PointFleet500, Rule{P: 0.5}, 100)
+	inj := New(7, Plan{PointFleet500: {P: 0.5}, PointExecPanic: {P: 0.5}})
+	for i := 0; i < 1000; i++ {
+		inj.Should(PointExecPanic)
+	}
+	for i, want := range solo {
+		if got := inj.Should(PointFleet500); got != want {
+			t.Fatalf("draw %d: fleet.500 stream perturbed by exec.panic draws (got %v want %v)", i, got, want)
+		}
+	}
+}
+
+func TestInjectorAfterAndMax(t *testing.T) {
+	inj := New(1, Plan{PointFleet500: {P: 1, After: 3, Max: 2}})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if inj.Should(PointFleet500) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("After=3,Max=2,P=1 fired at %v, want [3 4]", fired)
+	}
+	if got := inj.Fired(PointFleet500); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if c := inj.Counts()[PointFleet500]; c.Draws != 10 || c.Fired != 2 {
+		t.Fatalf("Counts = %+v, want draws 10 fired 2", c)
+	}
+}
+
+func TestInjectorNilReceiver(t *testing.T) {
+	var inj *Injector
+	if inj.Should(PointExecPanic) {
+		t.Fatal("nil injector fired")
+	}
+	if d := inj.Latency(PointExecStall); d != 0 {
+		t.Fatalf("nil injector latency %v", d)
+	}
+	inj.SetPlan(Plan{PointExecPanic: {P: 1}}) // must not panic
+	if inj.Counts() != nil || inj.Fired(PointExecPanic) != 0 || inj.Seed() != 0 {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestInjectorSetPlanKeepsCounters(t *testing.T) {
+	inj := New(3, Plan{PointFleet500: {P: 1}})
+	for i := 0; i < 5; i++ {
+		inj.Should(PointFleet500)
+	}
+	inj.SetPlan(Plan{}) // all off
+	if inj.Should(PointFleet500) {
+		t.Fatal("disabled point fired")
+	}
+	if got := inj.Fired(PointFleet500); got != 5 {
+		t.Fatalf("Fired after SetPlan = %d, want 5 (counters must survive plan swaps)", got)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	inj := New(1, Plan{PointExecStall: {P: 1, Delay: 7 * time.Millisecond}})
+	if d := inj.Latency(PointExecStall); d != 7*time.Millisecond {
+		t.Fatalf("Latency = %v, want 7ms", d)
+	}
+	off := New(1, nil)
+	if d := off.Latency(PointExecStall); d != 0 {
+		t.Fatalf("disabled Latency = %v, want 0", d)
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "exec.panic:p=0.05,max=3;fleet.slow:p=0.1,delay=50ms,after=2"
+	plan, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := plan[PointExecPanic]; r.P != 0.05 || r.Max != 3 {
+		t.Fatalf("exec.panic rule %+v", r)
+	}
+	if r := plan[PointFleetSlow]; r.P != 0.1 || r.Delay != 50*time.Millisecond || r.After != 2 {
+		t.Fatalf("fleet.slow rule %+v", r)
+	}
+	again, err := ParsePlan(plan.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", plan.String(), err)
+	}
+	for pt, r := range plan {
+		if again[pt] != r {
+			t.Fatalf("round trip lost %s: %+v vs %+v", pt, r, again[pt])
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nosuch.point:p=1",
+		"exec.panic",         // no params
+		"exec.panic:p=2",     // out of range
+		"exec.panic:bogus=1", // unknown key
+		"exec.panic:p",       // not key=value
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"none", "panics", "network", "ingest", "registry", "mixed"} {
+		plan, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		for pt := range plan {
+			if !knownPoint(pt) {
+				t.Fatalf("preset %s references unknown point %s", name, pt)
+			}
+		}
+		// Presets parse as plans too.
+		if _, err := ParsePlan(name); err != nil {
+			t.Fatalf("ParsePlan(%q): %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+func TestMiddlewareNilInjectorIsIdentity(t *testing.T) {
+	h := okHandler()
+	if got := Middleware(nil, h); &got == nil {
+		t.Fatal("nil handler")
+	}
+	rr := httptest.NewRecorder()
+	Middleware(nil, h).ServeHTTP(rr, httptest.NewRequest("GET", "/detect", nil))
+	if rr.Code != 200 || rr.Body.String() != "ok" {
+		t.Fatalf("nil-injector middleware altered response: %d %q", rr.Code, rr.Body.String())
+	}
+}
+
+func TestMiddlewareHealthFlap(t *testing.T) {
+	inj := New(1, Plan{PointFleetHealthFlap: {P: 1, Max: 1}})
+	mw := Middleware(inj, okHandler())
+	rr := httptest.NewRecorder()
+	mw.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("flapping healthz = %d, want 503", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	mw.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("healthz after Max exhausted = %d, want 200", rr.Code)
+	}
+}
+
+func TestMiddleware500AndStatsExempt(t *testing.T) {
+	inj := New(1, Plan{PointFleet500: {P: 1}})
+	mw := Middleware(inj, okHandler())
+	rr := httptest.NewRecorder()
+	mw.ServeHTTP(rr, httptest.NewRequest("POST", "/detect", strings.NewReader("x")))
+	if rr.Code != http.StatusInternalServerError {
+		t.Fatalf("injected 500 = %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	mw.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/stats must never be faulted, got %d", rr.Code)
+	}
+}
+
+func TestMiddlewareConnectionReset(t *testing.T) {
+	inj := New(1, Plan{PointFleetReset: {P: 1, Max: 1}})
+	srv := httptest.NewServer(Middleware(inj, okHandler()))
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/detect"); err == nil {
+		t.Fatal("expected a transport error from the injected reset")
+	}
+	resp, err := http.Get(srv.URL + "/detect")
+	if err != nil {
+		t.Fatalf("second request (Max exhausted): %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("second request = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with the fleet-transport fault
+// family: flapping /healthz, injected 500s, slow responses, and
+// connection resets. A nil injector returns next unwrapped, so the
+// production handler chain carries no chaos shim at all.
+//
+// The fault surface is deliberately split by path: /healthz sees only
+// PointFleetHealthFlap (a flapping probe must look exactly like an
+// unhealthy backend, not a broken TCP stack), /stats is never faulted
+// (the chaos harness reads it to judge the run), and every other
+// endpoint draws reset, slow and 500 in that order.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/stats":
+			next.ServeHTTP(w, r)
+			return
+		case "/healthz":
+			if inj.Should(PointFleetHealthFlap) {
+				http.Error(w, "faultinject: flapping health", http.StatusServiceUnavailable)
+				return
+			}
+			next.ServeHTTP(w, r)
+			return
+		}
+		if inj.Should(PointFleetReset) {
+			abortConn(w)
+			return
+		}
+		if d := inj.Latency(PointFleetSlow); d > 0 {
+			time.Sleep(d)
+		}
+		if inj.Should(PointFleet500) {
+			http.Error(w, "faultinject: injected 500", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// abortConn kills the client connection without writing a response:
+// hijack and close when the server supports it, otherwise panic with
+// http.ErrAbortHandler (the net/http-sanctioned way to abort — the
+// server drops the connection and suppresses the stack trace).
+func abortConn(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}

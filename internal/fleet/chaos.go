@@ -1,0 +1,514 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"rtoss/internal/core"
+	"rtoss/internal/detect"
+	"rtoss/internal/engine"
+	"rtoss/internal/eval"
+	"rtoss/internal/faultinject"
+	"rtoss/internal/kitti"
+	"rtoss/internal/nn"
+	"rtoss/internal/serve"
+	"rtoss/internal/stream"
+	"rtoss/internal/tensor"
+)
+
+// chaos.go is the reproducible chaos harness behind `rtoss chaos`: it
+// stands up an in-process sharded fleet (real listeners, real HTTP),
+// arms every layer's fault-injection points from one seeded schedule,
+// drives the loadtest generator through the router, and then asserts
+// the acceptance invariants the robustness work promises:
+//
+//  1. zero client-visible transport errors — every shard-side reset,
+//     500, stall, panic or flap is absorbed by the failover ladder;
+//  2. the client-visible 5xx rate stays bounded (exhausted sheds only);
+//  3. the router's conservation counters balance exactly
+//     (requests == success + passthrough + exhausted + rejected);
+//  4. detection quality on surviving responses is bitwise unchanged —
+//     mAP through the faulted fleet equals mAP against a fault-free
+//     shard, float64-equal, no tolerance;
+//  5. stream sessions killed mid-frame leave balanced frame counters
+//     (frames_in == served + stale + deadline + errors).
+//
+// Every run is a pure function of the seed: the injector, the router's
+// backoff jitter, the prober's hold jitter and the scene renderer all
+// draw from it, so a failing chaos run replays exactly.
+
+// TinyKey is the model key chaos runs serve the built-in tiny detector
+// under when no zoo key is requested.
+func TinyKey() serve.Key {
+	return serve.Key{Arch: "tiny", Variant: "dense", Mode: engine.ModeSparse}
+}
+
+// TinySpec is the detect head spec matching TinyProgram's output.
+func TinySpec() detect.HeadSpec {
+	return detect.HeadSpec{
+		Kind:    detect.HeadYOLOv5,
+		Classes: 2,
+		Levels:  []detect.HeadLevel{{Stride: 4, Anchors: [][2]float64{{8, 8}, {16, 16}}}},
+	}
+}
+
+// TinyProgram compiles a small pruned detector (the same shape the
+// serve and fleet tests use) so chaos runs never pay for zoo-scale
+// models. Deterministic: every call yields a bitwise-identical model.
+func TinyProgram() (*engine.Program, error) {
+	b := nn.NewBuilder("tinydet", 3, 32, 32, 2)
+	x := b.Input()
+	x = b.ConvBNAct("stem", x, 3, 8, 3, 2, 1, nn.SiLU)
+	c3 := b.C3("c3", x, 8, 8, 1, true, nn.SiLU)
+	x = b.ConvBNAct("down", c3, 8, 16, 3, 2, 1, nn.SiLU)
+	head := b.Conv("head", x, 16, 14, 1, 1, 0, true)
+	b.Detect("detect", head)
+	m := b.MustBuild()
+	m.InitWeights(3)
+	if _, err := core.NewVariant(3).Prune(m); err != nil {
+		return nil, err
+	}
+	return engine.Compile(m, engine.Options{Mode: engine.ModeSparse})
+}
+
+// ChaosConfig parameterises one chaos run. Zero values select the
+// defaults; the zero Key selects the built-in tiny detector.
+type ChaosConfig struct {
+	// Seed drives every random draw in the run (default 1).
+	Seed uint64
+	// Plan is the fault schedule (default the "mixed" preset).
+	Plan faultinject.Plan
+	// Key is the model every shard serves; the zero Key uses the
+	// built-in tiny detector (no zoo build).
+	Key serve.Key
+	// Shards is the fleet size (default 3).
+	Shards int
+	// Res is the square letterbox resolution (default 32 for the tiny
+	// detector, 64 for zoo keys).
+	Res int
+	// Duration bounds the load phase (default 3s).
+	Duration time.Duration
+	// Concurrency is the load-generator worker count (default 4).
+	Concurrency int
+	// Scenes, SceneW, SceneH shape the synthetic traffic (default 4
+	// scenes at 96x64).
+	Scenes         int
+	SceneW, SceneH int
+	// Max5xxRate bounds the client-visible 5xx fraction of the load
+	// phase (default 0.05).
+	Max5xxRate float64
+	// StreamFrames is the per-session frame count for the stream
+	// disconnect phase (default 16; negative skips the phase).
+	StreamFrames int
+	// StreamSessions is how many stream sessions to run (default 8).
+	StreamSessions int
+	// Watchdog is each shard server's stuck-batch allowance ceiling
+	// (default 2s).
+	Watchdog time.Duration
+	// EvalScenes sizes the parity phase (default 4).
+	EvalScenes int
+}
+
+// ChaosReport is the run's outcome, JSON-shaped for the CI artifact.
+// Violations is empty iff every acceptance invariant held.
+type ChaosReport struct {
+	Seed   uint64 `json:"seed"`
+	Plan   string `json:"plan"`
+	Shards int    `json:"shards"`
+	Key    string `json:"key"`
+
+	Load       *LoadReport                              `json:"load"`
+	Router     map[string]uint64                        `json:"router"`
+	Injections map[faultinject.Point]faultinject.Counts `json:"injections,omitempty"`
+
+	DirectMAP        float64 `json:"direct_map"`
+	RoutedMAP        float64 `json:"routed_map"`
+	DirectDetections int     `json:"direct_detections"`
+	RoutedDetections int     `json:"routed_detections"`
+	ParityOK         bool    `json:"parity_ok"`
+
+	Stream *stream.Summary `json:"stream,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// OK reports whether every acceptance invariant held.
+func (r *ChaosReport) OK() bool { return len(r.Violations) == 0 }
+
+// WriteJSON writes the report to a file (the CI chaos artifact).
+func (r *ChaosReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Render formats the report for a terminal.
+func (r *ChaosReport) Render() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos seed=%d shards=%d key=%s plan=%q\n", r.Seed, r.Shards, r.Key, r.Plan)
+	if r.Load != nil {
+		fmt.Fprintf(&b, "  load: %d requests, %d ok, %d 4xx, %d 5xx, %d net errors\n",
+			r.Load.Requests, r.Load.Success, r.Load.ClientErr, r.Load.ServerErr, r.Load.NetErr)
+	}
+	fmt.Fprintf(&b, "  router: requests=%d success=%d retries=%d failovers=%d exhausted=%d\n",
+		r.Router["requests"], r.Router["success"], r.Router["retries"], r.Router["failovers"], r.Router["exhausted"])
+	pts := make([]string, 0, len(r.Injections))
+	for pt := range r.Injections {
+		pts = append(pts, string(pt))
+	}
+	sort.Strings(pts)
+	for _, pt := range pts {
+		c := r.Injections[faultinject.Point(pt)]
+		fmt.Fprintf(&b, "  fault %-20s fired %d/%d draws\n", pt, c.Fired, c.Draws)
+	}
+	fmt.Fprintf(&b, "  parity: direct mAP %v (%d det), routed mAP %v (%d det), bitwise match %v\n",
+		r.DirectMAP, r.DirectDetections, r.RoutedMAP, r.RoutedDetections, r.ParityOK)
+	if r.Stream != nil {
+		fmt.Fprintf(&b, "  stream: %d in = %d served + %d stale + %d deadline + %d errors\n",
+			r.Stream.FramesIn, r.Stream.FramesServed, r.Stream.DroppedStale, r.Stream.DroppedDeadline, r.Stream.Errors)
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "  PASS: all invariants held\n")
+	} else {
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// chaosBackend is one in-process shard behind a real listener.
+type chaosBackend struct {
+	sh  *Shard
+	hs  *http.Server
+	url string
+}
+
+func (cb *chaosBackend) close() {
+	cb.hs.Close()
+	cb.sh.Close()
+}
+
+// RunChaos executes one seeded chaos run and returns the report. A
+// non-nil error means the harness itself failed to stand up; invariant
+// failures are reported through ChaosReport.Violations instead.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	tiny := cfg.Key == (serve.Key{})
+	if tiny {
+		cfg.Key = TinyKey()
+		if cfg.Res <= 0 {
+			cfg.Res = 32
+		}
+	}
+	if cfg.Res <= 0 {
+		cfg.Res = 64
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Plan == nil {
+		cfg.Plan, _ = faultinject.Preset("mixed")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Scenes <= 0 {
+		cfg.Scenes = 4
+	}
+	if cfg.SceneW <= 0 {
+		cfg.SceneW = 96
+	}
+	if cfg.SceneH <= 0 {
+		cfg.SceneH = 64
+	}
+	if cfg.Max5xxRate <= 0 {
+		cfg.Max5xxRate = 0.05
+	}
+	if cfg.StreamFrames == 0 {
+		cfg.StreamFrames = 16
+	}
+	if cfg.StreamSessions <= 0 {
+		cfg.StreamSessions = 8
+	}
+	if cfg.Watchdog <= 0 {
+		cfg.Watchdog = 2 * time.Second
+	}
+	if cfg.EvalScenes <= 0 {
+		cfg.EvalScenes = 4
+	}
+
+	inj := faultinject.New(cfg.Seed, cfg.Plan)
+
+	var spec detect.HeadSpec
+	var pipeFor func(serve.Key, *engine.Program) (detect.Config, error)
+	var prog *engine.Program
+	if tiny {
+		spec = TinySpec()
+		pipeFor = func(serve.Key, *engine.Program) (detect.Config, error) {
+			return detect.Config{Spec: spec, ScoreThreshold: 0.05}, nil
+		}
+		var err error
+		if prog, err = TinyProgram(); err != nil {
+			return nil, fmt.Errorf("fleet: chaos tiny program: %w", err)
+		}
+	}
+
+	// The fleet: every shard shares the one injector, so the schedule's
+	// draw ordinals interleave across shards exactly as traffic does.
+	backends := make([]*chaosBackend, 0, cfg.Shards)
+	defer func() {
+		for _, cb := range backends {
+			cb.close()
+		}
+	}()
+	urls := make([]string, 0, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		reg := serve.NewRegistry()
+		reg.SetFaultInjector(inj)
+		sh := NewShard(ShardConfig{
+			Registry: reg, Default: cfg.Key, Res: cfg.Res,
+			PipeFor: pipeFor, ShedLoad: true,
+			Serve: serve.Config{
+				Workers: 2, MaxBatch: 4, QueueCap: 64,
+				Watchdog: cfg.Watchdog, FaultInjector: inj,
+			},
+		})
+		if tiny {
+			if _, err := sh.Registry().Install(cfg.Key, prog); err != nil {
+				sh.Close()
+				return nil, fmt.Errorf("fleet: chaos shard %d install: %w", i, err)
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("fleet: chaos shard %d listen: %w", i, err)
+		}
+		hs := &http.Server{Handler: faultinject.Middleware(inj, sh.Handler())}
+		go hs.Serve(ln)
+		cb := &chaosBackend{sh: sh, hs: hs, url: "http://" + ln.Addr().String()}
+		backends = append(backends, cb)
+		urls = append(urls, cb.url)
+	}
+
+	// Fast failure detection: tight probe interval and short open holds
+	// so a run measured in seconds exercises the full breaker cycle.
+	rt, err := NewRouter(RouterConfig{
+		Backends: urls, Default: cfg.Key,
+		Backoff: 2 * time.Millisecond, BackoffCap: 50 * time.Millisecond,
+		BackoffSeed:    cfg.Seed,
+		AttemptTimeout: 15 * time.Second,
+		Probe: ProberConfig{
+			Interval: 50 * time.Millisecond, Timeout: 500 * time.Millisecond,
+			FailThreshold: 2,
+			OpenBase:      25 * time.Millisecond, OpenCap: 250 * time.Millisecond,
+			Seed: cfg.Seed,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: chaos router listen: %w", err)
+	}
+	front := &http.Server{Handler: rt.Handler()}
+	go front.Serve(fln)
+	defer front.Close()
+	frontURL := "http://" + fln.Addr().String()
+
+	rep := &ChaosReport{
+		Seed: cfg.Seed, Plan: cfg.Plan.String(),
+		Shards: cfg.Shards, Key: cfg.Key.String(),
+	}
+
+	// Phase 1: load under the full fault schedule.
+	rep.Load, err = RunLoad(LoadConfig{
+		URL: frontURL, Duration: cfg.Duration, Concurrency: cfg.Concurrency,
+		Scenes: cfg.Scenes, SceneW: cfg.SceneW, SceneH: cfg.SceneH,
+		Seed: cfg.Seed, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: chaos load phase: %w", err)
+	}
+	rep.Router = rt.Stats()
+
+	if rep.Load.NetErr > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("client saw %d transport errors (want 0: the router must absorb every shard fault)", rep.Load.NetErr))
+	}
+	if rep.Load.Requests > 0 {
+		rate := float64(rep.Load.ServerErr) / float64(rep.Load.Requests)
+		if rate > cfg.Max5xxRate {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("client-visible 5xx rate %.4f exceeds bound %.4f (%d/%d)",
+					rate, cfg.Max5xxRate, rep.Load.ServerErr, rep.Load.Requests))
+		}
+	} else {
+		rep.Violations = append(rep.Violations, "load phase completed zero requests")
+	}
+	rs := rep.Router
+	if got, want := rs["success"]+rs["passthrough"]+rs["exhausted"]+rs["rejected"], rs["requests"]; got != want {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("router conservation broken: success+passthrough+exhausted+rejected = %d, requests = %d", got, want))
+	}
+
+	// Phase 2: bitwise output parity. Baseline against one shard with
+	// every fault disarmed, then the same evaluation through the faulted
+	// fleet — minus the faults that corrupt the requests themselves
+	// (ingest.corrupt, stream.disconnect): those legitimately change
+	// responses, everything else must be absorbed without touching a
+	// successful response's bytes.
+	runEval := func(url string) (float64, int, error) {
+		ecfg := eval.Config{
+			Scenes: cfg.EvalScenes, Seed: cfg.Seed,
+			SceneW: cfg.SceneW, SceneH: cfg.SceneH, Res: cfg.Res,
+			Backend: eval.BackendHTTP, URL: url,
+		}
+		if tiny {
+			ecfg.Detect = detect.Config{Spec: spec, ScoreThreshold: 0.05}
+			ecfg.Program = prog
+		} else {
+			ecfg.Arch, ecfg.Variant, ecfg.Mode = cfg.Key.Arch, cfg.Key.Variant, cfg.Key.Mode
+		}
+		r, err := eval.Run(ecfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r.MAP, r.Detections, nil
+	}
+	inj.SetPlan(nil)
+	rep.DirectMAP, rep.DirectDetections, err = runEval(backends[0].url)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("fault-free baseline eval failed: %v", err))
+	} else if rep.DirectDetections == 0 {
+		// A baseline that detects nothing would make the parity check
+		// vacuous: any response corruption would go unnoticed.
+		rep.Violations = append(rep.Violations, "fault-free baseline produced zero detections; parity check has no signal")
+	}
+	parityPlan := faultinject.Plan{}
+	for pt, rule := range cfg.Plan {
+		if pt == faultinject.PointIngestCorrupt || pt == faultinject.PointStreamDisconnect {
+			continue
+		}
+		parityPlan[pt] = rule
+	}
+	inj.SetPlan(parityPlan)
+	rep.RoutedMAP, rep.RoutedDetections, err = runEval(frontURL)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("faulted fleet eval failed: %v", err))
+	} else {
+		rep.ParityOK = rep.RoutedMAP == rep.DirectMAP && rep.RoutedDetections == rep.DirectDetections
+		if !rep.ParityOK {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("output parity broken: routed mAP %v / %d detections != direct mAP %v / %d detections (faults must not touch successful responses)",
+					rep.RoutedMAP, rep.RoutedDetections, rep.DirectMAP, rep.DirectDetections))
+		}
+	}
+
+	// Phase 3: stream sessions under mid-frame disconnects. The stream
+	// tier runs beside the fleet (the router refuses /stream), so the
+	// harness hosts its own hub on a tiny server and checks the frame
+	// conservation the session layer promises even for killed streams.
+	if cfg.StreamFrames > 0 && tiny {
+		if sum, err := runStreamPhase(cfg, inj, prog, spec); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("stream phase failed: %v", err))
+		} else {
+			rep.Stream = sum
+			if got := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; got != sum.FramesIn {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("stream conservation broken: served+stale+deadline+errors = %d, frames_in = %d", got, sum.FramesIn))
+			}
+		}
+	}
+
+	rep.Injections = inj.Counts()
+	return rep, nil
+}
+
+// runStreamPhase drives StreamSessions raw-framed uploads into a hub
+// with the mid-frame disconnect point armed and returns the hub's
+// final counter summary.
+func runStreamPhase(cfg ChaosConfig, inj *faultinject.Injector, prog *engine.Program, spec detect.HeadSpec) (*stream.Summary, error) {
+	rule, ok := cfg.Plan[faultinject.PointStreamDisconnect]
+	if !ok {
+		rule = faultinject.Rule{P: 0.25}
+	}
+	inj.SetPlan(faultinject.Plan{faultinject.PointStreamDisconnect: rule})
+
+	ssrv := serve.NewServer(prog, serve.Config{Workers: 1, MaxBatch: 2, QueueCap: 16})
+	defer ssrv.Close()
+	hub := stream.NewHub(ssrv, stream.Config{
+		Pipe: detect.Config{Spec: spec, ScoreThreshold: 0.05},
+		ResH: cfg.Res, ResW: cfg.Res,
+		FaultInjector: inj,
+	})
+	defer hub.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: hub.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/stream"
+
+	scene := kitti.RenderedDataset(cfg.Seed, 1, cfg.SceneW, cfg.SceneH)
+	var ppm bytes.Buffer
+	if err := tensor.EncodePPM(&ppm, scene[0].Image); err != nil {
+		return nil, err
+	}
+	var body []byte
+	for i := 0; i < cfg.StreamFrames; i++ {
+		body = stream.AppendRawFrame(body, ppm.Bytes())
+	}
+	body = stream.FinishRaw(body)
+
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	for i := 0; i < cfg.StreamSessions; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", stream.RawContentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		// Injected disconnects answer 400 (the truncated-upload path);
+		// clean sessions answer 200. Anything else is a harness bug.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cancel()
+			return nil, fmt.Errorf("stream session %d answered %s", i, resp.Status)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+	}
+	hub.Close()
+	sum := hub.Stats()
+	return &sum, nil
+}

@@ -1,0 +1,59 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"rtoss/internal/faultinject"
+)
+
+// TestFleetChaos is the acceptance run from the robustness issue: a
+// seeded chaos run against a 3-shard in-process fleet under the mixed
+// fault schedule must complete with zero client-visible transport
+// errors, a bounded 5xx rate, balanced conservation counters, and
+// bitwise mAP parity on successful responses. Named TestFleetChaos so
+// the CI fleet job's -run filter picks it up.
+func TestFleetChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes seconds of wall clock; skipped in -short")
+	}
+	plan, err := faultinject.Preset("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunChaos(ChaosConfig{
+		Seed: 7, Plan: plan, Shards: 3,
+		Duration: 2 * time.Second, Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatalf("chaos harness failed: %v", err)
+	}
+	t.Log("\n" + rep.Render())
+	if !rep.OK() {
+		for _, v := range rep.Violations {
+			t.Errorf("invariant violated: %s", v)
+		}
+	}
+	// The run must actually have injected faults — a chaos run where
+	// nothing fired proves nothing.
+	var fired uint64
+	for _, c := range rep.Injections {
+		fired += c.Fired
+	}
+	if fired == 0 {
+		t.Error("no faults fired during the chaos run; the schedule is not exercising the stack")
+	}
+	// Reproducibility: the same seed and schedule must draw the same
+	// injection decisions. Traffic volume varies run to run (the load
+	// phase is time-bounded), so compare the decision streams per point
+	// only up to the shorter draw count via a fresh injector replay.
+	inj1 := faultinject.New(7, plan)
+	inj2 := faultinject.New(7, plan)
+	for _, pt := range faultinject.Points() {
+		for i := 0; i < 64; i++ {
+			if inj1.Should(pt) != inj2.Should(pt) {
+				t.Fatalf("point %s: decision stream diverged at draw %d for identical seeds", pt, i)
+			}
+		}
+	}
+}

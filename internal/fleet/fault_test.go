@@ -1,0 +1,244 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rtoss/internal/serve"
+)
+
+// fault_test.go covers the robustness primitives in isolation: the
+// router's decorrelated-jitter backoff, the per-backend circuit
+// breaker, and the prober's immunity to a hung /healthz.
+
+func newJitterRouter(t *testing.T, seed uint64) *Router {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{
+		Backends:    []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Backoff:     10 * time.Millisecond,
+		BackoffCap:  200 * time.Millisecond,
+		BackoffSeed: seed,
+		Probe:       ProberConfig{Interval: time.Hour, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestRouterBackoffJitterBounds pins the decorrelated-jitter contract
+// under a seeded RNG: the first retry waits exactly the base, every
+// later one draws uniformly from [base, min(cap, 3×previous)), the cap
+// is never exceeded, and identical seeds replay identical sequences.
+func TestRouterBackoffJitterBounds(t *testing.T) {
+	base, cap := 10*time.Millisecond, 200*time.Millisecond
+	draw := func(seed uint64, n int) []time.Duration {
+		rt := newJitterRouter(t, seed)
+		out := make([]time.Duration, 0, n)
+		var prev time.Duration
+		for i := 0; i < n; i++ {
+			prev = rt.nextBackoff(prev)
+			out = append(out, prev)
+		}
+		return out
+	}
+
+	seq := draw(42, 12)
+	if seq[0] != base {
+		t.Fatalf("first retry slept %v, want exactly the base %v", seq[0], base)
+	}
+	prev := seq[0]
+	for i, d := range seq[1:] {
+		hi := 3 * prev
+		if hi > cap {
+			hi = cap
+		}
+		if hi <= base {
+			if d != base {
+				t.Fatalf("draw %d: got %v, want base %v when the window is empty", i+1, d, base)
+			}
+		} else if d < base || d >= hi {
+			t.Fatalf("draw %d: %v outside [%v, %v)", i+1, d, base, hi)
+		}
+		prev = d
+	}
+
+	// Reproducibility and decorrelation: same seed, same sequence;
+	// different seed, a different one.
+	if same := draw(42, 12); len(same) != len(seq) {
+		t.Fatal("length mismatch")
+	} else {
+		for i := range seq {
+			if same[i] != seq[i] {
+				t.Fatalf("seeded sequence diverged at %d: %v != %v", i, same[i], seq[i])
+			}
+		}
+	}
+	other := draw(43, 12)
+	diff := false
+	for i := range seq {
+		if other[i] != seq[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestProberBreakerStateMachine walks one backend through the full
+// breaker cycle via the passive marks: closed → open on MarkDown,
+// blocked while the hold runs, half-open once it elapses (Allow admits
+// the trial), closed again on MarkSuccess — and consecutive trips grow.
+func TestProberBreakerStateMachine(t *testing.T) {
+	backend := "http://127.0.0.1:1" // unreachable; the hour interval keeps probes away
+	p := NewProber([]string{backend}, ProberConfig{
+		Interval: time.Hour, Timeout: 50 * time.Millisecond,
+		FailThreshold: 2,
+		OpenBase:      30 * time.Millisecond, OpenCap: 120 * time.Millisecond,
+		Seed: 11,
+	})
+	defer p.Close()
+
+	waitState := func(want string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := p.Statuses(); len(st) == 1 && st[0].State == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("backend never reached state %q (now %q)", want, p.Statuses()[0].State)
+	}
+
+	// The startup probe round against the unreachable backend may
+	// record one strike; that alone must not trip (FailThreshold 2).
+	if !p.Healthy(backend) {
+		t.Fatal("backend must start closed (optimistic)")
+	}
+
+	p.MarkDown(backend, io.ErrUnexpectedEOF)
+	waitState("open")
+	if p.Allow(backend) {
+		// The jittered hold is at least OpenBase/2 = 15ms; an immediate
+		// Allow must be blocked.
+		t.Fatal("open breaker admitted traffic before the hold elapsed")
+	}
+
+	// Once the hold elapses, Allow itself transitions to half-open and
+	// admits the trial request.
+	deadline := time.Now().Add(2 * time.Second)
+	for !p.Allow(backend) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitState("half-open")
+
+	// The trial failing re-trips with a grown hold.
+	p.MarkDown(backend, io.ErrUnexpectedEOF)
+	waitState("open")
+	if st := p.Statuses(); st[0].Trips < 2 {
+		t.Fatalf("trips = %d after two consecutive opens, want >= 2", st[0].Trips)
+	}
+
+	// A success from any path closes it immediately, hold or no hold.
+	p.MarkSuccess(backend)
+	waitState("closed")
+	if !p.Healthy(backend) || !p.AnyHealthy() {
+		t.Fatal("closed breaker must report healthy")
+	}
+	if st := p.Statuses(); st[0].Trips != 0 {
+		t.Fatalf("trips not reset on close: %d", st[0].Trips)
+	}
+}
+
+// TestProberSurvivesHungHealthz is the stalled-probe regression test:
+// one backend whose /healthz hangs forever must not stall the probe
+// loop — the healthy backend keeps getting probed on the interval, and
+// the hung one is demoted by its own per-probe timeout.
+func TestProberSurvivesHungHealthz(t *testing.T) {
+	release := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold the probe until the test ends
+	}))
+	defer hung.Close()
+	defer close(release)
+
+	var probes atomic.Int64
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probes.Add(1)
+		io.WriteString(w, "ok\n")
+	}))
+	defer healthy.Close()
+
+	p := NewProber([]string{hung.URL, healthy.URL}, ProberConfig{
+		Interval: 20 * time.Millisecond, Timeout: 60 * time.Millisecond,
+		FailThreshold: 2, OpenBase: 50 * time.Millisecond, Seed: 5,
+	})
+	defer p.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if probes.Load() >= 5 && !p.Healthy(hung.URL) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := probes.Load(); got < 5 {
+		t.Errorf("healthy backend probed only %d times; the hung peer stalled the loop", got)
+	}
+	if p.Healthy(hung.URL) {
+		t.Error("hung backend still reported healthy; the per-probe timeout never fired")
+	}
+	if !p.Healthy(healthy.URL) {
+		t.Error("healthy backend was demoted")
+	}
+}
+
+// TestRouterShedsWithRetryAfter pins the bottom rung of the
+// degradation ladder: when every replica attempt fails, the router
+// answers 503 with a Retry-After hint — it never hangs and never
+// invents a gateway error.
+func TestRouterShedsWithRetryAfter(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer down.Close()
+	rt, err := NewRouter(RouterConfig{
+		Backends: []string{down.URL},
+		Default:  serve.Key{Arch: "A", Variant: "dense", Mode: 0},
+		Backoff:  time.Millisecond, BackoffSeed: 9,
+		Probe: ProberConfig{Interval: time.Hour, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/detect", "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted ladder answered %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 shed carries no Retry-After header")
+	}
+	st := rt.Stats()
+	if st["exhausted"] != 1 {
+		t.Errorf("exhausted = %d, want 1", st["exhausted"])
+	}
+	if got := st["success"] + st["passthrough"] + st["exhausted"] + st["rejected"]; got != st["requests"] {
+		t.Errorf("conservation broken: %d != requests %d", got, st["requests"])
+	}
+}

@@ -7,39 +7,79 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"rtoss/internal/rng"
 )
 
-// Prober tracks per-backend health with two signals: an active loop
+// Prober tracks per-backend health with two signals — an active loop
 // that polls each backend's GET /healthz on an interval, and passive
-// feedback from the router (MarkDown) when a forward attempt fails at
-// the transport level. Passive marks take effect immediately — the
-// very next request routes around the dead shard instead of waiting
-// out a probe interval — and one successful probe restores the
-// backend, so a bounced shard rejoins within one interval.
+// feedback from the router (MarkDown/MarkSuccess) as forwards fail or
+// succeed — and folds both into a per-backend circuit breaker:
+//
+//	closed ──(FailThreshold probe strikes, or one transport error)──▶ open
+//	open ──(hold elapses; jittered, doubling per consecutive trip)──▶ half-open
+//	half-open ──(one success: probe or forward)──▶ closed
+//	half-open ──(any failure)──▶ open (longer hold)
+//
+// Passive marks take effect immediately — the very next request routes
+// around the dead shard instead of waiting out a probe interval — and
+// one successful probe restores the backend regardless of the hold, so
+// a bounced shard rejoins within one interval. The open hold is what
+// paces live traffic's re-trials of a backend that keeps failing: each
+// consecutive trip doubles the hold (jittered so a fleet of routers
+// does not re-trial in lockstep), capped at OpenCap.
 type Prober struct {
 	interval time.Duration
 	timeout  time.Duration
 	failN    int
+	openBase time.Duration
+	openCap  time.Duration
 	client   *http.Client
 
 	mu     sync.Mutex
 	states map[string]*backendState
+	rng    *rng.RNG // jitter source for open holds; guarded by mu
 
 	stop chan struct{}
 	done chan struct{}
+	wg   sync.WaitGroup // in-flight probes
+}
+
+// breakerState is one backend's circuit-breaker position.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
 }
 
 type backendState struct {
-	healthy   bool
+	state     breakerState
 	fails     int // consecutive probe failures
+	trips     int // consecutive opens; scales the hold
+	openUntil time.Time
 	lastErr   string
 	lastProbe time.Time
+	probing   bool // a probe is in flight; skip this backend next round
 }
 
 // BackendStatus is one backend's health snapshot for /stats.
 type BackendStatus struct {
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
+	State   string `json:"state"`
+	Trips   int    `json:"breaker_trips,omitempty"`
 	Fails   int    `json:"consecutive_failures"`
 	LastErr string `json:"last_error,omitempty"`
 }
@@ -48,12 +88,22 @@ type BackendStatus struct {
 type ProberConfig struct {
 	// Interval between probe rounds (default 250ms).
 	Interval time.Duration
-	// Timeout per probe request (default 2s).
+	// Timeout per probe request. The default is the probe interval
+	// clamped to [50ms, 2s]: a probe gets its own short deadline so one
+	// hung /healthz neither stalls the loop nor keeps its backend
+	// unprobed much longer than a round.
 	Timeout time.Duration
 	// FailThreshold is how many consecutive probe failures demote a
 	// healthy backend (default 2, so one dropped probe on a loaded
 	// shard does not trigger a failover storm).
 	FailThreshold int
+	// OpenBase is the first trip's open hold (default 200ms); each
+	// consecutive trip doubles it, jittered, up to OpenCap (default 5s).
+	OpenBase time.Duration
+	OpenCap  time.Duration
+	// Seed drives the hold jitter; 0 seeds from the clock (production).
+	// Chaos and unit tests pin it for reproducible holds.
+	Seed uint64
 }
 
 // NewProber starts probing the given backend base URLs. All backends
@@ -65,22 +115,40 @@ func NewProber(backends []string, cfg ProberConfig) *Prober {
 		cfg.Interval = 250 * time.Millisecond
 	}
 	if cfg.Timeout <= 0 {
-		cfg.Timeout = 2 * time.Second
+		cfg.Timeout = cfg.Interval
+		if cfg.Timeout < 50*time.Millisecond {
+			cfg.Timeout = 50 * time.Millisecond
+		}
+		if cfg.Timeout > 2*time.Second {
+			cfg.Timeout = 2 * time.Second
+		}
 	}
 	if cfg.FailThreshold <= 0 {
 		cfg.FailThreshold = 2
+	}
+	if cfg.OpenBase <= 0 {
+		cfg.OpenBase = 200 * time.Millisecond
+	}
+	if cfg.OpenCap <= 0 {
+		cfg.OpenCap = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = uint64(time.Now().UnixNano())
 	}
 	p := &Prober{
 		interval: cfg.Interval,
 		timeout:  cfg.Timeout,
 		failN:    cfg.FailThreshold,
+		openBase: cfg.OpenBase,
+		openCap:  cfg.OpenCap,
 		client:   &http.Client{},
 		states:   map[string]*backendState{},
+		rng:      rng.New(cfg.Seed),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	for _, b := range backends {
-		p.states[b] = &backendState{healthy: true}
+		p.states[b] = &backendState{state: breakerClosed}
 	}
 	go p.loop()
 	return p
@@ -101,22 +169,25 @@ func (p *Prober) loop() {
 	}
 }
 
+// probeAll launches one probe per backend without waiting for any of
+// them: the loop ticks on schedule even when a backend's /healthz
+// hangs. A backend whose previous probe is still in flight is skipped
+// (its own timeout bounds the wait), so a single wedged shard costs
+// itself probe freshness, never the fleet.
 func (p *Prober) probeAll() {
 	p.mu.Lock()
-	urls := make([]string, 0, len(p.states))
-	for u := range p.states {
-		urls = append(urls, u)
-	}
-	p.mu.Unlock()
-	var wg sync.WaitGroup
-	for _, u := range urls {
-		wg.Add(1)
+	for u, s := range p.states {
+		if s.probing {
+			continue
+		}
+		s.probing = true
+		p.wg.Add(1)
 		go func(u string) {
-			defer wg.Done()
+			defer p.wg.Done()
 			p.probe(u)
 		}(u)
 	}
-	wg.Wait()
+	p.mu.Unlock()
 }
 
 func (p *Prober) probe(base string) {
@@ -127,15 +198,22 @@ func (p *Prober) probe(base string) {
 	if s == nil {
 		return
 	}
+	s.probing = false
 	s.lastProbe = time.Now()
 	if err == nil {
-		s.healthy, s.fails, s.lastErr = true, 0, ""
+		p.closeBreakerLocked(s)
 		return
 	}
 	s.fails++
 	s.lastErr = err.Error()
-	if s.fails >= p.failN {
-		s.healthy = false
+	switch s.state {
+	case breakerClosed:
+		if s.fails >= p.failN {
+			p.tripLocked(s)
+		}
+	case breakerHalfOpen:
+		// The trial failed: back to open with a longer hold.
+		p.tripLocked(s)
 	}
 }
 
@@ -162,39 +240,100 @@ type probeStatusError struct{ status string }
 
 func (e *probeStatusError) Error() string { return "healthz answered " + e.status }
 
-// Healthy reports the current verdict for a backend. Unknown backends
-// are reported unhealthy.
+// closeBreakerLocked resets a backend to closed after a success.
+func (p *Prober) closeBreakerLocked(s *backendState) {
+	s.state = breakerClosed
+	s.fails, s.trips, s.lastErr = 0, 0, ""
+	s.openUntil = time.Time{}
+}
+
+// tripLocked opens the breaker: the hold doubles per consecutive trip
+// and is jittered to half-to-full of that value, so a fleet of routers
+// watching the same dead shard spreads its re-trials instead of
+// thundering back in lockstep. Capped at openCap.
+func (p *Prober) tripLocked(s *backendState) {
+	s.state = breakerOpen
+	s.trips++
+	hold := p.openBase << (s.trips - 1)
+	if hold > p.openCap || hold <= 0 {
+		hold = p.openCap
+	}
+	// Jitter into [hold/2, hold).
+	hold = hold/2 + time.Duration(p.rng.Float64()*float64(hold/2))
+	s.openUntil = time.Now().Add(hold)
+}
+
+// Healthy reports whether a backend's breaker is closed. Unknown
+// backends are reported unhealthy.
 func (p *Prober) Healthy(base string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := p.states[base]
-	return s != nil && s.healthy
+	return s != nil && s.state == breakerClosed
 }
 
-// MarkDown is the router's passive signal: a forward attempt failed at
-// the transport level, so stop routing to this backend now rather than
-// after FailThreshold probe rounds. The probe loop re-promotes the
-// backend on its next successful /healthz.
-func (p *Prober) MarkDown(base string, err error) {
+// Allow reports whether the router may send a request to this backend
+// right now: closed always, open only once the hold has elapsed (the
+// call transitions the breaker to half-open — the request is the
+// trial), half-open always (results close or re-trip it). Unknown
+// backends are not allowed.
+func (p *Prober) Allow(base string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if s := p.states[base]; s != nil {
-		s.healthy = false
-		if s.fails < p.failN {
-			s.fails = p.failN
+	s := p.states[base]
+	if s == nil {
+		return false
+	}
+	switch s.state {
+	case breakerClosed, breakerHalfOpen:
+		return true
+	default:
+		if time.Now().After(s.openUntil) {
+			s.state = breakerHalfOpen
+			return true
 		}
-		if err != nil {
-			s.lastErr = err.Error()
-		}
+		return false
 	}
 }
 
-// AnyHealthy reports whether at least one backend is healthy.
+// MarkDown is the router's passive signal: a forward attempt failed at
+// the transport level, so trip the breaker now rather than after
+// FailThreshold probe rounds. The probe loop (or a successful forward
+// during half-open) re-promotes the backend.
+func (p *Prober) MarkDown(base string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.states[base]
+	if s == nil {
+		return
+	}
+	if s.fails < p.failN {
+		s.fails = p.failN
+	}
+	if err != nil {
+		s.lastErr = err.Error()
+	}
+	p.tripLocked(s)
+}
+
+// MarkSuccess is the router's positive signal: a forward reached the
+// backend and got an HTTP response (any status — the transport works),
+// which closes the breaker. Half-open trials are promoted by exactly
+// this call.
+func (p *Prober) MarkSuccess(base string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.states[base]; s != nil {
+		p.closeBreakerLocked(s)
+	}
+}
+
+// AnyHealthy reports whether at least one backend's breaker is closed.
 func (p *Prober) AnyHealthy() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, s := range p.states {
-		if s.healthy {
+		if s.state == breakerClosed {
 			return true
 		}
 	}
@@ -207,13 +346,21 @@ func (p *Prober) Statuses() []BackendStatus {
 	defer p.mu.Unlock()
 	out := make([]BackendStatus, 0, len(p.states))
 	for u, s := range p.states {
-		out = append(out, BackendStatus{URL: u, Healthy: s.healthy, Fails: s.fails, LastErr: s.lastErr})
+		out = append(out, BackendStatus{
+			URL:     u,
+			Healthy: s.state == breakerClosed,
+			State:   s.state.String(),
+			Trips:   s.trips,
+			Fails:   s.fails,
+			LastErr: s.lastErr,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
 }
 
-// Close stops the probe loop and waits for it to exit.
+// Close stops the probe loop and waits for it and every in-flight
+// probe to exit.
 func (p *Prober) Close() {
 	select {
 	case <-p.stop:
@@ -221,4 +368,5 @@ func (p *Prober) Close() {
 		close(p.stop)
 	}
 	<-p.done
+	p.wg.Wait()
 }

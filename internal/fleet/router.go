@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rtoss/internal/rng"
 	"rtoss/internal/serve"
 )
 
@@ -19,18 +20,28 @@ import (
 const maxProxyBody = 32 << 20
 
 // Router is the fleet front end: it consistent-hashes each request's
-// model key onto the backend ring, forwards to the key's owner, and
-// on transport errors or retryable statuses (500/502/503) fails over
-// along the ring with exponential backoff — skipping backends the
-// prober currently considers down. Request bodies are buffered up
-// front so every attempt replays identical bytes; responses stream
-// back untouched, so fleet results are bitwise identical to a single
-// shard's.
+// model key onto the backend ring, forwards to the key's owner, and on
+// transport errors or retryable statuses (500/502/503) fails over
+// along the ring with decorrelated-jitter backoff — preferring
+// backends whose circuit breaker admits traffic, trying the rest only
+// as a last resort. Request bodies are buffered up front so every
+// attempt replays identical bytes; responses stream back untouched, so
+// fleet results are bitwise identical to a single shard's.
+//
+// The degradation ladder: the key's ring owner first; on failure, each
+// next ring owner in order; when every attempt is spent, shed with 503
+// + Retry-After. A request is never left hanging on a dead backend —
+// every rung either answers or falls through to the next.
 type Router struct {
 	cfg    RouterConfig
 	ring   *ring
 	prober *Prober
 	client *http.Client // shared keep-alive transport across attempts
+
+	// jrng draws the retry backoff jitter; guarded by jmu (the proxy
+	// path only touches it between failed attempts, never per request).
+	jmu  sync.Mutex
+	jrng *rng.RNG
 
 	stats routerStats
 }
@@ -46,9 +57,18 @@ type RouterConfig struct {
 	// Attempts bounds upstream tries per request (default: one per
 	// backend).
 	Attempts int
-	// Backoff is the initial delay between failover attempts; it
-	// doubles per retry (default 10ms).
+	// Backoff is the base delay between failover attempts. Retries
+	// sleep with decorrelated jitter: the first retry waits exactly
+	// Backoff, each later one a uniform draw from [Backoff,
+	// min(BackoffCap, 3×previous)) — growing like doubling on average
+	// but desynchronized, so a fleet of clients retrying a dead owner
+	// does not arrive in lockstep waves (default 10ms).
 	Backoff time.Duration
+	// BackoffCap bounds a single retry sleep (default 1s).
+	BackoffCap time.Duration
+	// BackoffSeed pins the jitter RNG for reproducible tests; 0 seeds
+	// from the clock (production).
+	BackoffSeed uint64
 	// AttemptTimeout bounds each upstream try (default 60s).
 	AttemptTimeout time.Duration
 	// Probe tunes the health prober.
@@ -62,7 +82,7 @@ type routerStats struct {
 	failovers   atomic.Uint64 // responses served by a non-primary replica
 	success     atomic.Uint64 // 2xx proxied back to the client
 	passthrough atomic.Uint64 // non-retryable upstream statuses proxied back
-	exhausted   atomic.Uint64 // 502s after every replica failed
+	exhausted   atomic.Uint64 // 503s shed after every replica failed
 	rejected    atomic.Uint64 // requests the router itself refused (bad key/body)
 }
 
@@ -78,6 +98,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 10 * time.Millisecond
 	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = time.Second
+	}
+	if cfg.BackoffSeed == 0 {
+		cfg.BackoffSeed = uint64(time.Now().UnixNano())
+	}
 	if cfg.AttemptTimeout <= 0 {
 		cfg.AttemptTimeout = serve.DefaultClientTimeout
 	}
@@ -86,6 +112,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ring:   ring,
 		prober: NewProber(cfg.Backends, cfg.Probe),
 		client: &http.Client{},
+		jrng:   rng.New(cfg.BackoffSeed),
 	}, nil
 }
 
@@ -145,13 +172,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	order := rt.attemptOrder(key.String())
-	backoff := rt.cfg.Backoff
+	var backoff time.Duration
 	var lastErr error
 	for i, backend := range order {
 		if i > 0 {
 			rt.stats.retries.Add(1)
+			backoff = rt.nextBackoff(backoff)
 			time.Sleep(backoff)
-			backoff *= 2
 		}
 		rt.stats.attempts.Add(1)
 		resp, err := rt.forward(r, backend, body)
@@ -160,6 +187,11 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 			lastErr = err
 			continue
 		}
+		// Any HTTP response proves the transport works: close the
+		// breaker (a half-open trial is promoted by exactly this).
+		// Retryable 5xx bodies below still fail the request over —
+		// breaker state tracks reachability, not application health.
+		rt.prober.MarkSuccess(backend)
 		if retryableStatus(resp.StatusCode) {
 			lastErr = fmt.Errorf("%s answered %s", backend, resp.Status)
 			excerpt, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
@@ -176,25 +208,58 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		rt.relay(w, resp)
 		return
 	}
+	// The bottom of the degradation ladder: every rung failed, so shed
+	// explicitly — 503 with a Retry-After hint sized to the breaker's
+	// base hold — rather than hanging the client or masquerading as a
+	// gateway error. 503 is what load balancers and clients treat as
+	// "back off and retry elsewhere/later", which is exactly the state.
 	rt.stats.exhausted.Add(1)
+	w.Header().Set("Retry-After", "1")
 	http.Error(w, fmt.Sprintf("fleet: all %d replica attempts for %v failed, last error: %v",
-		len(order), key, lastErr), http.StatusBadGateway)
+		len(order), key, lastErr), http.StatusServiceUnavailable)
 }
 
-// attemptOrder is the ring's failover order for a key with currently
-// unhealthy backends moved to the back: they are still tried as a last
-// resort (the prober may be stale) but never before a healthy replica.
-// The slice is capped at the configured attempt budget.
+// nextBackoff draws the next retry sleep with decorrelated jitter:
+// the first retry waits exactly the configured base, each later one a
+// uniform draw from [base, min(cap, 3×previous)).
+func (rt *Router) nextBackoff(prev time.Duration) time.Duration {
+	base, cap := rt.cfg.Backoff, rt.cfg.BackoffCap
+	if prev <= 0 {
+		return base
+	}
+	hi := 3 * prev
+	if hi > cap || hi <= 0 {
+		hi = cap
+	}
+	if hi <= base {
+		return base
+	}
+	rt.jmu.Lock()
+	f := rt.jrng.Float64()
+	rt.jmu.Unlock()
+	return base + time.Duration(f*float64(hi-base))
+}
+
+// attemptOrder is the ring's failover order for a key with backends
+// whose breaker blocks traffic (open, hold not yet elapsed) moved to
+// the back: they are still tried as a last resort (the breaker may be
+// stale) but never before an admissible replica. Allow itself
+// transitions an open breaker whose hold has elapsed to half-open —
+// the request that then reaches it is the trial. The slice is capped
+// at the configured attempt budget.
 func (rt *Router) attemptOrder(key string) []string {
 	order := rt.ring.order(key)
 	sorted := make([]string, 0, len(order))
-	for _, b := range order {
-		if rt.prober.Healthy(b) {
+	blocked := make([]bool, len(order))
+	for i, b := range order {
+		if rt.prober.Allow(b) {
 			sorted = append(sorted, b)
+		} else {
+			blocked[i] = true
 		}
 	}
-	for _, b := range order {
-		if !rt.prober.Healthy(b) {
+	for i, b := range order {
+		if blocked[i] {
 			sorted = append(sorted, b)
 		}
 	}
@@ -306,6 +371,8 @@ func (rt *Router) statsDoc(ctx context.Context) map[string]any {
 		backends[i] = map[string]any{
 			"url":                  st.URL,
 			"healthy":              st.Healthy,
+			"breaker":              st.State,
+			"breaker_trips":        st.Trips,
 			"consecutive_failures": st.Fails,
 			"stats":                shardStats[i],
 		}

@@ -418,14 +418,18 @@ func appendJSONString(b []byte, s string) []byte {
 	return append(b, '"')
 }
 
-// serveErrCode maps server errors to HTTP statuses: 503 when closed or
-// shedding load, 400 when the request body was not a decodable image,
-// 504 when the request's deadline budget expired before execution (the
-// scheduler shed it), 409 when a fresher frame superseded it, 500
-// otherwise.
+// serveErrCode maps server errors to HTTP statuses: 503 when closed,
+// shedding load, aborted by a co-batched panic, or failed by the
+// stuck-batch watchdog (all retryable elsewhere — the fleet router
+// fails them over), 400 when the request body was not a decodable
+// image, 504 when the request's deadline budget expired before
+// execution (the scheduler shed it), 409 when a fresher frame
+// superseded it, 500 for an executor panic on this request and
+// anything else.
 func serveErrCode(err error) int {
 	switch {
-	case errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrClosed) || errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrCoBatched) || errors.Is(err, ErrStuckBatch):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBadImage):
 		return http.StatusBadRequest
@@ -547,6 +551,12 @@ func statsJSON(st Stats) map[string]any {
 		"deadline_hits":     st.DeadlineHits,
 		"deadline_misses":   st.DeadlineMisses,
 		"deadline_hit_rate": deadlineHitRate(st),
+		// Robustness counters: executor panics survived, co-batched
+		// requests transparently re-queued after one, and batches the
+		// stuck-batch watchdog failed.
+		"panics":        st.Panics,
+		"requeues":      st.Requeues,
+		"stuck_batches": st.StuckBatches,
 	}
 }
 

@@ -8,6 +8,7 @@ package serve
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -16,6 +17,7 @@ import (
 
 	"rtoss/internal/core"
 	"rtoss/internal/engine"
+	"rtoss/internal/faultinject"
 	"rtoss/internal/models"
 	"rtoss/internal/nn"
 )
@@ -84,7 +86,9 @@ type Registry struct {
 	lru     *list.List // front = most recently used; element value is Key
 	bytes   int64      // footprint of cached (successfully built) programs
 	budget  int64      // 0 = unlimited
+	closed  bool
 	onEvict func(Key, *engine.Program)
+	inj     *faultinject.Injector
 
 	evictions uint64
 }
@@ -124,13 +128,63 @@ func (r *Registry) OnEvict(fn func(Key, *engine.Program)) {
 	r.mu.Unlock()
 }
 
+// SetFaultInjector arms the registry's chaos injection points (build
+// failure, eviction storm). Nil — the default — disarms them.
+func (r *Registry) SetFaultInjector(inj *faultinject.Injector) {
+	r.mu.Lock()
+	r.inj = inj
+	r.mu.Unlock()
+}
+
+// ErrRegistryClosed is returned by Program/Install after Close.
+var ErrRegistryClosed = errors.New("serve: registry closed")
+
+// Close evicts every cached Program through the OnEvict path — the
+// graceful-shutdown drain: the shard layer's hooks close the serving
+// stacks built on them — and fails all future Program/Install calls
+// with ErrRegistryClosed. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var evicted []evictedEntry
+	for el := r.lru.Back(); el != nil; el = r.lru.Back() {
+		k := el.Value.(Key)
+		e := r.entries[k]
+		r.lru.Remove(el)
+		delete(r.entries, k)
+		r.bytes -= e.size
+		r.evictions++
+		evicted = append(evicted, evictedEntry{key: k, prog: e.prog})
+	}
+	// Entries still mid-build (never LRU-linked) just get dropped: the
+	// builder's own post-build accounting sees the map emptied and
+	// skips itself.
+	for k := range r.entries {
+		delete(r.entries, k)
+	}
+	r.mu.Unlock()
+	r.notifyEvicted(evicted)
+}
+
 // Program returns the compiled Program for a key, building (prune +
 // compile) on first request and caching the result — including a build
 // error, which callers see on every subsequent request for that key
 // until the entry is evicted. Each request marks the key most recently
 // used.
 func (r *Registry) Program(k Key) (*engine.Program, error) {
-	return r.program(k, func() (*engine.Program, error) { return buildProgram(k) })
+	return r.program(k, func() (*engine.Program, error) {
+		r.mu.Lock()
+		inj := r.inj
+		r.mu.Unlock()
+		if inj.Should(faultinject.PointRegistryBuild) {
+			return nil, fmt.Errorf("%w: %s build failure", faultinject.ErrInjected, k)
+		}
+		return buildProgram(k)
+	})
 }
 
 // Install caches a pre-built Program under a key — the warm-handoff
@@ -144,11 +198,16 @@ func (r *Registry) Install(k Key, prog *engine.Program) (*engine.Program, error)
 
 func (r *Registry) program(k Key, build func() (*engine.Program, error)) (*engine.Program, error) {
 	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrRegistryClosed
+	}
 	e := r.entries[k]
 	if e == nil {
 		e = &registryEntry{}
 		r.entries[k] = e
 	}
+	inj := r.inj
 	r.mu.Unlock()
 	e.once.Do(func() {
 		e.prog, e.err = build()
@@ -166,6 +225,16 @@ func (r *Registry) program(k Key, build func() (*engine.Program, error)) (*engin
 		r.mu.Unlock()
 	})
 	if e.err != nil {
+		// An injected build failure must degrade one request, not the
+		// key: drop the poisoned entry so the next request rebuilds.
+		// Real build errors stay cached as documented.
+		if errors.Is(e.err, faultinject.ErrInjected) {
+			r.mu.Lock()
+			if r.entries[k] == e {
+				delete(r.entries, k)
+			}
+			r.mu.Unlock()
+		}
 		return nil, e.err
 	}
 	r.mu.Lock()
@@ -173,9 +242,33 @@ func (r *Registry) program(k Key, build func() (*engine.Program, error)) (*engin
 		r.lru.MoveToFront(e.elem)
 	}
 	evicted := r.evictOverBudgetLocked(k, true)
+	// An injected eviction storm drops the LRU tail on a plain cache
+	// hit — eviction pressure without budget pressure. The spare rule
+	// still protects the key being served.
+	if inj.Should(faultinject.PointRegistryEvict) {
+		evicted = append(evicted, r.evictTailLocked(k)...)
+	}
 	r.mu.Unlock()
 	r.notifyEvicted(evicted)
 	return e.prog, nil
+}
+
+// evictTailLocked force-evicts the LRU tail entry (sparing spare — the
+// key being served). Caller holds r.mu.
+func (r *Registry) evictTailLocked(spare Key) []evictedEntry {
+	for el := r.lru.Back(); el != nil; el = el.Prev() {
+		k := el.Value.(Key)
+		if k == spare {
+			continue
+		}
+		e := r.entries[k]
+		r.lru.Remove(el)
+		delete(r.entries, k)
+		r.bytes -= e.size
+		r.evictions++
+		return []evictedEntry{{key: k, prog: e.prog}}
+	}
+	return nil
 }
 
 type evictedEntry struct {

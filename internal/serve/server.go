@@ -9,6 +9,7 @@ import (
 
 	"rtoss/internal/detect"
 	"rtoss/internal/engine"
+	"rtoss/internal/faultinject"
 	"rtoss/internal/tensor"
 )
 
@@ -27,6 +28,19 @@ type Config struct {
 	// QueueCap bounds the pending-request queue (default 64). Infer
 	// blocks when the queue is full; TryInfer sheds load instead.
 	QueueCap int
+
+	// Watchdog arms the stuck-batch watchdog: a batch still executing
+	// after this allowance (or, when the batch carries deadline
+	// traffic, after a small multiple of its deadline budget —
+	// whichever is tighter) has its unanswered requests failed with
+	// ErrStuckBatch so no caller ever hangs on a wedged executor.
+	// Zero disables the watchdog and all of its bookkeeping.
+	Watchdog time.Duration
+
+	// FaultInjector arms this server's chaos injection points (ingest
+	// corruption, executor panic/stall). Nil — the production
+	// configuration — compiles every point down to a nil check.
+	FaultInjector *faultinject.Injector
 
 	// clock overrides the scheduler's time source (nil = time.Now).
 	// Unexported: only in-package tests drive the deadline scheduler
@@ -94,6 +108,12 @@ type Server struct {
 	closeMu sync.RWMutex
 	closed  bool
 
+	// wd is the stuck-batch watchdog (nil unless Config.Watchdog > 0):
+	// one slot per worker records the batch being executed, and the
+	// watchdog loop fails the requests of any batch that overstays its
+	// allowance. See watchdog.go.
+	wd *watchdog
+
 	stats serverStats
 }
 
@@ -124,6 +144,21 @@ var (
 	// frame of the same stream overtook in the queue: newest-frame-
 	// wins shed it unserved.
 	ErrSuperseded = errors.New("serve: frame superseded by a fresher frame")
+	// ErrWorkerPanic is returned for the request a batch executor was
+	// handling when it panicked — the one request a panic is allowed
+	// to fail. The HTTP front end maps it to 500; the process itself
+	// always survives (the worker recovers and keeps serving).
+	ErrWorkerPanic = errors.New("serve: batch executor panicked on this request")
+	// ErrCoBatched is returned for an innocent request that shared a
+	// batch with a panicking one and could not be re-queued (queue
+	// full or server closing). Co-batched neighbors are re-queued once
+	// and retried transparently; this error is the explicit fallback —
+	// never a hang. The HTTP front end maps it to 503.
+	ErrCoBatched = errors.New("serve: request aborted by a co-batched panic")
+	// ErrStuckBatch is returned by the watchdog for requests of a
+	// batch that exceeded its execution allowance — the caller gets an
+	// explicit 503 instead of waiting on a wedged executor.
+	ErrStuckBatch = errors.New("serve: batch exceeded its execution allowance")
 )
 
 // reqKind selects what a queued request wants back.
@@ -169,6 +204,16 @@ type request struct {
 
 	resp chan response
 	enq  time.Time
+
+	// done flips exactly once, when the request's response is sent:
+	// the executor, the panic-recovery path and the watchdog all race
+	// to answer through reply()'s CAS, so the buffered resp channel
+	// can never see a second send.
+	done atomic.Bool
+	// requeued marks a request already re-queued once after a
+	// co-batched panic: a second incident fails it explicitly instead
+	// of cycling it forever.
+	requeued bool
 }
 
 type response struct {
@@ -191,11 +236,28 @@ func NewServer(prog *engine.Program, cfg Config) *Server {
 		sched:     newEDFQueue(),
 	}
 	s.scratchPool.New = func() any { return new(ingestScratch) }
+	if cfg.Watchdog > 0 {
+		s.wd = newWatchdog(s, cfg.Watchdog, cfg.Workers)
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(s.wd.slot(i))
 	}
 	return s
+}
+
+// reply delivers a request's response exactly once: the first of the
+// executor, the panic-recovery path and the watchdog to get here wins
+// the CAS and sends; later callers see false and do nothing. The resp
+// channel is buffered (size 1), so the winning send never blocks.
+//
+//rtoss:noalloc
+func (s *Server) reply(req *request, r response) bool {
+	if !req.done.CompareAndSwap(false, true) {
+		return false
+	}
+	req.resp <- r
+	return true
 }
 
 // Infer runs one image ([C, H, W] or [1, C, H, W]) through the service
@@ -355,6 +417,7 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	s.wd.stopLoop()
 }
 
 // workerScratch is one executor's reusable state: the gather timer and
@@ -366,6 +429,17 @@ type workerScratch struct {
 	ins      []*tensor.Tensor
 	admitted []*request
 	shed     []shedRequest
+
+	// pending is the panic-recovery ledger: a stable copy of the batch
+	// taken before execute starts compacting its slice in place. When
+	// a batch panics, recoverBatch walks pending — each request exactly
+	// once — answering or re-queueing whatever is still unanswered.
+	pending []*request
+	// cur is the request the executor is touching in a per-request
+	// stage (preprocess, postprocess): the one a panic there poisons.
+	// Nil during batched stages (forward), where no single request can
+	// be blamed.
+	cur *request
 }
 
 // shedRequest pairs a request the scheduler dropped with the reason it
@@ -378,14 +452,27 @@ type shedRequest struct {
 // worker pulls a request, tops the batch up to MaxBatch (waiting at
 // most MaxDelay), reorders the batch through the shared EDF queue
 // (shedding expired and superseded frames), runs one batched forward,
-// and replies to every caller.
-func (s *Server) worker() {
-	defer s.wg.Done()
+// and replies to every caller. sl is the worker's watchdog slot (nil
+// when the watchdog is disabled).
+//
+// A panic inside execute is contained there (recoverBatch answers the
+// batch); the deferred recover here is the last-resort backstop for
+// panics outside that window — it respawns the worker so the executor
+// pool never shrinks and the process never dies.
+func (s *Server) worker(sl *wdSlot) {
+	defer func() {
+		if r := recover(); r != nil {
+			atomic.AddUint64(&s.stats.panics, 1)
+			go s.worker(sl)
+			return
+		}
+		s.wg.Done()
+	}()
 	ws := &workerScratch{timer: time.NewTimer(time.Hour)}
 	ws.timer.Stop()
 	for first := range s.queue {
 		if batch := s.admit(ws, s.gather(ws, first)); len(batch) > 0 {
-			s.execute(ws, batch)
+			s.execute(ws, sl, batch)
 		}
 	}
 }
@@ -432,7 +519,7 @@ func (s *Server) admit(ws *workerScratch, batch []*request) []*request {
 		} else {
 			atomic.AddUint64(&s.stats.deadlineShed, 1)
 		}
-		sr.req.resp <- response{err: sr.err}
+		s.reply(sr.req, response{err: sr.err})
 	}
 	return admitted
 }
@@ -472,13 +559,19 @@ func (s *Server) gather(ws *workerScratch, first *request) []*request {
 // decode failure is answered immediately (wrapped in ErrBadImage) so it
 // never poisons the batch it was coalesced with.
 func (s *Server) preprocess(req *request) bool {
+	if s.cfg.FaultInjector.Should(faultinject.PointIngestCorrupt) {
+		// Truncate the encoded bytes in place of the decode seeing
+		// them: the request fails exactly like a client that sent a
+		// cut-off upload — answered 400 alone, batch unharmed.
+		req.img = req.img[:len(req.img)/2]
+	}
 	sc := s.scratchPool.Get().(*ingestScratch)
 	t0 := time.Now()
 	img, err := tensor.DecodeImageInto(sc.img, req.img)
 	if err != nil {
 		s.scratchPool.Put(sc)
 		atomic.AddUint64(&s.stats.errors, 1)
-		req.resp <- response{err: fmt.Errorf("%w: %v", ErrBadImage, err)}
+		s.reply(req, response{err: fmt.Errorf("%w: %v", ErrBadImage, err)})
 		return false
 	}
 	sc.img = img
@@ -508,13 +601,26 @@ func (s *Server) release(req *request) {
 	}
 }
 
-func (s *Server) execute(ws *workerScratch, batch []*request) {
+func (s *Server) execute(ws *workerScratch, sl *wdSlot, batch []*request) {
+	// Copy the batch before the in-place compaction below: pending is
+	// the one stable, duplicate-free view of every request this call
+	// owes an answer to — what recoverBatch walks after a panic and
+	// what the watchdog slot records.
+	ws.pending = append(ws.pending[:0], batch...)
+	if sl != nil {
+		sl.begin(s, ws.pending)
+		defer sl.end()
+	}
+	defer s.recoverBatch(ws)
 	// Detect requests arrive as encoded bytes: preprocess them here so
 	// the forward below can co-batch them with raw-tensor traffic.
 	// Reusing batch's backing array keeps the executor allocation-lean.
 	ready := batch[:0]
 	for _, req := range batch {
-		if req.kind != kindDetect || s.preprocess(req) {
+		ws.cur = req
+		ok := req.kind != kindDetect || s.preprocess(req)
+		ws.cur = nil
+		if ok {
 			ready = append(ready, req)
 		}
 	}
@@ -534,6 +640,67 @@ func (s *Server) execute(ws *workerScratch, batch []*request) {
 	}
 	for _, group := range groupByShape(ready) {
 		s.executeGroup(ws, group)
+	}
+}
+
+// recoverBatch is execute's panic-isolation contract: if anything in
+// the batch window panics (preprocess, forward, postprocess — injected
+// or real), the worker recovers here instead of unwinding the process.
+// The request the panic poisoned (the one a per-request stage was
+// touching, or any request on its second incident) is answered with
+// ErrWorkerPanic; every other unanswered request is innocent and is
+// re-queued for a transparent retry, or failed explicitly with
+// ErrCoBatched when the queue has no room — success or 503, never a
+// hang. The panics stat records the incident; the worker loop then
+// continues with the next batch as if nothing happened.
+func (s *Server) recoverBatch(ws *workerScratch) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	atomic.AddUint64(&s.stats.panics, 1)
+	poisoned := ws.cur
+	ws.cur = nil
+	for _, req := range ws.pending {
+		if req.done.Load() {
+			continue
+		}
+		if req == poisoned || req.requeued {
+			if s.reply(req, response{err: fmt.Errorf("%w: %v", ErrWorkerPanic, r)}) {
+				atomic.AddUint64(&s.stats.errors, 1)
+			}
+			s.release(req)
+			continue
+		}
+		s.requeueOrFail(req)
+	}
+}
+
+// requeueOrFail gives an innocent co-batched request a second chance:
+// its preprocess state is scrapped (a re-executed detect request
+// decodes afresh from its original bytes) and it re-enters the queue
+// without blocking. When the queue is full or the server is closing,
+// the request is answered ErrCoBatched instead — explicitly, so the
+// caller never hangs on a request the executor abandoned.
+func (s *Server) requeueOrFail(req *request) {
+	s.release(req)
+	if req.kind == kindDetect {
+		req.in = nil // pointed at the released canvas; preprocess refills it
+	}
+	req.requeued = true
+	s.closeMu.RLock()
+	if !s.closed {
+		select {
+		case s.queue <- req:
+			atomic.AddUint64(&s.stats.requeues, 1)
+			s.closeMu.RUnlock()
+			return
+		default:
+		}
+	}
+	s.closeMu.RUnlock()
+	if s.reply(req, response{err: ErrCoBatched}) {
+		atomic.AddUint64(&s.stats.errors, 1)
 	}
 }
 
@@ -569,6 +736,12 @@ func (s *Server) executeGroup(ws *workerScratch, group []*request) {
 		heads [][]*tensor.Tensor
 		err   error
 	)
+	// An injected stall holds the whole batch mid-execution — the
+	// scenario the stuck-batch watchdog exists for. The sleep happens
+	// here, lock-free, never inside the injector.
+	if d := s.cfg.FaultInjector.Latency(faultinject.PointExecStall); d > 0 {
+		time.Sleep(d)
+	}
 	fstart := time.Now()
 	if anyHeads {
 		// The server's arena feeds the per-image head copies; the
@@ -582,6 +755,10 @@ func (s *Server) executeGroup(ws *workerScratch, group []*request) {
 	fwd := time.Since(fstart)
 	s.stats.recordBatch(len(group))
 	for i, req := range group {
+		ws.cur = req
+		if s.cfg.FaultInjector.Should(faultinject.PointExecPanic) {
+			panic(fmt.Sprintf("faultinject: %s while serving request %d", faultinject.PointExecPanic, req.seq))
+		}
 		r := response{err: err}
 		switch {
 		case err != nil:
@@ -628,8 +805,13 @@ func (s *Server) executeGroup(ws *workerScratch, group []*request) {
 				atomic.AddUint64(&s.stats.deadlineHits, 1)
 			}
 		}
-		req.resp <- r
+		// The watchdog may have answered this request already (a
+		// stall that outlived the batch allowance); the CAS inside
+		// reply makes that race safe, and the executor still owns the
+		// scratch release either way.
+		s.reply(req, r)
 		s.release(req)
+		ws.cur = nil
 	}
 }
 
@@ -717,6 +899,13 @@ type serverStats struct {
 	superseded     uint64
 	deadlineHits   uint64
 	deadlineMisses uint64
+
+	// Robustness counters: panics recovered by batch executors,
+	// requests re-queued after a co-batched panic, and batches the
+	// stuck-batch watchdog gave up on.
+	panics       uint64
+	requeues     uint64
+	stuckBatches uint64
 }
 
 // The record* helpers run on the batch executor for every request, so
@@ -803,6 +992,15 @@ type Stats struct {
 	Superseded     uint64
 	DeadlineHits   uint64
 	DeadlineMisses uint64
+
+	// Robustness counters: Panics counts executor panics survived
+	// (each answers only the poisoned request with an error), Requeues
+	// the innocent co-batched requests transparently retried, and
+	// StuckBatches the batches the watchdog failed for overstaying
+	// their execution allowance.
+	Panics       uint64
+	Requeues     uint64
+	StuckBatches uint64
 }
 
 func (st *serverStats) snapshot() Stats {
@@ -822,6 +1020,10 @@ func (st *serverStats) snapshot() Stats {
 		Superseded:     atomic.LoadUint64(&st.superseded),
 		DeadlineHits:   atomic.LoadUint64(&st.deadlineHits),
 		DeadlineMisses: atomic.LoadUint64(&st.deadlineMisses),
+
+		Panics:       atomic.LoadUint64(&st.panics),
+		Requeues:     atomic.LoadUint64(&st.requeues),
+		StuckBatches: atomic.LoadUint64(&st.stuckBatches),
 	}
 	if out.Batches > 0 {
 		out.AvgBatch = float64(out.Completed) / float64(out.Batches)

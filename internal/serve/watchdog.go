@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// watchdog.go is the stuck-batch watchdog: every worker owns a slot
+// recording the batch it is executing, and one watchdog goroutine
+// periodically fails the requests of any batch that has overstayed its
+// allowance — so a wedged forward pass (a stalled kernel, an injected
+// stall) costs its callers a bounded wait and an explicit 503, never a
+// hang. The watchdog answers requests through the server's CAS reply,
+// and it never touches a request's pooled scratch: the executor owns
+// the release unconditionally, so a batch that eventually un-wedges
+// recycles its buffers exactly as if the watchdog had never fired.
+
+const (
+	// wdBudgetMult scales a batch's deadline budget into its execution
+	// allowance: a batch of deadline traffic may run this many times
+	// its largest remaining budget before the watchdog calls it stuck.
+	wdBudgetMult = 4
+	// wdMinAllowance floors the deadline-derived allowance so very
+	// tight budgets (a few ms) don't turn scheduling jitter into
+	// watchdog fires.
+	wdMinAllowance = 20 * time.Millisecond
+)
+
+type watchdog struct {
+	s         *Server
+	allowance time.Duration // Config.Watchdog: the absolute allowance
+	slots     []*wdSlot
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// wdSlot is one worker's in-flight record. reqs aliases the worker's
+// pending scratch between begin and end; the mutex orders the worker's
+// writes against the watchdog's reads, so the worker may reuse the
+// backing array freely once end has cleared the slot.
+type wdSlot struct {
+	mu      sync.Mutex
+	reqs    []*request
+	started time.Time
+	budget  time.Duration
+	fired   bool
+}
+
+func newWatchdog(s *Server, allowance time.Duration, workers int) *watchdog {
+	w := &watchdog{
+		s:         s,
+		allowance: allowance,
+		slots:     make([]*wdSlot, workers),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for i := range w.slots {
+		w.slots[i] = &wdSlot{}
+	}
+	go w.loop()
+	return w
+}
+
+// slot hands worker i its in-flight record; nil when the watchdog is
+// disabled (the nil receiver), which disables all slot bookkeeping in
+// the executor.
+func (w *watchdog) slot(i int) *wdSlot {
+	if w == nil {
+		return nil
+	}
+	return w.slots[i]
+}
+
+func (w *watchdog) stopLoop() {
+	if w == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+}
+
+// begin records a batch entering execution and computes its allowance:
+// the configured absolute allowance, tightened to wdBudgetMult times
+// the batch's largest remaining deadline budget when the batch carries
+// deadline traffic (floored at wdMinAllowance) — "a multiple of its
+// deadline budget", with a backstop for deadline-less traffic.
+func (sl *wdSlot) begin(s *Server, batch []*request) {
+	now := s.cfg.clock()
+	budget := s.wd.allowance
+	var maxSlack time.Duration
+	for _, req := range batch {
+		if !req.deadline.IsZero() {
+			if d := req.deadline.Sub(now); d > maxSlack {
+				maxSlack = d
+			}
+		}
+	}
+	if maxSlack > 0 {
+		if d := max(wdBudgetMult*maxSlack, wdMinAllowance); d < budget {
+			budget = d
+		}
+	}
+	sl.mu.Lock()
+	sl.reqs = batch
+	sl.started = now
+	sl.budget = budget
+	sl.fired = false
+	sl.mu.Unlock()
+}
+
+// end clears the slot when the batch finishes (or its panic recovery
+// completes). After end returns the watchdog holds no reference to the
+// worker's pending slice.
+func (sl *wdSlot) end() {
+	sl.mu.Lock()
+	sl.reqs = nil
+	sl.mu.Unlock()
+}
+
+// loop polls the slots and fails overdue batches. The tick is derived
+// from the allowance so a tight watchdog checks often and a lax one
+// stays cheap; firing is once per batch.
+func (w *watchdog) loop() {
+	defer close(w.done)
+	tick := w.allowance / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			for _, sl := range w.slots {
+				w.check(sl)
+			}
+		}
+	}
+}
+
+// check fails the unanswered requests of an overdue batch. The stuck
+// requests are collected under the slot lock but answered outside it
+// (lock discipline: no channel sends in a critical section); the CAS
+// inside reply makes the race against a batch that un-wedges at the
+// same moment benign.
+func (w *watchdog) check(sl *wdSlot) {
+	now := w.s.cfg.clock()
+	sl.mu.Lock()
+	overdue := sl.reqs != nil && !sl.fired && now.Sub(sl.started) > sl.budget
+	var stuck []*request
+	if overdue {
+		sl.fired = true
+		stuck = append(stuck, sl.reqs...)
+	}
+	sl.mu.Unlock()
+	if !overdue {
+		return
+	}
+	atomic.AddUint64(&w.s.stats.stuckBatches, 1)
+	for _, req := range stuck {
+		// No release here: the executor still owns the scratch and
+		// will recycle it when (if) the batch completes.
+		if w.s.reply(req, response{err: ErrStuckBatch}) {
+			atomic.AddUint64(&w.s.stats.errors, 1)
+		}
+	}
+}

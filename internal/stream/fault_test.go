@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rtoss/internal/faultinject"
+)
+
+// TestStreamInjectedMidFrameDisconnect: an injected disconnect between
+// frames must close the session like a real dead connection — 400 to
+// the uploader, the in-flight frame drained, and the hub's frame
+// conservation intact (frames_in == served + stale + deadline +
+// errors). Frames after the cut never count as ingested.
+func TestStreamInjectedMidFrameDisconnect(t *testing.T) {
+	_, hub := newTestHub(t, Config{
+		FaultInjector: faultinject.New(1, faultinject.Plan{
+			// After: 2 lets two frames through, then the third draw fires.
+			faultinject.PointStreamDisconnect: {P: 1, After: 2, Max: 1},
+		}),
+	})
+	ts := httptest.NewServer(hub.Handler())
+	defer ts.Close()
+	ppm := samplePPM(t)
+
+	var raw []byte
+	for i := 0; i < 6; i++ {
+		raw = AppendRawFrame(raw, ppm)
+	}
+	raw = FinishRaw(raw)
+
+	resp, err := http.Post(ts.URL+"/stream?budget_ms=60000", RawContentType, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("disconnected stream answered %d, want 400", resp.StatusCode)
+	}
+	var body bytes.Buffer
+	body.ReadFrom(resp.Body)
+	if !strings.Contains(body.String(), "disconnect") {
+		t.Fatalf("400 body %q does not name the disconnect", body.String())
+	}
+
+	sum := hub.Stats()
+	if sum.FramesIn != 2 {
+		t.Fatalf("frames_in = %d, want 2 (the cut lands before the third push)", sum.FramesIn)
+	}
+	if got := sum.FramesServed + sum.DroppedStale + sum.DroppedDeadline + sum.Errors; got != sum.FramesIn {
+		t.Fatalf("conservation broken after disconnect: outcomes %d != frames_in %d (%+v)", got, sum.FramesIn, sum)
+	}
+	if hub.Active() != 0 {
+		t.Fatalf("%d sessions still open after the disconnect", hub.Active())
+	}
+
+	// The injector is exhausted (Max: 1): the next upload of the same
+	// bytes completes cleanly on the same hub.
+	resp2, err := http.Post(ts.URL+"/stream?budget_ms=60000", RawContentType, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect stream answered %d, want 200", resp2.StatusCode)
+	}
+}

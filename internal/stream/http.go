@@ -8,7 +8,14 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"rtoss/internal/faultinject"
 )
+
+// errInjectedDisconnect is the chaos stand-in for a client connection
+// that died mid-sequence; the handler answers 400 like any truncated
+// upload.
+var errInjectedDisconnect = errors.New("stream: injected mid-frame disconnect")
 
 // http.go mounts the hub on the HTTP front end. POST /stream ingests a
 // whole frame sequence on one connection — multipart/x-mixed-replace
@@ -59,6 +66,14 @@ func (h *Hub) handleStream(w http.ResponseWriter, r *http.Request) {
 		var img []byte
 		img, ferr = framer.Next()
 		if ferr != nil {
+			break
+		}
+		// Chaos: a mid-frame disconnect looks exactly like a client
+		// whose connection died between frames — the session closes,
+		// drains its in-flight frame, and the conservation counters
+		// must still balance.
+		if h.cfg.FaultInjector.Should(faultinject.PointStreamDisconnect) {
+			ferr = errInjectedDisconnect
 			break
 		}
 		if err := sess.Push(img); err != nil {

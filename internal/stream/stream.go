@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rtoss/internal/detect"
+	"rtoss/internal/faultinject"
 	"rtoss/internal/serve"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// deadline is its capture instant plus Budget. Zero disables
 	// deadlines (frames are never shed for lateness).
 	Budget time.Duration
+
+	// FaultInjector arms the hub's chaos injection point (mid-frame
+	// disconnect in the HTTP ingest loop). Nil — the production
+	// configuration — makes the point a nil check.
+	FaultInjector *faultinject.Injector
 
 	// clock overrides time.Now for deterministic tests.
 	clock func() time.Time
